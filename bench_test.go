@@ -1,0 +1,558 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablations over the design choices called out in
+// DESIGN.md. Each figure benchmark runs its experiment harness end to end
+// per iteration (at a scale tuned for benchmarking; the cmd/ tools run the
+// paper-scale versions) and reports the figure's headline quantity through
+// b.ReportMetric, so `go test -bench=.` regenerates the whole evaluation.
+package vbundle
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/core"
+	"vbundle/internal/experiments"
+	"vbundle/internal/ids"
+	"vbundle/internal/metrics"
+	"vbundle/internal/pastry"
+	"vbundle/internal/scribe"
+	"vbundle/internal/sim"
+	"vbundle/internal/tcshape"
+	"vbundle/internal/topology"
+)
+
+// --- Fig. 7 / Fig. 8: topology-aware placement -------------------------------
+
+func placementParams(engine core.EngineKind, waves int, seed int64) experiments.PlacementParams {
+	return experiments.PlacementParams{
+		Spec:                  experiments.ScaledSpec(600),
+		VMsPerWavePerCustomer: 200, // 1000 VMs per wave across 5 customers
+		Waves:                 waves,
+		Engine:                engine,
+		Seed:                  seed,
+	}
+}
+
+func BenchmarkFig7Placement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunPlacement(placementParams(core.EngineDHT, 1, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := out.Waves[0]
+		b.ReportMetric(w.Quality.SameRackPairFraction(), "sameRackFrac")
+		b.ReportMetric(w.MeanHops, "queryHops")
+	}
+}
+
+func BenchmarkFig8aGrowth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunPlacement(placementParams(core.EngineDHT, 2, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := out.Waves[1]
+		b.ReportMetric(w.Quality.SameRackPairFraction(), "sameRackFrac")
+		b.ReportMetric(w.Quality.Load.CrossRackMbps(), "crossRackMbps")
+	}
+}
+
+func BenchmarkFig8bGreedy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunPlacement(placementParams(core.EngineGreedy, 2, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w := out.Waves[1]
+		b.ReportMetric(w.Quality.SameRackPairFraction(), "sameRackFrac")
+		b.ReportMetric(w.Quality.Load.CrossRackMbps(), "crossRackMbps")
+	}
+}
+
+// --- Fig. 9 / Fig. 10 / Fig. 11: decentralized rebalancing -------------------
+
+func rebalanceParams(servers int, threshold float64, seed int64) experiments.RebalanceParams {
+	return experiments.RebalanceParams{
+		Spec:         experiments.ScaledSpec(servers),
+		VMsPerServer: 10,
+		Threshold:    threshold,
+		Duration:     75 * time.Minute,
+		Seed:         seed,
+	}
+}
+
+func BenchmarkFig9Rebalance(b *testing.B) {
+	for _, threshold := range []float64{0.3, 0.1} {
+		b.Run(fmt.Sprintf("threshold=%.1f", threshold), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := experiments.RunRebalance(rebalanceParams(300, threshold, int64(i)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				limit := out.MeanUtil + threshold
+				b.ReportMetric(float64(experiments.CountAbove(out.Before, limit)), "hotBefore")
+				b.ReportMetric(float64(experiments.CountAbove(out.After, limit)), "hotAfter")
+				b.ReportMetric(float64(out.Migrations), "migrations")
+			}
+		})
+	}
+}
+
+func BenchmarkFig10Convergence(b *testing.B) {
+	for _, servers := range []int{30, 300} {
+		b.Run(fmt.Sprintf("servers=%d", servers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := rebalanceParams(servers, 0.183, int64(i))
+				out, err := experiments.RunRebalance(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pts := out.SD.Points()
+				b.ReportMetric(pts[0].V, "sdBefore")
+				b.ReportMetric(pts[len(pts)-1].V, "sdAfter")
+				// Minutes of virtual time until the SD first reaches within
+				// 10% of its final value: the paper's claim is this is
+				// nearly scale-independent.
+				final := pts[len(pts)-1].V
+				for _, pt := range pts {
+					if pt.V <= final*1.1 {
+						b.ReportMetric(pt.T.Minutes(), "convergeMin")
+						break
+					}
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig11Satisfaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunRebalance(rebalanceParams(300, 0.1, int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		d, s := out.Demand.Points(), out.Satisfied.Points()
+		b.ReportMetric(100*(d[0].V-s[0].V)/d[0].V, "gapBefore%")
+		last := len(d) - 1
+		b.ReportMetric(100*(d[last].V-s[last].V)/d[last].V, "gapAfter%")
+	}
+}
+
+// --- Fig. 12 / Fig. 13: application QoS ---------------------------------------
+
+func BenchmarkFig12FailedCalls(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunQoS(experiments.QoSParams{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var before, after float64
+		for _, pt := range out.FailedCalls.Points() {
+			switch {
+			case out.FirstMigrationAt == 0 || pt.T < out.FirstMigrationAt:
+				before += pt.V
+			case pt.T > out.LastMigrationAt:
+				after += pt.V
+			}
+		}
+		b.ReportMetric(before, "failsBefore")
+		b.ReportMetric(after, "failsAfter")
+		b.ReportMetric(float64(out.Migrations), "migrations")
+	}
+}
+
+func BenchmarkFig13ResponseCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunQoS(experiments.QoSParams{Seed: int64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(out.RTBefore.At(10), "pRT10Before")
+		b.ReportMetric(out.RTAfter.At(10), "pRT10After")
+	}
+}
+
+// --- Table I: computation overhead of the pub-sub operations ------------------
+
+// table1Stack builds a converged 256-node overlay with a fully subscribed
+// group, shared by the Table I micro-benchmarks.
+type table1Stack struct {
+	engine   *sim.Engine
+	scribes  []*scribe.Scribe
+	group    ids.Id
+	managers int
+}
+
+func newTable1Stack(b *testing.B) (*sim.Engine, []*scribe.Scribe, ids.Id) {
+	b.Helper()
+	spec := experiments.ScaledSpec(256)
+	spec.LANHop = time.Millisecond
+	topo, err := topology.New(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.NewEngine(1)
+	ring := pastry.NewRing(engine, topo, pastry.Config{}, pastry.HierarchyAssigner)
+	ring.BuildStatic()
+	scribes := make([]*scribe.Scribe, ring.Size())
+	for i, n := range ring.Nodes() {
+		scribes[i] = scribe.New(n)
+	}
+	group := scribe.GroupKey("table1")
+	for _, s := range scribes {
+		s.Join(group, scribe.Handlers{
+			OnAnycast: func(ids.Id, any, pastry.NodeHandle) bool { return true },
+		})
+	}
+	engine.Run()
+	return engine, scribes, group
+}
+
+func BenchmarkTable1Subscribe(b *testing.B) {
+	engine, scribes, _ := newTable1Stack(b)
+	scratch := scribe.GroupKey("scratch")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := scribes[(i*31+1)%len(scribes)]
+		s.Join(scratch, scribe.Handlers{})
+		engine.Run()
+		s.Leave(scratch)
+		engine.Run()
+	}
+}
+
+func BenchmarkTable1Unsubscribe(b *testing.B) {
+	engine, scribes, _ := newTable1Stack(b)
+	scratch := scribe.GroupKey("scratch")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := scribes[(i*31+1)%len(scribes)]
+		s.Join(scratch, scribe.Handlers{})
+		engine.Run()
+		b.StartTimer()
+		s.Leave(scratch)
+		engine.Run()
+	}
+}
+
+func BenchmarkTable1Publish(b *testing.B) {
+	engine, scribes, group := newTable1Stack(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scribes[i%len(scribes)].Multicast(group, i)
+		engine.Run()
+	}
+}
+
+func BenchmarkTable1Anycast(b *testing.B) {
+	engine, scribes, group := newTable1Stack(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scribes[i%len(scribes)].Anycast(group, i, nil)
+		engine.Run()
+	}
+}
+
+func BenchmarkTable1RouteHop(b *testing.B) {
+	// The primitive underneath every operation: one Pastry routing
+	// decision.
+	spec := experiments.ScaledSpec(256)
+	topo, err := topology.New(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.NewEngine(1)
+	ring := pastry.NewRing(engine, topo, pastry.Config{}, pastry.HierarchyAssigner)
+	ring.BuildStatic()
+	node := ring.Node(0)
+	keys := make([]ids.Id, 1024)
+	for i := range keys {
+		keys[i] = ids.Random(engine.Rand())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = node.NextHop(keys[i%len(keys)])
+	}
+}
+
+// --- Fig. 14 / Fig. 15: aggregation latency and message overhead --------------
+
+func BenchmarkFig14AggregationLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{
+			Sizes: []int{16, 64, 256, 1024},
+			Seed:  int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := out.Points[0]
+		last := out.Points[len(out.Points)-1]
+		b.ReportMetric(float64(first.RawMean)/1e6, "ms@16")
+		b.ReportMetric(float64(last.RawMean)/1e6, "ms@1024")
+		b.ReportMetric(float64(out.AggLatencySlope())/1e6, "msPerDoubling")
+	}
+}
+
+func BenchmarkFig15MessageOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{
+			Sizes: []int{512, 1024},
+			Seed:  int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(out.Points[0].Msgs.Quantile(0.9), "msgP90@512")
+		b.ReportMetric(out.Points[1].Msgs.Quantile(0.9), "msgP90@1024")
+		b.ReportMetric(out.Points[1].KB.Quantile(0.9), "kbP90@1024")
+	}
+}
+
+// --- Ablations (DESIGN.md) -----------------------------------------------------
+
+// BenchmarkAblationLeafSetSize measures routing cost as the leaf set grows.
+func BenchmarkAblationLeafSetSize(b *testing.B) {
+	for _, leaf := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("L=%d", leaf), func(b *testing.B) {
+			spec := experiments.ScaledSpec(512)
+			topo, err := topology.New(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine := sim.NewEngine(1)
+			ring := pastry.NewRing(engine, topo, pastry.Config{LeafSize: leaf}, pastry.RandomAssigner)
+			ring.BuildStatic()
+			hops := routeSample(b, engine, ring, 500)
+			b.ReportMetric(hops, "meanHops")
+		})
+	}
+}
+
+// BenchmarkAblationDigitWidth compares Pastry digit widths (b = 2 vs 4).
+func BenchmarkAblationDigitWidth(b *testing.B) {
+	for _, width := range []int{2, 4} {
+		b.Run(fmt.Sprintf("b=%d", width), func(b *testing.B) {
+			spec := experiments.ScaledSpec(512)
+			topo, err := topology.New(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine := sim.NewEngine(1)
+			ring := pastry.NewRing(engine, topo, pastry.Config{B: width}, pastry.RandomAssigner)
+			ring.BuildStatic()
+			hops := routeSample(b, engine, ring, 500)
+			b.ReportMetric(hops, "meanHops")
+			var slots int
+			for _, n := range ring.Nodes() {
+				slots += n.RoutingTableSize()
+			}
+			b.ReportMetric(float64(slots)/float64(ring.Size()), "rtEntries")
+		})
+	}
+}
+
+type hopCounter struct {
+	pastry.BaseApp
+	total, count int
+}
+
+func (h *hopCounter) Deliver(_ ids.Id, _ any, info pastry.RouteInfo) {
+	h.total += info.Hops
+	h.count++
+}
+
+func routeSample(b *testing.B, engine *sim.Engine, ring *pastry.Ring, routes int) float64 {
+	b.Helper()
+	counter := &hopCounter{}
+	for _, n := range ring.Nodes() {
+		n.Register("bench", counter)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < routes; r++ {
+			ring.Node(engine.Rand().Intn(ring.Size())).Route(ids.Random(engine.Rand()), "bench", r)
+		}
+		engine.Run()
+	}
+	b.StopTimer()
+	if counter.count == 0 {
+		return 0
+	}
+	return float64(counter.total) / float64(counter.count)
+}
+
+// BenchmarkAblationThreshold sweeps the rebalancing margin beyond the
+// paper's two settings.
+func BenchmarkAblationThreshold(b *testing.B) {
+	for _, thr := range []float64{0.05, 0.1, 0.183, 0.3} {
+		b.Run(fmt.Sprintf("thr=%.3f", thr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := rebalanceParams(150, thr, int64(i))
+				p.Duration = 40 * time.Minute
+				out, err := experiments.RunRebalance(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(out.Migrations), "migrations")
+				b.ReportMetric(metrics.StdOf(out.After), "sdAfter")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPlacementEngine compares the three engines' network cost
+// on identical arrivals.
+func BenchmarkAblationPlacementEngine(b *testing.B) {
+	for _, kind := range []core.EngineKind{core.EngineDHT, core.EngineGreedy, core.EngineRandom} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := experiments.RunPlacement(experiments.PlacementParams{
+					Spec:                  experiments.ScaledSpec(300),
+					VMsPerWavePerCustomer: 100,
+					Waves:                 2,
+					Engine:                kind,
+					Seed:                  int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				w := out.Waves[len(out.Waves)-1]
+				b.ReportMetric(w.Quality.SameRackPairFraction(), "sameRackFrac")
+				b.ReportMetric(w.Quality.Load.CrossRackMbps(), "crossRackMbps")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSpillWidth varies the neighborhood-set size driving the
+// placement spill walk.
+func BenchmarkAblationSpillWidth(b *testing.B) {
+	for _, m := range []int{4, 16, 32} {
+		b.Run(fmt.Sprintf("M=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				vb, err := core.New(core.Options{
+					Topology: experiments.ScaledSpec(200),
+					Seed:     int64(i),
+					Pastry:   pastry.Config{NeighborhoodSize: m},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rsv := cluster.Resources{CPU: 0.5, MemMB: 128, BandwidthMbps: 100}
+				lim := cluster.Resources{CPU: 2, MemMB: 128, BandwidthMbps: 200}
+				var hops int
+				const vms = 300
+				for v := 0; v < vms; v++ {
+					_, res, err := vb.BootVM("Tenant", rsv, lim)
+					if err != nil {
+						b.Fatal(err)
+					}
+					hops += res.Hops
+				}
+				b.ReportMetric(float64(hops)/vms, "meanQueryHops")
+				b.ReportMetric(vb.PlacementQuality().SameRackPairFraction(), "sameRackFrac")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMigrationBandwidth quantifies the Fig. 10 simplification
+// ("we ignore that migration itself consumes bandwidth"): the same
+// rebalancing run with and without charging migration streams to the NICs.
+func BenchmarkAblationMigrationBandwidth(b *testing.B) {
+	for _, account := range []bool{false, true} {
+		name := "ignored"
+		if account {
+			name = "charged"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := rebalanceParams(150, 0.1, int64(i))
+				p.Duration = 40 * time.Minute
+				p.AccountMigrationBW = account
+				out, err := experiments.RunRebalance(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(out.Migrations), "migrations")
+				b.ReportMetric(metrics.StdOf(out.After), "sdAfter")
+			}
+		})
+	}
+}
+
+// BenchmarkChurnLocality extends Fig. 8 to continuous operation: placement
+// locality sustained over hours of VM arrivals and departures, per engine.
+func BenchmarkChurnLocality(b *testing.B) {
+	for _, kind := range []core.EngineKind{core.EngineDHT, core.EngineGreedy} {
+		b.Run(kind.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				spec := experiments.ScaledSpec(240)
+				spec.ServersPerRack = 12
+				spec.Racks = 20
+				out, err := experiments.RunChurn(experiments.ChurnParams{
+					Spec:     spec,
+					Duration: 3 * time.Hour,
+					Engine:   kind,
+					Seed:     int64(i),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(out.MeanLocality, "meanSameRackFrac")
+				b.ReportMetric(float64(out.Arrived), "arrivals")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationShaperMode compares the two surplus-sharing policies of
+// the tc shaper (equal-share vs HTB's rate-proportional) on a saturated
+// NIC with mixed class sizes.
+func BenchmarkAblationShaperMode(b *testing.B) {
+	// Guarantees sum to 210 on a 1000 Mbps NIC: the surplus-sharing policy
+	// decides who gets the other 790.
+	classes := make([]tcshape.Class, 20)
+	for i := range classes {
+		classes[i] = tcshape.Class{
+			Rate:   float64(i + 1),
+			Ceil:   1000,
+			Demand: 900,
+		}
+	}
+	b.Run("equal", func(b *testing.B) {
+		var smallest float64
+		for i := 0; i < b.N; i++ {
+			alloc := tcshape.Allocate(1000, classes)
+			smallest = alloc[0]
+		}
+		b.ReportMetric(smallest, "smallestClassMbps")
+	})
+	b.Run("weighted", func(b *testing.B) {
+		var smallest float64
+		for i := 0; i < b.N; i++ {
+			alloc := tcshape.AllocateWeighted(1000, classes)
+			smallest = alloc[0]
+		}
+		b.ReportMetric(smallest, "smallestClassMbps")
+	})
+}
+
+// BenchmarkOverlayBuild measures ring construction at the paper's scale.
+func BenchmarkOverlayBuild(b *testing.B) {
+	spec := experiments.PaperSpec()
+	topo, err := topology.New(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine := sim.NewEngine(int64(i))
+		ring := pastry.NewRing(engine, topo, pastry.Config{}, pastry.HierarchyAssigner)
+		ring.BuildStatic()
+	}
+}

@@ -1,0 +1,94 @@
+// Command vb-overhead regenerates the paper's overhead analysis (§V.C):
+// Table I (computation overhead of v-Bundle's pub-sub operations), Fig. 14
+// (leaf-to-root aggregation latency versus ring size) and Fig. 15 (the CDF
+// of per-host messages per round).
+//
+// Usage:
+//
+//	vb-overhead [-fig 14|15|1|0] [-max-servers N] [-iterations N] [-seed N]
+//
+// -fig 0 (the default) prints everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vbundle/internal/experiments"
+	"vbundle/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vb-overhead: ")
+	var (
+		fig    = flag.Int("fig", 0, "what to print: 14, 15, 1 (Table I), or 0 for all")
+		maxN   = flag.Int("max-servers", 1024, "largest ring size to sweep")
+		iters  = flag.Int("iterations", 1000, "Table I iterations per operation")
+		seed   = flag.Int64("seed", 1, "random seed")
+		svgDir = flag.String("svg", "", "directory to write SVG figures into")
+	)
+	flag.Parse()
+	charts := map[string]*report.Chart{}
+
+	var sizes []int
+	for n := 16; n <= *maxN; n *= 2 {
+		sizes = append(sizes, n)
+	}
+
+	if *fig == 0 || *fig == 1 {
+		out, err := experiments.RunTable1(experiments.Table1Params{
+			Servers:    min(512, *maxN),
+			Iterations: *iters,
+			Seed:       *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Report(os.Stdout)
+	}
+	if *fig == 0 || *fig == 14 {
+		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{Sizes: sizes, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Report(os.Stdout)
+		for stem, chart := range out.Charts() {
+			charts[stem] = chart
+		}
+	}
+	if *fig == 0 || *fig == 15 {
+		var big []int
+		for _, n := range sizes {
+			if n >= 256 {
+				big = append(big, n)
+			}
+		}
+		if len(big) == 0 {
+			big = sizes
+		}
+		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{Sizes: big, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.Report(os.Stdout)
+		for stem, chart := range out.Charts() {
+			charts[stem] = chart
+		}
+	}
+	if *svgDir != "" && len(charts) > 0 {
+		if err := experiments.WriteSVGs(*svgDir, charts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote SVG figures to %s\n", *svgDir)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,80 @@
+// Command vb-placement regenerates the paper's placement experiments:
+// Fig. 7 (v-Bundle's VM/PM mapping for 5000 VMs of five customers on ≈3000
+// servers), Fig. 8a (a second wave of 5000 VMs under v-Bundle) and Fig. 8b
+// (the greedy baseline).
+//
+// Usage:
+//
+//	vb-placement [-engine dht|greedy|random] [-waves N] [-vms N]
+//	             [-servers N] [-seed N] [-dots]
+//
+// With -dots the raw scatter (rack, slot, customer) is printed so the
+// figure can be plotted externally.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vbundle/internal/core"
+	"vbundle/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vb-placement: ")
+	var (
+		engine  = flag.String("engine", "dht", "placement engine: dht, greedy or random")
+		waves   = flag.Int("waves", 1, "provisioning waves (1 = Fig 7, 2 = Fig 8)")
+		vms     = flag.Int("vms", 1000, "VMs per customer per wave")
+		servers = flag.Int("servers", 3000, "approximate server count")
+		seed    = flag.Int64("seed", 1, "random seed")
+		dots    = flag.Bool("dots", false, "print the raw scatter points")
+		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
+		jsonOut = flag.String("json", "", "file to write the outcome as JSON")
+	)
+	flag.Parse()
+
+	kind := core.EngineDHT
+	switch *engine {
+	case "dht":
+	case "greedy":
+		kind = core.EngineGreedy
+	case "random":
+		kind = core.EngineRandom
+	default:
+		log.Fatalf("unknown engine %q", *engine)
+	}
+
+	out, err := experiments.RunPlacement(experiments.PlacementParams{
+		Spec:                  experiments.ScaledSpec(*servers),
+		VMsPerWavePerCustomer: *vms,
+		Waves:                 *waves,
+		Engine:                kind,
+		Seed:                  *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	out.Report(os.Stdout)
+	if *jsonOut != "" {
+		if err := experiments.WriteJSON(*jsonOut, out); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *svgDir != "" {
+		if err := experiments.WriteSVGs(*svgDir, out.Charts()); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote SVG figures to %s\n", *svgDir)
+	}
+	if *dots {
+		last := out.Waves[len(out.Waves)-1]
+		fmt.Println("# rack slot customer")
+		for _, p := range last.Snapshot.Points() {
+			fmt.Printf("%g %g %s\n", p.X, p.Y, p.Series)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+// Command vb-rebalance regenerates the paper's resource-shuffling
+// experiments: Fig. 9 (per-server utilization before/after rebalancing at
+// two thresholds), Fig. 10 (utilization standard deviation over time at two
+// cluster scales) and Fig. 11 (total demand versus actually satisfied
+// bandwidth over time).
+//
+// Usage:
+//
+//	vb-rebalance -fig 9|10|11 [-servers N] [-vms-per-server N]
+//	             [-threshold X] [-duration MIN] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"vbundle/internal/experiments"
+	"vbundle/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vb-rebalance: ")
+	var (
+		fig       = flag.Int("fig", 9, "figure to regenerate: 9, 10 or 11")
+		servers   = flag.Int("servers", 3000, "approximate server count")
+		perServer = flag.Int("vms-per-server", 25, "VMs per server")
+		threshold = flag.Float64("threshold", 0, "rebalancing threshold (0 = figure default)")
+		duration  = flag.Int("duration", 75, "virtual experiment length in minutes")
+		seed      = flag.Int64("seed", 1, "random seed")
+		svgDir    = flag.String("svg", "", "directory to write SVG figures into")
+	)
+	flag.Parse()
+	charts := map[string]*report.Chart{}
+	collect := func(suffix string, out *experiments.RebalanceOutcome) {
+		for stem, chart := range out.Charts() {
+			charts[stem+suffix] = chart
+		}
+	}
+
+	base := experiments.RebalanceParams{
+		Spec:         experiments.ScaledSpec(*servers),
+		VMsPerServer: *perServer,
+		Threshold:    *threshold,
+		Duration:     time.Duration(*duration) * time.Minute,
+		Seed:         *seed,
+	}
+
+	switch *fig {
+	case 9:
+		// The paper shows two threshold settings side by side.
+		thresholds := []float64{0.3, 0.1}
+		if *threshold != 0 {
+			thresholds = []float64{*threshold}
+		}
+		for _, thr := range thresholds {
+			p := base
+			p.Threshold = thr
+			out, err := experiments.RunRebalance(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out.WriteFig9(os.Stdout)
+			collect(fmt.Sprintf("-thr%g", thr), out)
+		}
+	case 10:
+		// Two scales, same threshold: convergence time is scale-free.
+		scales := []int{30, *servers}
+		for _, n := range scales {
+			p := base
+			p.Spec = experiments.ScaledSpec(n)
+			if p.Threshold == 0 {
+				p.Threshold = 0.183
+			}
+			out, err := experiments.RunRebalance(p)
+			if err != nil {
+				log.Fatal(err)
+			}
+			out.WriteFig10(os.Stdout)
+			collect(fmt.Sprintf("-n%d", n), out)
+		}
+	case 11:
+		out, err := experiments.RunRebalance(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out.WriteFig11(os.Stdout)
+		collect("", out)
+	default:
+		log.Fatalf("unknown figure %d (want 9, 10 or 11)", *fig)
+	}
+	if *svgDir != "" {
+		if err := experiments.WriteSVGs(*svgDir, charts); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote SVG figures to %s\n", *svgDir)
+	}
+}

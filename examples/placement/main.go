@@ -1,0 +1,72 @@
+// Placement comparison: boot two waves of VMs for five customers through
+// v-Bundle's topology-aware DHT engine, the greedy first-fit baseline, and
+// random placement, then compare how much chatting traffic each strategy
+// pushes across the oversubscribed rack up-links (the paper's Fig. 7/8
+// story in miniature).
+//
+// Run with:
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/core"
+	"vbundle/internal/experiments"
+)
+
+func main() {
+	type row struct {
+		name      string
+		sameRack  float64
+		crossRack float64
+		maxUplink float64
+	}
+	var rows []row
+
+	for _, kind := range []core.EngineKind{core.EngineDHT, core.EngineGreedy, core.EngineRandom} {
+		vb, err := core.New(core.Options{
+			Topology: experiments.ScaledSpec(160),
+			Engine:   kind,
+			Seed:     7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rsv := cluster.Resources{CPU: 0.5, MemMB: 128, BandwidthMbps: 100}
+		lim := cluster.Resources{CPU: 2, MemMB: 128, BandwidthMbps: 200}
+
+		// Two waves of 60 VMs per customer, interleaved arrivals: the
+		// second wave is where greedy falls apart (Fig. 8b).
+		for wave := 0; wave < 2; wave++ {
+			for i := 0; i < 60; i++ {
+				for _, customer := range experiments.Customers {
+					if _, _, err := vb.BootVM(customer, rsv, lim); err != nil {
+						log.Fatalf("%s: %v", vb.Placer.Name(), err)
+					}
+				}
+			}
+		}
+		q := vb.PlacementQuality()
+		rows = append(rows, row{
+			name:      vb.Placer.Name(),
+			sameRack:  q.SameRackPairFraction(),
+			crossRack: q.Load.CrossRackMbps(),
+			maxUplink: q.Load.MaxUplinkUtilization,
+		})
+	}
+
+	fmt.Println("600 VMs survive two provisioning waves for 5 customers on ~160 servers;")
+	fmt.Println("each VM chats with random peers of its own customer (1 Mbps per pair):")
+	fmt.Println()
+	fmt.Printf("%-14s %-22s %-22s %s\n", "engine", "same-rack chat pairs", "cross-rack traffic", "hottest ToR uplink")
+	for _, r := range rows {
+		fmt.Printf("%-14s %-22.3f %-22.0f %.2f×\n", r.name, r.sameRack, r.crossRack, r.maxUplink)
+	}
+	fmt.Println()
+	fmt.Println("the DHT engine keeps each customer's chatter inside its home rack,")
+	fmt.Println("so almost nothing crosses the 8:1 oversubscribed up-links.")
+}

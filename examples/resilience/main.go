@@ -1,0 +1,104 @@
+// Resilience demo: v-Bundle keeps trading resources while the substrate
+// misbehaves. The overlay runs over a network that drops 5% of messages,
+// and two servers crash mid-run; Pastry's loss-tolerant failure detector,
+// Scribe's tree repair and root reconciliation, and the aggregation
+// refresh keep the decentralized machinery converging anyway.
+//
+// Run with:
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/core"
+	"vbundle/internal/metrics"
+	"vbundle/internal/rebalance"
+	"vbundle/internal/topology"
+	"vbundle/internal/workload"
+)
+
+func main() {
+	vb, err := core.New(core.Options{
+		Topology: topology.Spec{
+			Racks:            4,
+			ServersPerRack:   4,
+			RacksPerPod:      2,
+			NICMbps:          1000,
+			Oversubscription: 8,
+			LANHop:           time.Millisecond,
+			LocalDelivery:    50 * time.Microsecond,
+		},
+		Rebalance: rebalance.Config{
+			Threshold:         0.1,
+			UpdateInterval:    time.Minute,
+			RebalanceInterval: 5 * time.Minute,
+		},
+		MessageLoss: 0.05,
+		Seed:        11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Imbalanced load: every fourth server is hot.
+	for s := 0; s < vb.Cluster.Size(); s++ {
+		per := 20.0
+		if s%4 == 0 {
+			per = 90
+		}
+		for v := 0; v < 10; v++ {
+			vm, err := vb.Cluster.CreateVM("tenant",
+				cluster.Resources{CPU: 0.2, MemMB: 128, BandwidthMbps: 10},
+				cluster.Resources{CPU: 4, MemMB: 128, BandwidthMbps: 1000})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := vb.Cluster.Place(vm, s); err != nil {
+				log.Fatal(err)
+			}
+			vm.Demand.BandwidthMbps = per
+			vb.Workloads.Attach(vm.ID, workload.Flat(per))
+		}
+	}
+
+	liveSD := func() float64 {
+		var s metrics.Stats
+		for i, u := range vb.UtilizationSnapshot() {
+			if vb.Ring.Network().Alive(vb.Ring.Node(i).Addr()) {
+				s.Add(u)
+			}
+		}
+		return s.Std()
+	}
+
+	fmt.Printf("running with 5%% message loss; SD before: %.3f\n", liveSD())
+	vb.Workloads.Start(time.Minute)
+	vb.StartMaintenance(30 * time.Second) // self-repair on
+	vb.StartServices()
+
+	vb.RunFor(10 * time.Minute)
+	fmt.Printf("t=10min: SD=%.3f, migrations=%d\n", liveSD(), vb.Migration.Stats().Completed)
+
+	fmt.Println("killing servers 5 and 9 ...")
+	vb.Ring.Network().Kill(vb.Ring.Node(5).Addr())
+	vb.Ring.Network().Kill(vb.Ring.Node(9).Addr())
+
+	for _, m := range []int{20, 40, 60} {
+		vb.RunFor(time.Duration(m-vbMinutes(vb))*time.Minute + time.Second)
+		fmt.Printf("t=%2dmin: SD=%.3f, migrations=%d, queries=%d\n",
+			m, liveSD(), vb.Migration.Stats().Completed, vb.Rebalancer.QueriesSent())
+	}
+	vb.StopServices()
+	vb.StopMaintenance()
+	vb.Workloads.Stop()
+
+	fmt.Println("\ndespite the loss and crashes, the live servers balanced out:")
+	fmt.Printf("final SD among live servers: %.3f\n", liveSD())
+}
+
+func vbMinutes(vb *core.VBundle) int { return int(vb.Now().Minutes()) }

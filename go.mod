@@ -1,0 +1,3 @@
+module vbundle
+
+go 1.22

@@ -1,0 +1,443 @@
+// Package aggregation implements v-Bundle's cross-hypervisor aggregation
+// abstraction (paper §III.D): every server stores local (topic,
+// attributeName, value) tuples — e.g. (configuration, numCPUs, 16) —
+// subscribes to per-topic Scribe trees, and periodically the tree reduces
+// all local values to global aggregates at the root, which disseminates the
+// result back down to all members.
+//
+// v-Bundle uses two such topics — BW_Capacity and BW_Demand — to give every
+// server the cluster-wide mean bandwidth utilization it needs to classify
+// itself as a load shedder or receiver (paper §III.C, Fig. 4).
+//
+// Reduction is event-driven: a child pushes an update to its parent as soon
+// as its subtree aggregate changes, so a leaf's new value reaches the root
+// in (tree height) × (hop latency + processing delay) — the behaviour the
+// paper measures in Fig. 14. Dissemination happens on the root's update
+// interval, and the upward path is refreshed every interval so lost
+// messages cannot leave ancestors permanently stale.
+package aggregation
+
+import (
+	"time"
+
+	"vbundle/internal/ids"
+	"vbundle/internal/pastry"
+	"vbundle/internal/scribe"
+	"vbundle/internal/simnet"
+)
+
+// DefaultAttr is the attribute used by the single-value convenience API
+// (SetLocal/Local/Global); topics that only carry one number never need to
+// name it.
+const DefaultAttr = "value"
+
+// Aggregate is the reduction of a set of samples. The zero value is the
+// empty aggregate.
+type Aggregate struct {
+	Sum   float64
+	Count int
+	Min   float64
+	Max   float64
+}
+
+// Fold merges another aggregate into a.
+func (a Aggregate) Fold(b Aggregate) Aggregate {
+	if b.Count == 0 {
+		return a
+	}
+	if a.Count == 0 {
+		return b
+	}
+	out := Aggregate{Sum: a.Sum + b.Sum, Count: a.Count + b.Count, Min: a.Min, Max: a.Max}
+	if b.Min < out.Min {
+		out.Min = b.Min
+	}
+	if b.Max > out.Max {
+		out.Max = b.Max
+	}
+	return out
+}
+
+// Sample builds the aggregate of one sample.
+func Sample(v float64) Aggregate { return Aggregate{Sum: v, Count: 1, Min: v, Max: v} }
+
+// Mean returns Sum/Count, or zero for the empty aggregate.
+func (a Aggregate) Mean() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return a.Sum / float64(a.Count)
+}
+
+// Global is a root-published aggregate with its publication time.
+type Global struct {
+	Aggregate
+	// PublishedAt is the virtual time the root disseminated this value.
+	PublishedAt time.Duration
+}
+
+// Config tunes the aggregation layer.
+type Config struct {
+	// UpdateInterval is the leaf sampling and root dissemination period.
+	// The paper's rebalancing experiments use 5 minutes. Defaults to 5m.
+	UpdateInterval time.Duration
+	// ProcessingDelay models the per-node fold-and-forward cost; the paper
+	// measures 1–2 ms per node (§V.C). Defaults to 1.5ms.
+	ProcessingDelay time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.UpdateInterval == 0 {
+		c.UpdateInterval = 5 * time.Minute
+	}
+	if c.ProcessingDelay == 0 {
+		c.ProcessingDelay = 1500 * time.Microsecond
+	}
+	return c
+}
+
+// attrMap is one node's per-attribute aggregates for a topic.
+type attrMap map[string]Aggregate
+
+func (m attrMap) equal(o attrMap) bool {
+	if len(m) != len(o) {
+		return false
+	}
+	for k, v := range m {
+		if ov, ok := o[k]; !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// topicState is this node's view of one aggregation topic.
+type topicState struct {
+	key   ids.Id
+	name  string
+	local attrMap
+	// children is the (ChildNodehandle, attribute, value) info base.
+	children map[ids.Id]attrMap
+	lastSent attrMap
+	sentOnce bool
+	flushing bool
+
+	global    map[string]Global
+	hasGlobal bool
+	onGlobal  map[string][]func(Global)
+
+	// probeStamp is the leaf-send time that triggered the pending flush,
+	// used by the root to measure leaf-to-root aggregation latency.
+	probeStamp time.Duration
+	probeValid bool
+}
+
+// maxRootLatencySamples bounds the per-root latency record.
+const maxRootLatencySamples = 65536
+
+// Manager runs the aggregation layer for one server.
+type Manager struct {
+	sc  *scribe.Scribe
+	cfg Config
+
+	topics map[ids.Id]*topicState
+	ticker *tickerHandle
+
+	// rootLatencies collects leaf-to-root latencies observed while this
+	// node is a topic root (Fig. 14's raw line).
+	rootLatencies []time.Duration
+}
+
+type tickerHandle struct{ stop func() }
+
+// New creates the aggregation manager for the given Scribe instance.
+func New(sc *scribe.Scribe, cfg Config) *Manager {
+	return &Manager{sc: sc, cfg: cfg.withDefaults(), topics: make(map[ids.Id]*topicState)}
+}
+
+// Scribe returns the underlying Scribe instance.
+func (m *Manager) Scribe() *scribe.Scribe { return m.sc }
+
+// Config returns the effective configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Subscribe joins the topic's tree and registers an optional callback fired
+// on every new global value of the default attribute. All servers in a
+// v-Bundle cluster subscribe to every topic they participate in.
+func (m *Manager) Subscribe(name string, onGlobal func(Global)) {
+	m.SubscribeAttr(name, DefaultAttr, onGlobal)
+}
+
+// SubscribeAttr joins the topic's tree and registers an optional callback
+// for one attribute's global updates.
+func (m *Manager) SubscribeAttr(name, attr string, onGlobal func(Global)) {
+	key := scribe.GroupKey(name)
+	st, ok := m.topics[key]
+	if !ok {
+		st = &topicState{
+			key:      key,
+			name:     name,
+			local:    make(attrMap),
+			children: make(map[ids.Id]attrMap),
+			global:   make(map[string]Global),
+			onGlobal: make(map[string][]func(Global)),
+		}
+		m.topics[key] = st
+		m.sc.Join(key, scribe.Handlers{OnMulticast: m.onGlobalMsg})
+		m.sc.OnParentData(key, func(payload simnet.Message, from pastry.NodeHandle) {
+			m.onChildUpdate(st, payload, from)
+		})
+	}
+	if onGlobal != nil {
+		st.onGlobal[attr] = append(st.onGlobal[attr], onGlobal)
+	}
+}
+
+// SetLocal stores the local default-attribute value for a topic and
+// schedules an upward push. The topic must have been subscribed.
+func (m *Manager) SetLocal(name string, v float64) {
+	m.SetLocalAttr(name, DefaultAttr, v)
+}
+
+// SetLocalAttr stores one (topic, attributeName, value) tuple, the paper's
+// §III.D local-data model.
+func (m *Manager) SetLocalAttr(name, attr string, v float64) {
+	st, ok := m.topics[scribe.GroupKey(name)]
+	if !ok {
+		return
+	}
+	st.local[attr] = Sample(v)
+	m.markDirty(st, m.now())
+}
+
+// Local returns the node's own default-attribute sample for the topic.
+func (m *Manager) Local(name string) (float64, bool) {
+	return m.LocalAttr(name, DefaultAttr)
+}
+
+// LocalAttr returns the node's own sample for one attribute.
+func (m *Manager) LocalAttr(name, attr string) (float64, bool) {
+	st, ok := m.topics[scribe.GroupKey(name)]
+	if !ok {
+		return 0, false
+	}
+	a, ok := st.local[attr]
+	if !ok || a.Count == 0 {
+		return 0, false
+	}
+	return a.Sum, true
+}
+
+// Global returns the last globally published default-attribute aggregate.
+func (m *Manager) Global(name string) (Global, bool) {
+	return m.GlobalAttr(name, DefaultAttr)
+}
+
+// GlobalAttr returns the last globally published aggregate for one
+// attribute of the topic.
+func (m *Manager) GlobalAttr(name, attr string) (Global, bool) {
+	st, ok := m.topics[scribe.GroupKey(name)]
+	if !ok || !st.hasGlobal {
+		return Global{}, false
+	}
+	g, ok := st.global[attr]
+	return g, ok
+}
+
+// Start begins the periodic cycle: roots disseminate their current global
+// aggregates every update interval, and every node refreshes its upward
+// path.
+func (m *Manager) Start() {
+	if m.ticker != nil {
+		return
+	}
+	t := m.sc.Node().Engine().Every(m.cfg.UpdateInterval, m.tick)
+	m.ticker = &tickerHandle{stop: t.Stop}
+}
+
+// Stop halts the periodic cycle.
+func (m *Manager) Stop() {
+	if m.ticker != nil {
+		m.ticker.stop()
+		m.ticker = nil
+	}
+}
+
+func (m *Manager) tick() {
+	for _, st := range m.topics {
+		if m.sc.IsRoot(st.key) {
+			m.publish(st)
+		}
+		// Refresh the upward path once per interval even when the values
+		// are unchanged: a lost upMsg would otherwise leave the parent's
+		// info base stale forever.
+		st.sentOnce = false
+		m.markDirty(st, m.now())
+	}
+}
+
+// PublishNow forces the root of the topic to disseminate immediately; only
+// the root reacts. Experiments use it to avoid waiting a full interval.
+func (m *Manager) PublishNow(name string) {
+	st, ok := m.topics[scribe.GroupKey(name)]
+	if !ok || !m.sc.IsRoot(st.key) {
+		return
+	}
+	m.publish(st)
+}
+
+// subtreeAggregates folds the local tuples with the info base, dropping
+// entries for children no longer in the tree.
+func (m *Manager) subtreeAggregates(st *topicState) attrMap {
+	live := make(map[ids.Id]bool)
+	for _, c := range m.sc.Children(st.key) {
+		live[c.Id] = true
+	}
+	agg := make(attrMap, len(st.local))
+	for attr, a := range st.local {
+		agg[attr] = a
+	}
+	for id, vals := range st.children {
+		if !live[id] {
+			delete(st.children, id)
+			continue
+		}
+		for attr, a := range vals {
+			agg[attr] = agg[attr].Fold(a)
+		}
+	}
+	return agg
+}
+
+// markDirty schedules a flush of the subtree aggregates toward the root
+// after the processing delay, coalescing bursts of child updates.
+func (m *Manager) markDirty(st *topicState, probeStamp time.Duration) {
+	if !st.probeValid || probeStamp < st.probeStamp {
+		st.probeStamp = probeStamp
+		st.probeValid = true
+	}
+	if st.flushing {
+		return
+	}
+	st.flushing = true
+	m.sc.Node().Engine().After(m.cfg.ProcessingDelay, func() { m.flush(st) })
+}
+
+func (m *Manager) flush(st *topicState) {
+	st.flushing = false
+	agg := m.subtreeAggregates(st)
+	if st.sentOnce && agg.equal(st.lastSent) {
+		return
+	}
+	stamp := st.probeStamp
+	st.probeValid = false
+	if m.sc.IsRoot(st.key) {
+		// The reduction ends here; record the probe latency (Fig. 14) and
+		// wait for the next dissemination tick. The record is bounded so
+		// long experiments that never drain it cannot grow without limit.
+		if len(m.rootLatencies) < maxRootLatencySamples {
+			m.rootLatencies = append(m.rootLatencies, m.now()-stamp)
+		}
+		st.lastSent, st.sentOnce = agg, true
+		return
+	}
+	if m.sc.SendToParent(st.key, &upMsg{Topic: st.key, Values: agg, LeafSentAt: stamp}) {
+		st.lastSent, st.sentOnce = agg, true
+		return
+	}
+	// The tree parent is not known yet (join still in flight). Keep the
+	// probe stamp and retry shortly; without this, values set before the
+	// tree converges would never reach the root.
+	st.probeStamp, st.probeValid = stamp, true
+	st.flushing = true
+	m.sc.Node().Engine().After(flushRetryDelay, func() { m.flush(st) })
+}
+
+// flushRetryDelay paces upward-push retries while the topic tree is still
+// converging.
+const flushRetryDelay = 250 * time.Millisecond
+
+func (m *Manager) onChildUpdate(st *topicState, payload simnet.Message, from pastry.NodeHandle) {
+	up, ok := payload.(*upMsg)
+	if !ok {
+		return
+	}
+	st.children[from.Id] = up.Values
+	m.markDirty(st, up.LeafSentAt)
+}
+
+// publish computes the root's full aggregates and disseminates them down
+// the tree (and to the root's own subscribers).
+func (m *Manager) publish(st *topicState) {
+	now := m.now()
+	agg := m.subtreeAggregates(st)
+	globals := make(map[string]Global, len(agg))
+	for attr, a := range agg {
+		globals[attr] = Global{Aggregate: a, PublishedAt: now}
+	}
+	m.sc.SendToChildren(st.key, &globalMsg{Topic: st.key, Values: globals})
+	m.applyGlobal(st, globals)
+}
+
+// onGlobalMsg receives a disseminated global via the scribe tree.
+func (m *Manager) onGlobalMsg(group ids.Id, payload simnet.Message, _ pastry.NodeHandle) {
+	gm, ok := payload.(*globalMsg)
+	if !ok {
+		return
+	}
+	if st, ok := m.topics[group]; ok {
+		m.applyGlobal(st, gm.Values)
+	}
+}
+
+func (m *Manager) applyGlobal(st *topicState, globals map[string]Global) {
+	for attr, g := range globals {
+		st.global[attr] = g
+		for _, fn := range st.onGlobal[attr] {
+			fn(g)
+		}
+	}
+	st.hasGlobal = true
+}
+
+// RootLatencies returns the leaf-to-root aggregation latencies this node
+// observed as a root, and clears the record.
+func (m *Manager) RootLatencies() []time.Duration {
+	out := m.rootLatencies
+	m.rootLatencies = nil
+	return out
+}
+
+func (m *Manager) now() time.Duration { return m.sc.Node().Engine().Now() }
+
+// upMsg carries a subtree's per-attribute aggregates one edge toward the
+// root.
+type upMsg struct {
+	Topic      ids.Id
+	Values     attrMap
+	LeafSentAt time.Duration
+}
+
+// WireSize implements simnet.WireSizer.
+func (u *upMsg) WireSize() int {
+	size := ids.Bytes + 8
+	for attr := range u.Values {
+		size += len(attr) + 4*8
+	}
+	return size
+}
+
+// globalMsg carries the published global aggregates down the tree.
+type globalMsg struct {
+	Topic  ids.Id
+	Values map[string]Global
+}
+
+// WireSize implements simnet.WireSizer.
+func (g *globalMsg) WireSize() int {
+	size := ids.Bytes
+	for attr := range g.Values {
+		size += len(attr) + 5*8
+	}
+	return size
+}

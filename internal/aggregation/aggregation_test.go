@@ -1,0 +1,385 @@
+package aggregation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vbundle/internal/pastry"
+	"vbundle/internal/scribe"
+	"vbundle/internal/sim"
+	"vbundle/internal/topology"
+)
+
+type fixture struct {
+	engine   *sim.Engine
+	ring     *pastry.Ring
+	managers []*Manager
+}
+
+func newFixture(t *testing.T, racks, perRack int) *fixture {
+	t.Helper()
+	tp, err := topology.New(topology.Spec{
+		Racks:            racks,
+		ServersPerRack:   perRack,
+		RacksPerPod:      2,
+		NICMbps:          1000,
+		Oversubscription: 8,
+		LANHop:           10 * time.Millisecond,
+		LocalDelivery:    50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	engine := sim.NewEngine(5)
+	ring := pastry.NewRing(engine, tp, pastry.Config{}, pastry.HierarchyAssigner)
+	ring.BuildStatic()
+	f := &fixture{engine: engine, ring: ring, managers: make([]*Manager, ring.Size())}
+	for i, n := range ring.Nodes() {
+		f.managers[i] = New(scribe.New(n), Config{UpdateInterval: time.Minute})
+	}
+	return f
+}
+
+func (f *fixture) publishAll(topic string) {
+	for _, m := range f.managers {
+		m.PublishNow(topic)
+	}
+	f.engine.Run()
+}
+
+func TestGlobalAggregateMatchesDirectComputation(t *testing.T) {
+	f := newFixture(t, 4, 8) // 32 nodes
+	const topic = "BW_Demand"
+	var wantSum, wantMin, wantMax float64
+	wantMin = math.Inf(1)
+	for i, m := range f.managers {
+		m.Subscribe(topic, nil)
+		v := float64(10 + i*3)
+		m.SetLocal(topic, v)
+		wantSum += v
+		wantMin = math.Min(wantMin, v)
+		wantMax = math.Max(wantMax, v)
+	}
+	f.engine.Run() // build tree + cascade reduction
+	f.publishAll(topic)
+
+	for i, m := range f.managers {
+		g, ok := m.Global(topic)
+		if !ok {
+			t.Fatalf("node %d has no global", i)
+		}
+		if math.Abs(g.Sum-wantSum) > 1e-9 {
+			t.Errorf("node %d: Sum = %g, want %g", i, g.Sum, wantSum)
+		}
+		if g.Count != len(f.managers) {
+			t.Errorf("node %d: Count = %d, want %d", i, g.Count, len(f.managers))
+		}
+		if g.Min != wantMin || g.Max != wantMax {
+			t.Errorf("node %d: Min/Max = %g/%g, want %g/%g", i, g.Min, g.Max, wantMin, wantMax)
+		}
+	}
+}
+
+func TestMeanUtilizationScenario(t *testing.T) {
+	// Paper §III.C example: 7 servers, BW_Demand 42 units, BW_Capacity 70
+	// units -> mean utilization 60%.
+	f := newFixture(t, 1, 7)
+	demands := []float64{10, 9, 8, 6, 5, 3, 1} // sums to 42
+	for i, m := range f.managers {
+		m.Subscribe("BW_Demand", nil)
+		m.Subscribe("BW_Capacity", nil)
+		m.SetLocal("BW_Demand", demands[i])
+		m.SetLocal("BW_Capacity", 10)
+	}
+	f.engine.Run()
+	f.publishAll("BW_Demand")
+	f.publishAll("BW_Capacity")
+	for i, m := range f.managers {
+		d, ok1 := m.Global("BW_Demand")
+		c, ok2 := m.Global("BW_Capacity")
+		if !ok1 || !ok2 {
+			t.Fatalf("node %d missing globals", i)
+		}
+		if util := d.Sum / c.Sum; math.Abs(util-0.6) > 1e-9 {
+			t.Errorf("node %d computed utilization %g, want 0.6", i, util)
+		}
+	}
+}
+
+func TestEventDrivenUpdatePropagates(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	const topic = "metric"
+	for _, m := range f.managers {
+		m.Subscribe(topic, nil)
+		m.SetLocal(topic, 1)
+	}
+	f.engine.Run()
+	f.publishAll(topic)
+
+	// Bump one node's local value; the change must reach the root without
+	// any other SetLocal calls.
+	f.managers[3].SetLocal(topic, 100)
+	f.engine.Run()
+	f.publishAll(topic)
+
+	want := float64(len(f.managers)-1) + 100
+	for i, m := range f.managers {
+		g, _ := m.Global(topic)
+		if math.Abs(g.Sum-want) > 1e-9 {
+			t.Errorf("node %d: Sum = %g, want %g", i, g.Sum, want)
+		}
+	}
+}
+
+func TestOnGlobalCallbackFires(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	const topic = "cb"
+	fired := make([]int, len(f.managers))
+	for i, m := range f.managers {
+		i := i
+		m.Subscribe(topic, func(Global) { fired[i]++ })
+		m.SetLocal(topic, 2)
+	}
+	f.engine.Run()
+	f.publishAll(topic)
+	for i, n := range fired {
+		if n != 1 {
+			t.Errorf("node %d callback fired %d times, want 1", i, n)
+		}
+	}
+}
+
+func TestPeriodicTickerPublishes(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	const topic = "tick"
+	got := 0
+	for i, m := range f.managers {
+		if i == 0 {
+			m.Subscribe(topic, func(Global) { got++ })
+		} else {
+			m.Subscribe(topic, nil)
+		}
+		m.SetLocal(topic, 1)
+		m.Start()
+	}
+	f.engine.RunFor(3*time.Minute + time.Second)
+	for _, m := range f.managers {
+		m.Stop()
+	}
+	f.engine.Run()
+	if got < 3 {
+		t.Fatalf("node 0 saw %d periodic publications, want >= 3", got)
+	}
+}
+
+func TestDeadLeafDropsOutOfAggregate(t *testing.T) {
+	f := newFixture(t, 2, 8)
+	const topic = "survivors"
+	for _, m := range f.managers {
+		m.Subscribe(topic, nil)
+		m.SetLocal(topic, 1)
+	}
+	f.engine.Run()
+	f.publishAll(topic)
+
+	// Kill a tree leaf (a node with no children for the topic).
+	key := scribe.GroupKey(topic)
+	var victim int = -1
+	for i, m := range f.managers {
+		if len(m.Scribe().Children(key)) == 0 && !m.Scribe().IsRoot(key) {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatal("no leaf found")
+	}
+	f.ring.Network().Kill(f.ring.Node(victim).Addr())
+
+	// Let Pastry detect the failure and Scribe drop the child edge. The
+	// detector needs ProbeRetries consecutive misses, so give it several
+	// maintenance rounds.
+	f.ring.StartMaintenance()
+	f.engine.RunFor(20 * 30 * time.Second)
+	f.ring.StopMaintenance()
+	f.engine.Run()
+
+	// Force the parent of the victim to recompute (a fresh local set) and
+	// republish.
+	for i, m := range f.managers {
+		if i != victim {
+			m.SetLocal(topic, 1)
+		}
+	}
+	f.engine.Run()
+	f.publishAll(topic)
+
+	g, ok := f.managers[0].Global(topic)
+	if !ok {
+		t.Fatal("no global after failure")
+	}
+	if g.Count != len(f.managers)-1 {
+		t.Fatalf("Count = %d after killing one node, want %d", g.Count, len(f.managers)-1)
+	}
+}
+
+func TestRootLatenciesRecorded(t *testing.T) {
+	f := newFixture(t, 4, 8)
+	const topic = "probe"
+	for _, m := range f.managers {
+		m.Subscribe(topic, nil)
+	}
+	f.engine.Run()
+	for _, m := range f.managers {
+		m.SetLocal(topic, 5)
+	}
+	f.engine.Run()
+	var samples []time.Duration
+	for _, m := range f.managers {
+		samples = append(samples, m.RootLatencies()...)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no latency samples at any root")
+	}
+	for _, s := range samples {
+		if s <= 0 {
+			t.Fatalf("non-positive latency %v", s)
+		}
+		// Height is small; even with processing delays a sample must stay
+		// far below one second in this fixture.
+		if s > time.Second {
+			t.Fatalf("implausible latency %v", s)
+		}
+	}
+	// Drained.
+	for _, m := range f.managers {
+		if len(m.RootLatencies()) != 0 {
+			t.Fatal("RootLatencies did not drain")
+		}
+	}
+}
+
+func TestLocalAndGlobalAccessors(t *testing.T) {
+	f := newFixture(t, 1, 2)
+	m := f.managers[0]
+	if _, ok := m.Local("missing"); ok {
+		t.Fatal("Local on unsubscribed topic reported ok")
+	}
+	if _, ok := m.Global("missing"); ok {
+		t.Fatal("Global on unsubscribed topic reported ok")
+	}
+	m.Subscribe("t", nil)
+	if _, ok := m.Local("t"); ok {
+		t.Fatal("Local before SetLocal reported ok")
+	}
+	m.SetLocal("t", 7)
+	if v, ok := m.Local("t"); !ok || v != 7 {
+		t.Fatalf("Local = %g,%v", v, ok)
+	}
+	// SetLocal on unknown topic is a no-op, not a panic.
+	m.SetLocal("missing", 1)
+}
+
+func TestMultiAttributeTopic(t *testing.T) {
+	// The paper's §III.D model: one topic ("configuration") carrying
+	// several attributes — e.g. (configuration, numCPUs, 16) — reduced
+	// independently over a single tree.
+	f := newFixture(t, 2, 8)
+	const topic = "configuration"
+	for i, m := range f.managers {
+		m.SubscribeAttr(topic, "numCPUs", nil)
+		m.SetLocalAttr(topic, "numCPUs", 16)
+		m.SetLocalAttr(topic, "memGB", float64(8*(i%2+1)))
+	}
+	f.engine.Run()
+	f.publishAll(topic)
+
+	n := float64(len(f.managers))
+	for i, m := range f.managers {
+		cpus, ok := m.GlobalAttr(topic, "numCPUs")
+		if !ok || cpus.Sum != 16*n || cpus.Count != len(f.managers) {
+			t.Fatalf("node %d numCPUs global: %+v ok=%v", i, cpus, ok)
+		}
+		mem, ok := m.GlobalAttr(topic, "memGB")
+		if !ok {
+			t.Fatalf("node %d missing memGB", i)
+		}
+		if mem.Min != 8 || mem.Max != 16 {
+			t.Fatalf("node %d memGB min/max = %g/%g", i, mem.Min, mem.Max)
+		}
+	}
+	// Per-attribute locals.
+	if v, ok := f.managers[0].LocalAttr(topic, "numCPUs"); !ok || v != 16 {
+		t.Fatalf("LocalAttr = %g, %v", v, ok)
+	}
+	if _, ok := f.managers[0].LocalAttr(topic, "missing"); ok {
+		t.Fatal("missing attribute reported present")
+	}
+}
+
+func TestAttrCallbacksFirePerAttribute(t *testing.T) {
+	f := newFixture(t, 1, 4)
+	const topic = "attrs"
+	var aFired, bFired int
+	for i, m := range f.managers {
+		if i == 0 {
+			m.SubscribeAttr(topic, "a", func(Global) { aFired++ })
+			m.SubscribeAttr(topic, "b", func(Global) { bFired++ })
+		} else {
+			m.Subscribe(topic, nil)
+		}
+		m.SetLocalAttr(topic, "a", 1)
+	}
+	f.engine.Run()
+	f.publishAll(topic)
+	if aFired != 1 {
+		t.Fatalf("attribute a fired %d times", aFired)
+	}
+	if bFired != 0 {
+		t.Fatalf("attribute b fired %d times with no data", bFired)
+	}
+}
+
+func TestFoldProperties(t *testing.T) {
+	mk := func(vs []float64) Aggregate {
+		var a Aggregate
+		for _, v := range vs {
+			a = a.Fold(Sample(v))
+		}
+		return a
+	}
+	commutative := func(x, y float64) bool {
+		a := Sample(x).Fold(Sample(y))
+		b := Sample(y).Fold(Sample(x))
+		return a == b
+	}
+	if err := quick.Check(commutative, nil); err != nil {
+		t.Error(err)
+	}
+	identity := func(x float64) bool {
+		a := Sample(x)
+		return a.Fold(Aggregate{}) == a && Aggregate{}.Fold(a) == a
+	}
+	if err := quick.Check(identity, nil); err != nil {
+		t.Error(err)
+	}
+	associativeLike := func(xi, yi, zi int16) bool {
+		x, y, z := float64(xi), float64(yi), float64(zi)
+		l := Sample(x).Fold(Sample(y)).Fold(Sample(z))
+		r := Sample(x).Fold(Sample(y).Fold(Sample(z)))
+		return l.Count == r.Count && l.Min == r.Min && l.Max == r.Max &&
+			math.Abs(l.Sum-r.Sum) < 1e-9*(1+math.Abs(l.Sum))
+	}
+	if err := quick.Check(associativeLike, nil); err != nil {
+		t.Error(err)
+	}
+	a := mk([]float64{3, 1, 2})
+	if a.Mean() != 2 || a.Min != 1 || a.Max != 3 || a.Count != 3 {
+		t.Fatalf("aggregate of {3,1,2}: %+v", a)
+	}
+	if (Aggregate{}).Mean() != 0 {
+		t.Fatal("empty Mean not zero")
+	}
+}

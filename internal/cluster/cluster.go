@@ -1,0 +1,360 @@
+// Package cluster models the physical and virtual machines of a v-Bundle
+// datacenter: servers with fixed capacities hosting VMs described by the
+// paper's reservation/limit tuples (§III.B).
+//
+// Reservation is the guaranteed minimum a VM may power on with — admission
+// control only admits a VM when the sum of reservations stays within server
+// capacity. Limit is the ceiling a VM may burst to when its workload grows;
+// demand between reservation and limit is served only when the server has
+// slack (the tcshape package computes the actual shares).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"vbundle/internal/ids"
+	"vbundle/internal/topology"
+)
+
+// Resources is a bundle of the three resources v-Bundle schedules. All
+// fields are non-negative.
+type Resources struct {
+	// CPU is in fractional cores.
+	CPU float64
+	// MemMB is in megabytes.
+	MemMB float64
+	// BandwidthMbps is the network resource the paper focuses on.
+	BandwidthMbps float64
+}
+
+// Add returns the component-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{r.CPU + o.CPU, r.MemMB + o.MemMB, r.BandwidthMbps + o.BandwidthMbps}
+}
+
+// Sub returns the component-wise difference (which may be negative).
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{r.CPU - o.CPU, r.MemMB - o.MemMB, r.BandwidthMbps - o.BandwidthMbps}
+}
+
+// Fits reports whether every component of r is at most the matching
+// component of capacity.
+func (r Resources) Fits(capacity Resources) bool {
+	return r.CPU <= capacity.CPU && r.MemMB <= capacity.MemMB && r.BandwidthMbps <= capacity.BandwidthMbps
+}
+
+// Min returns the component-wise minimum.
+func (r Resources) Min(o Resources) Resources {
+	return Resources{minF(r.CPU, o.CPU), minF(r.MemMB, o.MemMB), minF(r.BandwidthMbps, o.BandwidthMbps)}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// VMID uniquely identifies a VM within a cluster.
+type VMID int
+
+// VM is one virtual machine instance. Reservation and Limit are fixed at
+// creation (the purchased package); Demand changes as the hosted workload
+// varies.
+type VM struct {
+	ID       VMID
+	Name     string
+	Customer string
+	// Key is hash(customer): the placement key shared by all of the
+	// customer's VMs (paper §II.B).
+	Key         ids.Id
+	Reservation Resources
+	Limit       Resources
+	Demand      Resources
+}
+
+// EffectiveDemandBW is the bandwidth the VM would consume if unconstrained
+// by its server: its demand capped by its limit.
+func (v *VM) EffectiveDemandBW() float64 {
+	return minF(v.Demand.BandwidthMbps, v.Limit.BandwidthMbps)
+}
+
+// Server is one physical machine.
+type Server struct {
+	Index    int
+	Capacity Resources
+	vms      map[VMID]*VM
+	// externalBW is bandwidth consumed by non-VM traffic on this NIC —
+	// in-flight migration streams account themselves here.
+	externalBW float64
+}
+
+// AddExternalBW adjusts the non-VM bandwidth load on this server's NIC
+// (negative deltas release it; the floor is zero).
+func (s *Server) AddExternalBW(delta float64) {
+	s.externalBW += delta
+	if s.externalBW < 0 {
+		s.externalBW = 0
+	}
+}
+
+// ExternalBW returns the current non-VM bandwidth load.
+func (s *Server) ExternalBW() float64 { return s.externalBW }
+
+// NewServer creates an empty server.
+func NewServer(index int, capacity Resources) *Server {
+	return &Server{Index: index, Capacity: capacity, vms: make(map[VMID]*VM)}
+}
+
+// Reserved returns the sum of reservations of hosted VMs.
+func (s *Server) Reserved() Resources {
+	var sum Resources
+	for _, vm := range s.vms {
+		sum = sum.Add(vm.Reservation)
+	}
+	return sum
+}
+
+// CanAdmit reports whether the VM's reservation still fits: the paper's
+// power-on admission rule.
+func (s *Server) CanAdmit(vm *VM) bool {
+	return s.Reserved().Add(vm.Reservation).Fits(s.Capacity)
+}
+
+// Admit places the VM on the server, enforcing the reservation rule.
+func (s *Server) Admit(vm *VM) error {
+	if _, dup := s.vms[vm.ID]; dup {
+		return fmt.Errorf("cluster: vm %d already on server %d", vm.ID, s.Index)
+	}
+	if !s.CanAdmit(vm) {
+		return fmt.Errorf("cluster: server %d cannot reserve %+v for vm %d", s.Index, vm.Reservation, vm.ID)
+	}
+	s.vms[vm.ID] = vm
+	return nil
+}
+
+// Remove takes the VM off the server; it reports whether it was present.
+func (s *Server) Remove(id VMID) bool {
+	if _, ok := s.vms[id]; !ok {
+		return false
+	}
+	delete(s.vms, id)
+	return true
+}
+
+// NumVMs returns the number of hosted VMs.
+func (s *Server) NumVMs() int { return len(s.vms) }
+
+// VMs returns the hosted VMs sorted by ID (deterministic iteration).
+func (s *Server) VMs() []*VM {
+	out := make([]*VM, 0, len(s.vms))
+	for _, vm := range s.vms {
+		out = append(out, vm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// DemandBW returns the total effective bandwidth demand on this server,
+// including external (migration) traffic.
+func (s *Server) DemandBW() float64 {
+	sum := s.externalBW
+	for _, vm := range s.vms {
+		sum += vm.EffectiveDemandBW()
+	}
+	return sum
+}
+
+// ReservedBW returns the total reserved bandwidth.
+func (s *Server) ReservedBW() float64 { return s.Reserved().BandwidthMbps }
+
+// UtilizationBW returns effective demand over NIC capacity; values above 1
+// mean the server is over-committed on bandwidth.
+func (s *Server) UtilizationBW() float64 {
+	if s.Capacity.BandwidthMbps == 0 {
+		return 0
+	}
+	return s.DemandBW() / s.Capacity.BandwidthMbps
+}
+
+// Cluster is the set of servers of one datacenter plus the VM registry.
+type Cluster struct {
+	topo     *topology.Topology
+	servers  []*Server
+	vms      map[VMID]*VM
+	location map[VMID]int
+	nextID   VMID
+}
+
+// New creates a cluster with one server per topology slot, each with the
+// given capacity. A zero-bandwidth capacity defaults to the topology's NIC
+// line rate.
+func New(topo *topology.Topology, perServer Resources) *Cluster {
+	if perServer.BandwidthMbps == 0 {
+		perServer.BandwidthMbps = topo.NICMbps()
+	}
+	c := &Cluster{
+		topo:     topo,
+		servers:  make([]*Server, topo.Servers()),
+		vms:      make(map[VMID]*VM),
+		location: make(map[VMID]int),
+	}
+	for i := range c.servers {
+		c.servers[i] = NewServer(i, perServer)
+	}
+	return c
+}
+
+// Topology returns the cluster's network topology.
+func (c *Cluster) Topology() *topology.Topology { return c.topo }
+
+// Size returns the number of servers.
+func (c *Cluster) Size() int { return len(c.servers) }
+
+// Server returns server i.
+func (c *Cluster) Server(i int) *Server { return c.servers[i] }
+
+// Servers returns all servers; the slice is shared, do not mutate.
+func (c *Cluster) Servers() []*Server { return c.servers }
+
+// CreateVM registers a new, unplaced VM for the customer. Reservation must
+// fit within limit component-wise.
+func (c *Cluster) CreateVM(customer string, reservation, limit Resources) (*VM, error) {
+	if !reservation.Fits(limit) {
+		return nil, fmt.Errorf("cluster: reservation %+v exceeds limit %+v", reservation, limit)
+	}
+	c.nextID++
+	vm := &VM{
+		ID:          c.nextID,
+		Name:        fmt.Sprintf("%s-vm%d", customer, c.nextID),
+		Customer:    customer,
+		Key:         ids.HashString(customer),
+		Reservation: reservation,
+		Limit:       limit,
+	}
+	c.vms[vm.ID] = vm
+	return vm, nil
+}
+
+// VM returns the VM with the given id, or nil.
+func (c *Cluster) VM(id VMID) *VM { return c.vms[id] }
+
+// NumVMs returns the number of registered VMs.
+func (c *Cluster) NumVMs() int { return len(c.vms) }
+
+// Place admits the VM on the given server; the VM must not be placed yet.
+func (c *Cluster) Place(vm *VM, server int) error {
+	if cur, placed := c.location[vm.ID]; placed {
+		return fmt.Errorf("cluster: vm %d already placed on server %d", vm.ID, cur)
+	}
+	if err := c.servers[server].Admit(vm); err != nil {
+		return err
+	}
+	c.location[vm.ID] = server
+	return nil
+}
+
+// Migrate moves a placed VM to another server, enforcing admission at the
+// destination. On failure the VM stays where it was.
+func (c *Cluster) Migrate(id VMID, to int) error {
+	from, placed := c.location[id]
+	if !placed {
+		return fmt.Errorf("cluster: vm %d is not placed", id)
+	}
+	if from == to {
+		return nil
+	}
+	vm := c.vms[id]
+	if err := c.servers[to].Admit(vm); err != nil {
+		return err
+	}
+	c.servers[from].Remove(id)
+	c.location[id] = to
+	return nil
+}
+
+// Destroy removes a VM entirely: off its server (if placed) and out of the
+// registry. Destroying an unknown id is a no-op; it reports whether the VM
+// existed.
+func (c *Cluster) Destroy(id VMID) bool {
+	if _, known := c.vms[id]; !known {
+		return false
+	}
+	if server, placed := c.location[id]; placed {
+		c.servers[server].Remove(id)
+		delete(c.location, id)
+	}
+	delete(c.vms, id)
+	return true
+}
+
+// LocationOf returns the server hosting the VM.
+func (c *Cluster) LocationOf(id VMID) (server int, placed bool) {
+	server, placed = c.location[id]
+	return server, placed
+}
+
+// VMsOf returns the customer's VMs sorted by ID.
+func (c *Cluster) VMsOf(customer string) []*VM {
+	var out []*VM
+	for _, vm := range c.vms {
+		if vm.Customer == customer {
+			out = append(out, vm)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Customers returns the distinct customer names, sorted.
+func (c *Cluster) Customers() []string {
+	seen := make(map[string]bool)
+	for _, vm := range c.vms {
+		seen[vm.Customer] = true
+	}
+	out := make([]string, 0, len(seen))
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalDemandBW sums effective bandwidth demand across all servers.
+func (c *Cluster) TotalDemandBW() float64 {
+	var sum float64
+	for _, s := range c.servers {
+		sum += s.DemandBW()
+	}
+	return sum
+}
+
+// TotalCapacityBW sums NIC capacity across all servers.
+func (c *Cluster) TotalCapacityBW() float64 {
+	var sum float64
+	for _, s := range c.servers {
+		sum += s.Capacity.BandwidthMbps
+	}
+	return sum
+}
+
+// MeanUtilizationBW is cluster demand over cluster capacity: the "average
+// utilization line" of paper Fig. 5.
+func (c *Cluster) MeanUtilizationBW() float64 {
+	capTotal := c.TotalCapacityBW()
+	if capTotal == 0 {
+		return 0
+	}
+	return c.TotalDemandBW() / capTotal
+}
+
+// UtilizationSnapshot returns every server's bandwidth utilization, indexed
+// by server (the scatter of paper Fig. 9).
+func (c *Cluster) UtilizationSnapshot() []float64 {
+	out := make([]float64, len(c.servers))
+	for i, s := range c.servers {
+		out[i] = s.UtilizationBW()
+	}
+	return out
+}

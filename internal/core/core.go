@@ -1,0 +1,355 @@
+// Package core assembles the full v-Bundle system: the simulated datacenter
+// (topology + cluster), the Pastry overlay with hierarchy-assigned nodeIds,
+// Scribe and the aggregation trees, the topology-aware placement engine,
+// and the decentralized rebalancer. It is the public entry point examples,
+// command-line tools and the experiment harnesses build on.
+//
+// Typical use:
+//
+//	vb, err := core.New(core.Options{})         // paper-scale defaults
+//	vm, res, err := vb.BootVM("IBM", rsv, lim)  // DHT-placed instance
+//	vb.StartServices()                          // aggregation + rebalancing
+//	vb.RunFor(time.Hour)                        // advance virtual time
+//	fmt.Println(vb.UtilizationStdDev())
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"vbundle/internal/aggregation"
+	"vbundle/internal/cluster"
+	"vbundle/internal/metrics"
+	"vbundle/internal/migration"
+	"vbundle/internal/pastry"
+	"vbundle/internal/placement"
+	"vbundle/internal/rebalance"
+	"vbundle/internal/scribe"
+	"vbundle/internal/sim"
+	"vbundle/internal/simnet"
+	"vbundle/internal/tcshape"
+	"vbundle/internal/topology"
+	"vbundle/internal/workload"
+)
+
+// EngineKind selects the placement algorithm.
+type EngineKind int
+
+// Placement engine kinds.
+const (
+	// EngineDHT is v-Bundle's topology-aware placement (paper §II).
+	EngineDHT EngineKind = iota + 1
+	// EngineGreedy is the first-fit baseline of Fig. 8b.
+	EngineGreedy
+	// EngineRandom places on a random server with room.
+	EngineRandom
+)
+
+// String returns the engine name.
+func (k EngineKind) String() string {
+	switch k {
+	case EngineDHT:
+		return "vbundle-dht"
+	case EngineGreedy:
+		return "greedy"
+	case EngineRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("EngineKind(%d)", int(k))
+	}
+}
+
+// Options configures a v-Bundle instance. The zero value reproduces the
+// paper's simulated setup.
+type Options struct {
+	// Topology describes the datacenter; defaults to topology.DefaultSpec
+	// (≈3000 servers in 70 racks).
+	Topology topology.Spec
+	// Seed makes the whole simulation reproducible.
+	Seed int64
+	// Pastry tunes the overlay (digit width, leaf set size).
+	Pastry pastry.Config
+	// Engine selects the placement algorithm; defaults to EngineDHT.
+	Engine EngineKind
+	// DHT tunes the DHT placement engine.
+	DHT placement.DHTConfig
+	// Rebalance tunes the resource-shuffling algorithm.
+	Rebalance rebalance.Config
+	// Migration tunes the migration cost model.
+	Migration migration.Config
+	// ServerCapacity is each server's resource capacity; bandwidth
+	// defaults to the topology NIC rate, CPU/memory default to a
+	// dual-socket testbed machine (16 cores, 16 GB).
+	ServerCapacity cluster.Resources
+	// ProtocolJoin builds the overlay with message-driven joins instead of
+	// static construction. Slower; used when join behaviour itself is
+	// under study.
+	ProtocolJoin bool
+	// MessageLoss drops each overlay message independently with this
+	// probability, for robustness studies (0 = reliable network).
+	MessageLoss float64
+	// JoinStagger is the delay between successive protocol joins.
+	JoinStagger time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.Topology.Racks == 0 {
+		o.Topology = topology.DefaultSpec()
+	}
+	if o.Engine == 0 {
+		o.Engine = EngineDHT
+	}
+	if o.ServerCapacity.CPU == 0 {
+		o.ServerCapacity.CPU = 16
+	}
+	if o.ServerCapacity.MemMB == 0 {
+		o.ServerCapacity.MemMB = 16384
+	}
+	if o.JoinStagger == 0 {
+		o.JoinStagger = 500 * time.Millisecond
+	}
+	return o
+}
+
+// VBundle is a fully wired v-Bundle datacenter simulation.
+type VBundle struct {
+	opts Options
+
+	Engine     *sim.Engine
+	Topo       *topology.Topology
+	Ring       *pastry.Ring
+	Cluster    *cluster.Cluster
+	Scribes    []*scribe.Scribe
+	Aggs       []*aggregation.Manager
+	Migration  *migration.Manager
+	Rebalancer *rebalance.Coordinator
+	Placer     placement.Engine
+	Workloads  *workload.Driver
+}
+
+// New builds a v-Bundle instance. The overlay is constructed immediately
+// (statically by default), so the instance is ready to place VMs.
+func New(opts Options) (*VBundle, error) {
+	opts = opts.withDefaults()
+	topo, err := topology.New(opts.Topology)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	engine := sim.NewEngine(opts.Seed)
+	var netOpts []simnet.Option
+	if opts.MessageLoss > 0 {
+		netOpts = append(netOpts, simnet.WithDropRate(opts.MessageLoss))
+	}
+	ring := pastry.NewRing(engine, topo, opts.Pastry, pastry.HierarchyAssigner, netOpts...)
+	if opts.ProtocolJoin {
+		done := ring.JoinAll(opts.JoinStagger)
+		engine.RunUntil(time.Duration(ring.Size())*opts.JoinStagger + time.Minute)
+		if !done() {
+			return nil, fmt.Errorf("core: overlay join did not converge for %d nodes", ring.Size())
+		}
+	} else {
+		ring.BuildStatic()
+	}
+	cl := cluster.New(topo, opts.ServerCapacity)
+
+	vb := &VBundle{
+		opts:      opts,
+		Engine:    engine,
+		Topo:      topo,
+		Ring:      ring,
+		Cluster:   cl,
+		Scribes:   make([]*scribe.Scribe, ring.Size()),
+		Aggs:      make([]*aggregation.Manager, ring.Size()),
+		Migration: migration.New(engine, cl, opts.Migration),
+	}
+	aggCfg := aggregation.Config{UpdateInterval: opts.Rebalance.UpdateInterval}
+	for i, node := range ring.Nodes() {
+		vb.Scribes[i] = scribe.New(node)
+		vb.Aggs[i] = aggregation.New(vb.Scribes[i], aggCfg)
+	}
+	vb.Rebalancer = rebalance.NewCoordinator(ring, cl, vb.Migration, vb.Aggs, opts.Rebalance)
+	vb.Workloads = workload.NewDriver(engine, cl)
+
+	switch opts.Engine {
+	case EngineDHT:
+		vb.Placer = placement.NewDHT(ring, cl, opts.DHT)
+	case EngineGreedy:
+		vb.Placer = placement.NewGreedy(cl)
+	case EngineRandom:
+		vb.Placer = placement.NewRandom(cl, engine.Rand())
+	default:
+		return nil, fmt.Errorf("core: unknown engine kind %d", opts.Engine)
+	}
+	return vb, nil
+}
+
+// Options returns the effective options the instance was built with.
+func (vb *VBundle) Options() Options { return vb.opts }
+
+// BootVM creates a VM for the customer and places it through the configured
+// engine, driving the simulation until the placement query resolves.
+func (vb *VBundle) BootVM(customer string, reservation, limit cluster.Resources) (*cluster.VM, placement.Result, error) {
+	vm, err := vb.Cluster.CreateVM(customer, reservation, limit)
+	if err != nil {
+		return nil, placement.Result{}, err
+	}
+	res, err := vb.placeAndWait(vm)
+	return vm, res, err
+}
+
+// BootVMAsync places an already created VM without driving the simulation;
+// the callback fires when the query resolves.
+func (vb *VBundle) BootVMAsync(vm *cluster.VM, onDone func(placement.Result, error)) {
+	vb.Placer.Place(vm, onDone)
+}
+
+func (vb *VBundle) placeAndWait(vm *cluster.VM) (placement.Result, error) {
+	var (
+		res  placement.Result
+		rerr error
+		done bool
+	)
+	vb.Placer.Place(vm, func(r placement.Result, err error) {
+		res, rerr, done = r, err, true
+	})
+	for !done && vb.Engine.Step() {
+	}
+	if !done {
+		return placement.Result{}, fmt.Errorf("core: placement of vm %d never resolved", vm.ID)
+	}
+	return res, rerr
+}
+
+// StartServices turns on the periodic machinery: aggregation trees and the
+// rebalancer on every server.
+func (vb *VBundle) StartServices() { vb.Rebalancer.Start() }
+
+// StopServices halts the periodic machinery.
+func (vb *VBundle) StopServices() { vb.Rebalancer.Stop() }
+
+// StartMaintenance turns on the self-repair machinery: Pastry leaf-set
+// probing and Scribe tree heartbeats on every node. Needed for runs with
+// server failures or message loss; pure-performance experiments leave it
+// off to keep their traffic budgets clean.
+func (vb *VBundle) StartMaintenance(heartbeat time.Duration) {
+	vb.Ring.StartMaintenance()
+	for _, s := range vb.Scribes {
+		s.StartMaintenance(heartbeat)
+	}
+}
+
+// StopMaintenance halts the self-repair machinery.
+func (vb *VBundle) StopMaintenance() {
+	vb.Ring.StopMaintenance()
+	for _, s := range vb.Scribes {
+		s.StopMaintenance()
+	}
+}
+
+// RunFor advances virtual time by d, executing everything scheduled within.
+func (vb *VBundle) RunFor(d time.Duration) { vb.Engine.RunFor(d) }
+
+// Now returns the current virtual time.
+func (vb *VBundle) Now() time.Duration { return vb.Engine.Now() }
+
+// UtilizationSnapshot returns per-server bandwidth utilization (Fig. 9's
+// scatter).
+func (vb *VBundle) UtilizationSnapshot() []float64 { return vb.Cluster.UtilizationSnapshot() }
+
+// UtilizationStdDev returns the standard deviation of server utilizations
+// (Fig. 10's Y axis).
+func (vb *VBundle) UtilizationStdDev() float64 {
+	return metrics.StdOf(vb.Cluster.UtilizationSnapshot())
+}
+
+// BandwidthReport is the cluster-wide demand-versus-delivery accounting
+// behind Fig. 11.
+type BandwidthReport struct {
+	// DemandMbps is the total effective demand (capped by per-VM limits).
+	DemandMbps float64
+	// SatisfiedMbps is what the per-server shapers actually deliver.
+	SatisfiedMbps float64
+}
+
+// Gap returns unmet demand.
+func (r BandwidthReport) Gap() float64 { return r.DemandMbps - r.SatisfiedMbps }
+
+// BandwidthSatisfaction runs the tc-style allocator on every server and
+// aggregates delivered versus demanded bandwidth.
+func (vb *VBundle) BandwidthSatisfaction() BandwidthReport {
+	var rep BandwidthReport
+	for _, srv := range vb.Cluster.Servers() {
+		vms := srv.VMs()
+		if len(vms) == 0 {
+			continue
+		}
+		classes := make([]tcshape.Class, len(vms))
+		for i, vm := range vms {
+			classes[i] = tcshape.Class{
+				Rate:   vm.Reservation.BandwidthMbps,
+				Ceil:   vm.Limit.BandwidthMbps,
+				Demand: vm.Demand.BandwidthMbps,
+			}
+		}
+		got, want := tcshape.Satisfied(srv.Capacity.BandwidthMbps, classes)
+		rep.SatisfiedMbps += got
+		rep.DemandMbps += want
+	}
+	return rep
+}
+
+// VMAllocations runs the shaper for one server and returns each hosted VM's
+// allocated bandwidth, keyed by VM id.
+func (vb *VBundle) VMAllocations(server int) map[cluster.VMID]float64 {
+	srv := vb.Cluster.Server(server)
+	vms := srv.VMs()
+	classes := make([]tcshape.Class, len(vms))
+	for i, vm := range vms {
+		classes[i] = tcshape.Class{
+			Rate:   vm.Reservation.BandwidthMbps,
+			Ceil:   vm.Limit.BandwidthMbps,
+			Demand: vm.Demand.BandwidthMbps,
+		}
+	}
+	alloc := tcshape.Allocate(srv.Capacity.BandwidthMbps, classes)
+	out := make(map[cluster.VMID]float64, len(vms))
+	for i, vm := range vms {
+		out[vm.ID] = alloc[i]
+	}
+	return out
+}
+
+// AvailableBandwidth probes how much bandwidth a VM could obtain on its
+// current server if it asked for its full limit, with every other VM's
+// demand unchanged — the headroom a latency-sensitive application really
+// has, as opposed to the exact share the shaper currently delivers.
+func (vb *VBundle) AvailableBandwidth(id cluster.VMID) float64 {
+	server, placed := vb.Cluster.LocationOf(id)
+	if !placed {
+		return 0
+	}
+	srv := vb.Cluster.Server(server)
+	vms := srv.VMs()
+	classes := make([]tcshape.Class, len(vms))
+	probe := -1
+	for i, vm := range vms {
+		classes[i] = tcshape.Class{
+			Rate:   vm.Reservation.BandwidthMbps,
+			Ceil:   vm.Limit.BandwidthMbps,
+			Demand: vm.Demand.BandwidthMbps,
+		}
+		if vm.ID == id {
+			classes[i].Demand = vm.Limit.BandwidthMbps
+			probe = i
+		}
+	}
+	if probe < 0 {
+		return 0
+	}
+	return tcshape.Allocate(srv.Capacity.BandwidthMbps, classes)[probe]
+}
+
+// PlacementQuality reports the locality of the current placement (Fig. 7/8).
+func (vb *VBundle) PlacementQuality() placement.QualityReport {
+	return placement.Quality(vb.Cluster)
+}

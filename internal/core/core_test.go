@@ -1,0 +1,252 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/placement"
+	"vbundle/internal/topology"
+	"vbundle/internal/workload"
+)
+
+func smallSpec(racks, perRack int) topology.Spec {
+	return topology.Spec{
+		Racks:            racks,
+		ServersPerRack:   perRack,
+		RacksPerPod:      4,
+		NICMbps:          1000,
+		Oversubscription: 8,
+		LANHop:           time.Millisecond,
+		LocalDelivery:    10 * time.Microsecond,
+	}
+}
+
+func bwRes(mbps float64) cluster.Resources {
+	return cluster.Resources{CPU: 1, MemMB: 128, BandwidthMbps: mbps}
+}
+
+func TestNewWithDefaultsBuildsPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3000-node ring build in -short mode")
+	}
+	vb, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb.Topo.Servers() != 3010 {
+		t.Fatalf("servers = %d", vb.Topo.Servers())
+	}
+	if vb.Placer.Name() != "vbundle-dht" {
+		t.Fatalf("engine = %s", vb.Placer.Name())
+	}
+}
+
+func TestBootVMPlacesThroughDHT(t *testing.T) {
+	vb, err := New(Options{Topology: smallSpec(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, res, err := vb.BootVM("IBM", bwRes(100), bwRes(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loc, placed := vb.Cluster.LocationOf(vm.ID)
+	if !placed || loc != res.Server {
+		t.Fatalf("vm at %d (placed=%v), result says %d", loc, placed, res.Server)
+	}
+	// Same customer's next VMs co-locate.
+	for i := 0; i < 5; i++ {
+		_, r2, err := vb.BootVM("IBM", bwRes(100), bwRes(200))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vb.Topo.SameRack(res.Server, r2.Server) {
+			t.Errorf("vm %d landed in another rack (%d vs %d)", i, r2.Server, res.Server)
+		}
+	}
+}
+
+func TestEngineSelection(t *testing.T) {
+	for kind, name := range map[EngineKind]string{
+		EngineDHT:    "vbundle-dht",
+		EngineGreedy: "greedy",
+		EngineRandom: "random",
+	} {
+		vb, err := New(Options{Topology: smallSpec(2, 2), Engine: kind})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vb.Placer.Name() != name {
+			t.Errorf("kind %v -> %s, want %s", kind, vb.Placer.Name(), name)
+		}
+		if kind.String() != name {
+			t.Errorf("String() = %s", kind.String())
+		}
+	}
+	if _, err := New(Options{Topology: smallSpec(1, 1), Engine: EngineKind(99)}); err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+}
+
+func TestProtocolJoinOption(t *testing.T) {
+	vb, err := New(Options{Topology: smallSpec(2, 4), ProtocolJoin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range vb.Ring.Nodes() {
+		if !n.Joined() {
+			t.Fatalf("node %d not joined", i)
+		}
+	}
+	if _, _, err := vb.BootVM("A", bwRes(10), bwRes(20)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEndToEndRebalancingImprovesBalance(t *testing.T) {
+	vb, err := New(Options{Topology: smallSpec(4, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vb.Rebalancer.Config()
+	_ = cfg
+	// Boot 6 VMs per server region for one customer; then skew demand.
+	var vms []*cluster.VM
+	for i := 0; i < 48; i++ {
+		vm, _, err := vb.BootVM("Tenant", bwRes(50), bwRes(1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		vms = append(vms, vm)
+	}
+	// Skew: VMs on the most loaded server spike; attach generators.
+	for i, vm := range vms {
+		if i%3 == 0 {
+			vb.Workloads.Attach(vm.ID, workload.Flat(600))
+		} else {
+			vb.Workloads.Attach(vm.ID, workload.Flat(30))
+		}
+	}
+	vb.Workloads.Start(time.Minute)
+	before := vb.UtilizationStdDev()
+	vb.StartServices()
+	vb.RunFor(3 * time.Hour) // default intervals: 5m update, 25m rebalance
+	vb.StopServices()
+	vb.Workloads.Stop()
+	after := vb.UtilizationStdDev()
+	if after >= before {
+		t.Errorf("SD did not improve: %.4f -> %.4f", before, after)
+	}
+	rep := vb.BandwidthSatisfaction()
+	if rep.SatisfiedMbps > rep.DemandMbps+1e-6 {
+		t.Errorf("satisfied %.0f exceeds demand %.0f", rep.SatisfiedMbps, rep.DemandMbps)
+	}
+}
+
+func TestVMAllocationsRespectShaping(t *testing.T) {
+	vb, err := New(Options{Topology: smallSpec(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm1, res1, err := vb.BootVM("A", bwRes(100), bwRes(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm2, _, err := vb.BootVM("A", bwRes(100), bwRes(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm1.Demand.BandwidthMbps = 900
+	vm2.Demand.BandwidthMbps = 900
+	alloc := vb.VMAllocations(res1.Server)
+	var total float64
+	for _, a := range alloc {
+		total += a
+	}
+	if total > 1000+1e-9 {
+		t.Fatalf("allocations %v exceed NIC", alloc)
+	}
+	if alloc[vm1.ID] < 100 {
+		t.Fatalf("guarantee violated: %v", alloc)
+	}
+}
+
+func TestOptionsAccessorAndNow(t *testing.T) {
+	vb, err := New(Options{Topology: smallSpec(1, 2), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vb.Options().Seed != 3 {
+		t.Fatal("Options accessor lost the seed")
+	}
+	if vb.Now() != 0 {
+		t.Fatalf("fresh clock at %v", vb.Now())
+	}
+	vb.RunFor(time.Minute)
+	if vb.Now() != time.Minute {
+		t.Fatalf("Now = %v", vb.Now())
+	}
+}
+
+func TestBootVMAsync(t *testing.T) {
+	vb, err := New(Options{Topology: smallSpec(2, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, err := vb.Cluster.CreateVM("a", bwRes(10), bwRes(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	vb.BootVMAsync(vm, func(_ placement.Result, err error) {
+		if err != nil {
+			t.Errorf("async placement: %v", err)
+		}
+		done = true
+	})
+	vb.Engine.Run()
+	if !done {
+		t.Fatal("async callback never fired")
+	}
+	if _, placed := vb.Cluster.LocationOf(vm.ID); !placed {
+		t.Fatal("VM not placed")
+	}
+}
+
+func TestAvailableBandwidthProbe(t *testing.T) {
+	vb, err := New(Options{Topology: smallSpec(1, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog, _, err := vb.BootVM("a", bwRes(100), bwRes(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim, _, err := vb.BootVM("a", bwRes(100), bwRes(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hog.Demand.BandwidthMbps = 900
+	victim.Demand.BandwidthMbps = 10 // current demand tiny...
+	avail := vb.AvailableBandwidth(victim.ID)
+	// ...but the probe asks at the limit: guarantees 100 + equal surplus.
+	if avail < 100 {
+		t.Fatalf("available %.0f below guarantee", avail)
+	}
+	if avail > 1000 {
+		t.Fatalf("available %.0f above NIC", avail)
+	}
+	// Unplaced VM probes to zero.
+	ghost, _ := vb.Cluster.CreateVM("a", bwRes(1), bwRes(2))
+	if got := vb.AvailableBandwidth(ghost.ID); got != 0 {
+		t.Fatalf("unplaced available = %g", got)
+	}
+}
+
+func TestBandwidthReportGap(t *testing.T) {
+	r := BandwidthReport{DemandMbps: 100, SatisfiedMbps: 80}
+	if r.Gap() != 20 {
+		t.Fatal("gap")
+	}
+}

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"vbundle/internal/metrics"
+	"vbundle/internal/report"
+)
+
+// Charts renders the placement outcome as one Fig. 7/8-style scatter per
+// wave, keyed by file stem.
+func (o *PlacementOutcome) Charts() map[string]*report.Chart {
+	out := make(map[string]*report.Chart)
+	for i, wave := range o.Waves {
+		title := fmt.Sprintf("VM/PM mappings after wave %d (%s)", i+1, o.Engine)
+		out[fmt.Sprintf("placement-wave%d-%s", i+1, o.Engine)] = report.FromScatter(title, wave.Snapshot)
+	}
+	return out
+}
+
+// Charts renders the rebalance outcome: the Fig. 9 utilization scatter, the
+// Fig. 10 SD series and the Fig. 11 demand/satisfied series.
+func (o *RebalanceOutcome) Charts() map[string]*report.Chart {
+	fig9 := report.FromUtilization(
+		fmt.Sprintf("utilization before/after rebalancing (threshold %.3g)", o.Params.Threshold),
+		o.Before, o.After)
+	fig10 := report.FromTimeSeries(
+		fmt.Sprintf("utilization SD over time (%d servers)", len(o.Before)),
+		"utilization standard deviation",
+		map[string]*metrics.TimeSeries{fmt.Sprintf("%d servers", len(o.Before)): &o.SD})
+	fig11 := report.FromTimeSeries(
+		"resource demand vs actually satisfied",
+		"bandwidth (Mbps)",
+		map[string]*metrics.TimeSeries{"demand": &o.Demand, "satisfied": &o.Satisfied})
+	return map[string]*report.Chart{
+		"fig9-utilization": fig9,
+		"fig10-sd":         fig10,
+		"fig11-satisfied":  fig11,
+	}
+}
+
+// Charts renders the QoS outcome: the Fig. 12 failed-call series and the
+// Fig. 13 response-time CDFs.
+func (o *QoSOutcome) Charts() map[string]*report.Chart {
+	fig12 := report.FromTimeSeries(
+		"SIPp failed calls over time", "failed calls per sample",
+		map[string]*metrics.TimeSeries{"failed calls": &o.FailedCalls})
+	fig13 := report.FromCDFs(
+		"SIPp response time CDF", "response time (ms)",
+		map[string]*metrics.CDF{"before rebalancing": &o.RTBefore, "after rebalancing": &o.RTAfter})
+	return map[string]*report.Chart{
+		"fig12-failed-calls": fig12,
+		"fig13-rt-cdf":       fig13,
+	}
+}
+
+// Charts renders the Fig. 14 latency sweep.
+func (o *AggLatencyOutcome) Charts() map[string]*report.Chart {
+	servers := make([]int, len(o.Points))
+	raw := make([]time.Duration, len(o.Points))
+	withIv := make([]time.Duration, len(o.Points))
+	for i, pt := range o.Points {
+		servers[i] = pt.Servers
+		raw[i] = pt.RawMean
+		withIv[i] = pt.WithInterval
+	}
+	return map[string]*report.Chart{
+		"fig14-agg-latency": report.FromLatencySweep(
+			"aggregation latency vs number of servers", servers,
+			map[string][]time.Duration{
+				"without updating interval": raw,
+				"adding updating interval":  withIv,
+			}),
+	}
+}
+
+// Charts renders the Fig. 15 message-overhead CDFs.
+func (o *MessageOverheadOutcome) Charts() map[string]*report.Chart {
+	named := make(map[string]*metrics.CDF, len(o.Points))
+	for i := range o.Points {
+		named[fmt.Sprintf("%d servers", o.Points[i].Servers)] = &o.Points[i].Msgs
+	}
+	return map[string]*report.Chart{
+		"fig15-msgs-per-round": report.FromCDFs(
+			"per-host messages per round", "messages per round", named),
+	}
+}
+
+// WriteJSON marshals an experiment outcome (indented) into path, for
+// downstream analysis outside Go.
+func WriteJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}
+
+// WriteSVGs renders every chart into dir as <stem>.svg files.
+func WriteSVGs(dir string, charts map[string]*report.Chart) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for stem, chart := range charts {
+		path := filepath.Join(dir, stem+".svg")
+		if err := os.WriteFile(path, []byte(chart.Render()), 0o644); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	return nil
+}

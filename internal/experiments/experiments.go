@@ -1,0 +1,58 @@
+// Package experiments contains one reproduction harness per table and
+// figure of the paper's evaluation (§IV simulated experiments, §V testbed
+// experiments). Each harness builds the full v-Bundle stack through the
+// core package, runs the workload the paper describes, and renders the same
+// rows or series the paper reports. The command-line tools under cmd/ and
+// the benchmark suite in bench_test.go are thin wrappers over these
+// harnesses.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vbundle/internal/topology"
+)
+
+// PaperSpec returns the simulated datacenter of §IV: ≈3000 servers across
+// 70 racks, 1 Gbps NICs, 8:1 oversubscription.
+func PaperSpec() topology.Spec { return topology.DefaultSpec() }
+
+// ScaledSpec returns a topology with approximately the requested number of
+// servers, keeping the paper's rack width where possible. Small counts get
+// proportionally smaller racks so experiments remain meaningful.
+func ScaledSpec(servers int) topology.Spec {
+	spec := topology.DefaultSpec()
+	perRack := spec.ServersPerRack
+	if servers < 4*perRack {
+		perRack = (servers + 3) / 4
+		if perRack < 1 {
+			perRack = 1
+		}
+	}
+	racks := (servers + perRack - 1) / perRack
+	if racks < 1 {
+		racks = 1
+	}
+	spec.ServersPerRack = perRack
+	spec.Racks = racks
+	if spec.RacksPerPod > racks {
+		spec.RacksPerPod = racks
+	}
+	return spec
+}
+
+// Customers are the five tenants of Fig. 7/8.
+var Customers = []string{"Accolade", "Beenox", "Crystal", "Deck13", "Epyx"}
+
+// writeHeader prints a uniform experiment banner.
+func writeHeader(w io.Writer, id, title string) {
+	fmt.Fprintf(w, "== %s: %s ==\n", id, title)
+}
+
+// fmtDur prints a duration in minutes with one decimal, the unit of the
+// paper's time axes.
+func fmtDur(d time.Duration) string {
+	return fmt.Sprintf("%.1fmin", d.Minutes())
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vbundle/internal/aggregation"
+	"vbundle/internal/ids"
+	"vbundle/internal/pastry"
+	"vbundle/internal/scribe"
+	"vbundle/internal/sim"
+	"vbundle/internal/topology"
+)
+
+// AggLatencyParams configures the Fig. 14 experiment: leaf-to-root
+// aggregation latency as the ring grows 16 → 1024 servers.
+type AggLatencyParams struct {
+	// Sizes are the ring sizes to sweep; defaults to the paper's powers of
+	// two 16…1024.
+	Sizes []int
+	// UpdateInterval is the subscriber send period added to the raw
+	// propagation latency in the paper's upper curve (their figure shows
+	// a 30 s offset).
+	UpdateInterval time.Duration
+	// LANHop is the per-switch-level latency; the paper observes ≈10 ms.
+	LANHop time.Duration
+	// Seed drives randomness.
+	Seed int64
+}
+
+func (p AggLatencyParams) withDefaults() AggLatencyParams {
+	if len(p.Sizes) == 0 {
+		p.Sizes = []int{16, 32, 64, 128, 256, 512, 1024}
+	}
+	if p.UpdateInterval == 0 {
+		p.UpdateInterval = 30 * time.Second
+	}
+	if p.LANHop == 0 {
+		p.LANHop = 10 * time.Millisecond
+	}
+	return p
+}
+
+// AggLatencyPoint is one ring size's measurement.
+type AggLatencyPoint struct {
+	Servers int
+	// RawMean is the measured leaf-to-root propagation latency.
+	RawMean time.Duration
+	// RawMax is the slowest observed propagation.
+	RawMax time.Duration
+	// WithInterval adds one update interval (the paper's red curve).
+	WithInterval time.Duration
+	// TreeHeight is the maximum depth of the aggregation tree.
+	TreeHeight int
+}
+
+// AggLatencyOutcome is the Fig. 14 sweep.
+type AggLatencyOutcome struct {
+	Params AggLatencyParams
+	Points []AggLatencyPoint
+}
+
+// buildOverheadStack creates a ring with scribes and aggregation managers
+// for overhead measurements.
+func buildOverheadStack(servers int, lanHop time.Duration, seed int64) (*sim.Engine, *pastry.Ring, []*scribe.Scribe, []*aggregation.Manager, error) {
+	spec := ScaledSpec(servers)
+	spec.LANHop = lanHop
+	topo, err := topology.New(spec)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	engine := sim.NewEngine(seed)
+	ring := pastry.NewRing(engine, topo, pastry.Config{}, pastry.HierarchyAssigner)
+	ring.BuildStatic()
+	scribes := make([]*scribe.Scribe, ring.Size())
+	managers := make([]*aggregation.Manager, ring.Size())
+	for i, n := range ring.Nodes() {
+		scribes[i] = scribe.New(n)
+		managers[i] = aggregation.New(scribes[i], aggregation.Config{UpdateInterval: 5 * time.Minute})
+	}
+	return engine, ring, scribes, managers, nil
+}
+
+// RunAggLatency executes the Fig. 14 sweep.
+func RunAggLatency(p AggLatencyParams) (*AggLatencyOutcome, error) {
+	p = p.withDefaults()
+	out := &AggLatencyOutcome{Params: p}
+	const topic = "BW_Demand"
+	for _, n := range p.Sizes {
+		engine, _, scribes, managers, err := buildOverheadStack(n, p.LANHop, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range managers {
+			m.Subscribe(topic, nil)
+		}
+		engine.Run() // build the tree
+		// Every subscriber sends one update; measure propagation to root.
+		for _, m := range managers {
+			m.SetLocal(topic, 1)
+		}
+		engine.Run()
+		var raw []time.Duration
+		for _, m := range managers {
+			raw = append(raw, m.RootLatencies()...)
+		}
+		pt := AggLatencyPoint{Servers: n}
+		var sum time.Duration
+		for _, d := range raw {
+			sum += d
+			if d > pt.RawMax {
+				pt.RawMax = d
+			}
+		}
+		if len(raw) > 0 {
+			pt.RawMean = sum / time.Duration(len(raw))
+		}
+		pt.WithInterval = pt.RawMean + p.UpdateInterval
+		pt.TreeHeight = treeHeight(scribes, scribe.GroupKey(topic))
+		out.Points = append(out.Points, pt)
+	}
+	return out, nil
+}
+
+// treeHeight computes the depth of the Scribe tree rooted at the topic's
+// rendezvous node by breadth-first walk over the children edges.
+func treeHeight(scribes []*scribe.Scribe, group ids.Id) int {
+	byID := make(map[ids.Id]*scribe.Scribe, len(scribes))
+	var root *scribe.Scribe
+	for _, s := range scribes {
+		byID[s.Node().ID()] = s
+		if s.IsRoot(group) {
+			root = s
+		}
+	}
+	if root == nil {
+		return 0
+	}
+	type item struct {
+		s     *scribe.Scribe
+		depth int
+	}
+	queue := []item{{s: root}}
+	visited := map[ids.Id]bool{root.Node().ID(): true}
+	max := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur.depth > max {
+			max = cur.depth
+		}
+		for _, child := range cur.s.Children(group) {
+			cs, ok := byID[child.Id]
+			if !ok || visited[child.Id] {
+				continue
+			}
+			visited[child.Id] = true
+			queue = append(queue, item{s: cs, depth: cur.depth + 1})
+		}
+	}
+	return max
+}
+
+// AggLatencySlope estimates the added latency per doubling of the server
+// count — the paper's "increases linearly as servers increase
+// exponentially" observation.
+func (o *AggLatencyOutcome) AggLatencySlope() time.Duration {
+	if len(o.Points) < 2 {
+		return 0
+	}
+	first, last := o.Points[0], o.Points[len(o.Points)-1]
+	doublings := 0
+	for n := first.Servers; n < last.Servers; n *= 2 {
+		doublings++
+	}
+	if doublings == 0 {
+		return 0
+	}
+	return (last.RawMean - first.RawMean) / time.Duration(doublings)
+}
+
+// Report renders the Fig. 14 table.
+func (o *AggLatencyOutcome) Report(w io.Writer) {
+	writeHeader(w, "Fig 14", "leaf-to-root aggregation latency vs number of servers")
+	fmt.Fprintf(w, "%-8s %-12s %-12s %-14s %s\n", "servers", "raw mean", "raw max", "with interval", "tree height")
+	for _, pt := range o.Points {
+		fmt.Fprintf(w, "%-8d %-12s %-12s %-14s %d\n",
+			pt.Servers, ms(pt.RawMean), ms(pt.RawMax), ms(pt.WithInterval), pt.TreeHeight)
+	}
+	fmt.Fprintf(w, "latency added per server-count doubling: %s (paper: ≈linear, ~10ms per level)\n", ms(o.AggLatencySlope()))
+}
+
+func ms(d time.Duration) string { return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond)) }

@@ -1,0 +1,255 @@
+// Package metrics provides the small statistics toolkit the v-Bundle
+// experiments report with: running mean/stddev, empirical CDFs, fixed-bin
+// histograms, time series and labelled scatter snapshots matching the
+// paper's figures.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Stats accumulates running statistics using Welford's algorithm, which is
+// numerically stable for long runs.
+type Stats struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add folds one sample into the statistics.
+func (s *Stats) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// N returns the number of samples.
+func (s *Stats) N() int { return s.n }
+
+// Mean returns the sample mean (zero when empty).
+func (s *Stats) Mean() float64 { return s.mean }
+
+// Variance returns the population variance (zero for fewer than 2 samples).
+func (s *Stats) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Std returns the population standard deviation.
+func (s *Stats) Std() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest sample (zero when empty).
+func (s *Stats) Min() float64 { return s.min }
+
+// Max returns the largest sample (zero when empty).
+func (s *Stats) Max() float64 { return s.max }
+
+// StdOf is a convenience one-shot population standard deviation.
+func StdOf(values []float64) float64 {
+	var s Stats
+	for _, v := range values {
+		s.Add(v)
+	}
+	return s.Std()
+}
+
+// MeanOf is a convenience one-shot mean.
+func MeanOf(values []float64) float64 {
+	var s Stats
+	for _, v := range values {
+		s.Add(v)
+	}
+	return s.Mean()
+}
+
+// CDF is an empirical cumulative distribution over collected samples.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add appends a sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// AddDuration appends a duration sample in milliseconds.
+func (c *CDF) AddDuration(d time.Duration) {
+	c.Add(float64(d) / float64(time.Millisecond))
+}
+
+// N returns the number of samples.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns the fraction of samples less than or equal to x.
+func (c *CDF) At(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	idx := sort.SearchFloat64s(c.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.samples))
+}
+
+// Quantile returns the p-quantile (0 <= p <= 1) by nearest-rank.
+func (c *CDF) Quantile(p float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	if p <= 0 {
+		return c.samples[0]
+	}
+	if p >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(c.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.samples[rank]
+}
+
+// Points returns the (value, cumulative fraction) curve at each distinct
+// sample, suitable for plotting.
+func (c *CDF) Points() []Point {
+	if len(c.samples) == 0 {
+		return nil
+	}
+	c.ensureSorted()
+	var pts []Point
+	n := float64(len(c.samples))
+	for i, v := range c.samples {
+		if i+1 < len(c.samples) && c.samples[i+1] == v {
+			continue // keep only the last occurrence of each value
+		}
+		pts = append(pts, Point{X: v, Y: float64(i+1) / n})
+	}
+	return pts
+}
+
+// Point is one (x, y) pair.
+type Point struct{ X, Y float64 }
+
+// TimeSeries records (virtual time, value) pairs.
+type TimeSeries struct {
+	points []TimePoint
+}
+
+// TimePoint is a timestamped sample.
+type TimePoint struct {
+	T time.Duration
+	V float64
+}
+
+// Add appends a sample; timestamps should be non-decreasing.
+func (ts *TimeSeries) Add(t time.Duration, v float64) {
+	ts.points = append(ts.points, TimePoint{T: t, V: v})
+}
+
+// Points returns the recorded samples.
+func (ts *TimeSeries) Points() []TimePoint { return ts.points }
+
+// N returns the number of samples.
+func (ts *TimeSeries) N() int { return len(ts.points) }
+
+// Last returns the most recent sample.
+func (ts *TimeSeries) Last() (TimePoint, bool) {
+	if len(ts.points) == 0 {
+		return TimePoint{}, false
+	}
+	return ts.points[len(ts.points)-1], true
+}
+
+// Histogram counts samples in fixed-width bins over [Lo, Hi); samples
+// outside the range land in the edge bins.
+type Histogram struct {
+	Lo, Hi float64
+	counts []int
+	n      int
+}
+
+// NewHistogram creates a histogram with the given range and bin count.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("metrics: invalid histogram [%g,%g)/%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, counts: make([]int, bins)}
+}
+
+// Add counts one sample.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.Lo) / (h.Hi - h.Lo) * float64(len(h.counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.n++
+}
+
+// Counts returns the per-bin counts.
+func (h *Histogram) Counts() []int { return append([]int(nil), h.counts...) }
+
+// N returns the total number of samples.
+func (h *Histogram) N() int { return h.n }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.counts))
+	return h.Lo + w*(float64(i)+0.5)
+}
+
+// ScatterPoint is one dot of a labelled scatter plot (paper Figs. 7–9).
+type ScatterPoint struct {
+	X, Y   float64
+	Series string
+}
+
+// Scatter collects labelled points.
+type Scatter struct {
+	points []ScatterPoint
+}
+
+// Add appends a point.
+func (s *Scatter) Add(x, y float64, series string) {
+	s.points = append(s.points, ScatterPoint{X: x, Y: y, Series: series})
+}
+
+// Points returns all points.
+func (s *Scatter) Points() []ScatterPoint { return s.points }
+
+// BySeries groups points by label.
+func (s *Scatter) BySeries() map[string][]ScatterPoint {
+	out := make(map[string][]ScatterPoint)
+	for _, p := range s.points {
+		out[p.Series] = append(out[p.Series], p)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStatsKnownValues(t *testing.T) {
+	var s Stats
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %g", s.Mean())
+	}
+	if math.Abs(s.Std()-2) > 1e-12 {
+		t.Fatalf("Std = %g, want 2", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestStatsEmptyAndSingle(t *testing.T) {
+	var s Stats
+	if s.Mean() != 0 || s.Std() != 0 || s.N() != 0 {
+		t.Fatal("empty stats not zero")
+	}
+	s.Add(42)
+	if s.Mean() != 42 || s.Std() != 0 || s.Min() != 42 || s.Max() != 42 {
+		t.Fatal("single-sample stats wrong")
+	}
+}
+
+func TestStatsMatchesNaiveComputation(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var s Stats
+		var sum float64
+		for _, r := range raw {
+			v := float64(r)
+			s.Add(v)
+			sum += v
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, r := range raw {
+			d := float64(r) - mean
+			ss += d * d
+		}
+		want := math.Sqrt(ss / float64(len(raw)))
+		return math.Abs(s.Std()-want) < 1e-6*(1+want) && math.Abs(s.Mean()-mean) < 1e-9*(1+math.Abs(mean))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{1, 2, 2, 3, 10} {
+		c.Add(v)
+	}
+	if got := c.At(0); got != 0 {
+		t.Errorf("At(0) = %g", got)
+	}
+	if got := c.At(2); got != 0.6 {
+		t.Errorf("At(2) = %g, want 0.6", got)
+	}
+	if got := c.At(100); got != 1 {
+		t.Errorf("At(100) = %g", got)
+	}
+	if got := c.Quantile(0.5); got != 2 {
+		t.Errorf("median = %g, want 2", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Errorf("q0 = %g", got)
+	}
+	if got := c.Quantile(1); got != 10 {
+		t.Errorf("q1 = %g", got)
+	}
+	pts := c.Points()
+	if len(pts) != 4 { // distinct values 1,2,3,10
+		t.Fatalf("points = %v", pts)
+	}
+	if pts[1].X != 2 || pts[1].Y != 0.6 {
+		t.Fatalf("pts[1] = %+v", pts[1])
+	}
+}
+
+func TestCDFEmptyAndDuration(t *testing.T) {
+	var c CDF
+	if c.At(5) != 0 || c.Quantile(0.5) != 0 || c.Points() != nil {
+		t.Fatal("empty CDF not zero-valued")
+	}
+	c.AddDuration(20 * time.Millisecond)
+	if c.Quantile(1) != 20 {
+		t.Fatalf("duration sample = %g ms", c.Quantile(1))
+	}
+}
+
+func TestCDFQuantileMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var c CDF
+	for i := 0; i < 500; i++ {
+		c.Add(rng.NormFloat64())
+	}
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := c.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone at p=%g", p)
+		}
+		prev = q
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	var ts TimeSeries
+	if _, ok := ts.Last(); ok {
+		t.Fatal("empty Last ok")
+	}
+	ts.Add(time.Second, 1)
+	ts.Add(2*time.Second, 5)
+	if ts.N() != 2 {
+		t.Fatalf("N = %d", ts.N())
+	}
+	last, ok := ts.Last()
+	if !ok || last.V != 5 || last.T != 2*time.Second {
+		t.Fatalf("Last = %+v", last)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-1, 0, 1.9, 2, 5, 9.9, 10, 42} {
+		h.Add(v)
+	}
+	counts := h.Counts()
+	// bins: [0,2) [2,4) [4,6) [6,8) [8,10); out-of-range clamps to edges:
+	// bin0 {-1, 0, 1.9}, bin1 {2}, bin2 {5}, bin4 {9.9, 10, 42}.
+	want := []int{3, 1, 1, 0, 3}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if h.N() != 8 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.BinCenter(0) != 1 || h.BinCenter(4) != 9 {
+		t.Fatalf("bin centers: %g %g", h.BinCenter(0), h.BinCenter(4))
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestScatter(t *testing.T) {
+	var s Scatter
+	s.Add(1, 2, "a")
+	s.Add(3, 4, "b")
+	s.Add(5, 6, "a")
+	if len(s.Points()) != 3 {
+		t.Fatal("points lost")
+	}
+	by := s.BySeries()
+	if len(by["a"]) != 2 || len(by["b"]) != 1 {
+		t.Fatalf("BySeries = %v", by)
+	}
+}
+
+func TestOneShotHelpers(t *testing.T) {
+	vals := []float64{1, 2, 3, 4}
+	if MeanOf(vals) != 2.5 {
+		t.Fatalf("MeanOf = %g", MeanOf(vals))
+	}
+	if math.Abs(StdOf(vals)-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("StdOf = %g", StdOf(vals))
+	}
+}

@@ -1,0 +1,191 @@
+// Package migration models VM migration as v-Bundle uses it (§V.B): live
+// migration keeps the instance running while its memory is copied to the
+// destination (shared storage over NFS means only memory moves), cold
+// migration pauses, saves and restores it. The rebalancer only needs the
+// cost semantics — how long a migration takes, how much traffic it creates,
+// and whether the destination can still admit the VM when it lands.
+package migration
+
+import (
+	"fmt"
+	"time"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/sim"
+)
+
+// Mode selects how the VM is moved.
+type Mode int
+
+// Migration modes.
+const (
+	// Live keeps the VM running; cost is iterative memory copy plus a
+	// short stop-and-copy downtime.
+	Live Mode = iota + 1
+	// Cold suspends the VM for the whole transfer.
+	Cold
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Live:
+		return "live"
+	case Cold:
+		return "cold"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config tunes the migration cost model.
+type Config struct {
+	// LinkMbps is the bandwidth available to the migration stream.
+	// Defaults to 1000 (the testbed's GbE).
+	LinkMbps float64
+	// LiveDirtyFactor inflates the copied volume for live migration's
+	// iterative pre-copy rounds. Defaults to 1.3.
+	LiveDirtyFactor float64
+	// LiveDowntime is the stop-and-copy pause of a live migration.
+	// Defaults to 60ms.
+	LiveDowntime time.Duration
+	// ColdOverhead is the suspend/restore overhead of a cold migration.
+	// Defaults to 2s.
+	ColdOverhead time.Duration
+	// AccountBandwidth charges the migration stream to the source and
+	// destination NICs for the transfer duration. The paper's Fig. 10
+	// simulation explicitly ignores this cost ("we ignore that migration
+	// itself consumes bandwidth"); enabling it quantifies the
+	// simplification.
+	AccountBandwidth bool
+}
+
+// Normalized returns the config with every unset field replaced by its
+// default, so cost models built on top see the same numbers the manager
+// uses.
+func (c Config) Normalized() Config { return c.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.LinkMbps == 0 {
+		c.LinkMbps = 1000
+	}
+	if c.LiveDirtyFactor == 0 {
+		c.LiveDirtyFactor = 1.3
+	}
+	if c.LiveDowntime == 0 {
+		c.LiveDowntime = 60 * time.Millisecond
+	}
+	if c.ColdOverhead == 0 {
+		c.ColdOverhead = 2 * time.Second
+	}
+	return c
+}
+
+// Duration returns how long moving memMB of guest memory takes.
+func (c Config) Duration(memMB float64, mode Mode) time.Duration {
+	bits := memMB * 8e6 // MB -> Mb (decimal, matching Mbps)
+	if mode == Live {
+		bits *= c.LiveDirtyFactor
+	}
+	seconds := bits / (c.LinkMbps * 1e6)
+	d := time.Duration(seconds * float64(time.Second))
+	if mode == Live {
+		return d + c.LiveDowntime
+	}
+	return d + c.ColdOverhead
+}
+
+// Stats summarizes completed migrations.
+type Stats struct {
+	Started   int
+	Completed int
+	Failed    int
+	// MovedMemMB is the guest memory moved by completed migrations.
+	MovedMemMB float64
+	// BusyTime is the summed transfer duration of completed migrations.
+	BusyTime time.Duration
+}
+
+// Manager executes migrations on a cluster over virtual time.
+type Manager struct {
+	engine  *sim.Engine
+	cluster *cluster.Cluster
+	cfg     Config
+	stats   Stats
+	// inFlight counts migrations per VM so a VM is never moved twice
+	// concurrently.
+	inFlight map[cluster.VMID]bool
+}
+
+// New creates a migration manager.
+func New(engine *sim.Engine, cl *cluster.Cluster, cfg Config) *Manager {
+	return &Manager{
+		engine:   engine,
+		cluster:  cl,
+		cfg:      cfg.withDefaults(),
+		inFlight: make(map[cluster.VMID]bool),
+	}
+}
+
+// Config returns the effective configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns a copy of the migration counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// InFlight reports whether the VM is currently migrating.
+func (m *Manager) InFlight(id cluster.VMID) bool { return m.inFlight[id] }
+
+// Migrate starts moving the VM to server dst. onDone, if non-nil, is called
+// when the migration completes or fails; a nil error means the VM now runs
+// on dst. The call itself fails fast (synchronously returned error) when
+// the VM is unknown, unplaced, already migrating, or the destination cannot
+// admit it right now.
+func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error)) error {
+	vm := m.cluster.VM(id)
+	if vm == nil {
+		return fmt.Errorf("migration: unknown vm %d", id)
+	}
+	src, placed := m.cluster.LocationOf(id)
+	if !placed {
+		return fmt.Errorf("migration: vm %d is not placed", id)
+	}
+	if m.inFlight[id] {
+		return fmt.Errorf("migration: vm %d already migrating", id)
+	}
+	if src == dst {
+		return fmt.Errorf("migration: vm %d already on server %d", id, dst)
+	}
+	if !m.cluster.Server(dst).CanAdmit(vm) {
+		return fmt.Errorf("migration: server %d cannot admit vm %d", dst, id)
+	}
+	m.inFlight[id] = true
+	m.stats.Started++
+	d := m.cfg.Duration(vm.Reservation.MemMB, mode)
+	if m.cfg.AccountBandwidth {
+		// The stream saturates its share of both NICs for the transfer.
+		m.cluster.Server(src).AddExternalBW(m.cfg.LinkMbps)
+		m.cluster.Server(dst).AddExternalBW(m.cfg.LinkMbps)
+	}
+	m.engine.After(d, func() {
+		if m.cfg.AccountBandwidth {
+			m.cluster.Server(src).AddExternalBW(-m.cfg.LinkMbps)
+			m.cluster.Server(dst).AddExternalBW(-m.cfg.LinkMbps)
+		}
+		delete(m.inFlight, id)
+		// Re-check admission at arrival: capacity may have been consumed
+		// by a concurrent migration.
+		err := m.cluster.Migrate(id, dst)
+		if err != nil {
+			m.stats.Failed++
+		} else {
+			m.stats.Completed++
+			m.stats.MovedMemMB += vm.Reservation.MemMB
+			m.stats.BusyTime += d
+		}
+		if onDone != nil {
+			onDone(err)
+		}
+	})
+	return nil
+}

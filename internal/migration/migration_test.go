@@ -1,0 +1,212 @@
+package migration
+
+import (
+	"testing"
+	"time"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/sim"
+	"vbundle/internal/topology"
+)
+
+func newWorld(t *testing.T) (*sim.Engine, *cluster.Cluster, *Manager) {
+	t.Helper()
+	tp, err := topology.New(topology.Spec{Racks: 2, ServersPerRack: 2, NICMbps: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.NewEngine(1)
+	cl := cluster.New(tp, cluster.Resources{CPU: 16, MemMB: 4096})
+	return engine, cl, New(engine, cl, Config{})
+}
+
+func res(memMB, bwMbps float64) cluster.Resources {
+	return cluster.Resources{CPU: 1, MemMB: memMB, BandwidthMbps: bwMbps}
+}
+
+func TestDurationModel(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	// 128 MB at 1000 Mbps: 128*8e6 / 1e9 ≈ 1.024 s for cold (plus 2s
+	// overhead), ×1.3 for live (plus 60ms downtime).
+	cold := cfg.Duration(128, Cold)
+	if want := time.Duration(1.024*float64(time.Second)) + 2*time.Second; cold != want {
+		t.Errorf("cold = %v, want %v", cold, want)
+	}
+	live := cfg.Duration(128, Live)
+	if want := time.Duration(1.024*1.3*float64(time.Second)) + 60*time.Millisecond; live != want {
+		t.Errorf("live = %v, want %v", live, want)
+	}
+	if live >= cold {
+		t.Errorf("live (%v) should be faster than cold (%v) for small memory", live, cold)
+	}
+}
+
+func TestMigrateMovesVM(t *testing.T) {
+	engine, cl, mgr := newWorld(t)
+	vm, _ := cl.CreateVM("a", res(128, 50), res(128, 100))
+	if err := cl.Place(vm, 0); err != nil {
+		t.Fatal(err)
+	}
+	var done error = errSentinel
+	if err := mgr.Migrate(vm.ID, 3, Live, func(err error) { done = err }); err != nil {
+		t.Fatal(err)
+	}
+	if !mgr.InFlight(vm.ID) {
+		t.Fatal("not marked in flight")
+	}
+	// VM stays at the source until the migration completes.
+	if loc, _ := cl.LocationOf(vm.ID); loc != 0 {
+		t.Fatal("VM moved before completion")
+	}
+	engine.Run()
+	if done != nil {
+		t.Fatalf("onDone: %v", done)
+	}
+	if loc, _ := cl.LocationOf(vm.ID); loc != 3 {
+		t.Fatalf("VM at %d, want 3", loc)
+	}
+	st := mgr.Stats()
+	if st.Started != 1 || st.Completed != 1 || st.Failed != 0 || st.MovedMemMB != 128 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if mgr.InFlight(vm.ID) {
+		t.Fatal("still in flight after completion")
+	}
+}
+
+var errSentinel = &sentinelError{}
+
+type sentinelError struct{}
+
+func (*sentinelError) Error() string { return "sentinel" }
+
+func TestMigrateFastFailures(t *testing.T) {
+	_, cl, mgr := newWorld(t)
+	vm, _ := cl.CreateVM("a", res(128, 50), res(128, 100))
+	if err := mgr.Migrate(vm.ID, 1, Live, nil); err == nil {
+		t.Fatal("unplaced VM migrated")
+	}
+	if err := cl.Place(vm, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Migrate(vm.ID, 0, Live, nil); err == nil {
+		t.Fatal("self-migration accepted")
+	}
+	if err := mgr.Migrate(cluster.VMID(999), 1, Live, nil); err == nil {
+		t.Fatal("unknown VM migrated")
+	}
+	// Fill destination so it cannot admit.
+	for i := 0; i < 8; i++ {
+		b, _ := cl.CreateVM("b", res(1, 50), res(1, 50))
+		if err := cl.Place(b, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mgr.Migrate(vm.ID, 1, Live, nil); err == nil {
+		t.Fatal("migration to full server accepted")
+	}
+	// Double migration rejected while in flight.
+	if err := mgr.Migrate(vm.ID, 2, Live, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Migrate(vm.ID, 3, Live, nil); err == nil {
+		t.Fatal("concurrent migration accepted")
+	}
+}
+
+func TestMigrateRaceFailsAtArrival(t *testing.T) {
+	engine, cl, mgr := newWorld(t)
+	// Two VMs race to the same destination whose capacity fits only one.
+	vm1, _ := cl.CreateVM("a", res(128, 250), res(128, 250))
+	vm2, _ := cl.CreateVM("a", res(128, 250), res(128, 250))
+	if err := cl.Place(vm1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Place(vm2, 1); err != nil {
+		t.Fatal(err)
+	}
+	var errs []error
+	if err := mgr.Migrate(vm1.ID, 2, Live, func(err error) { errs = append(errs, err) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Migrate(vm2.ID, 2, Live, func(err error) { errs = append(errs, err) }); err != nil {
+		t.Fatal(err)
+	}
+	engine.Run()
+	if len(errs) != 2 {
+		t.Fatalf("%d callbacks", len(errs))
+	}
+	ok, failed := 0, 0
+	for _, err := range errs {
+		if err == nil {
+			ok++
+		} else {
+			failed++
+		}
+	}
+	if ok != 1 || failed != 1 {
+		t.Fatalf("ok=%d failed=%d, want exactly one of each", ok, failed)
+	}
+	st := mgr.Stats()
+	if st.Completed != 1 || st.Failed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestAccountBandwidthChargesBothNICs(t *testing.T) {
+	tp, err := topology.New(topology.Spec{Racks: 2, ServersPerRack: 2, NICMbps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.NewEngine(1)
+	cl := cluster.New(tp, cluster.Resources{CPU: 16, MemMB: 4096})
+	mgr := New(engine, cl, Config{AccountBandwidth: true})
+	vm, _ := cl.CreateVM("a", res(512, 50), res(512, 100))
+	if err := cl.Place(vm, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Migrate(vm.ID, 3, Live, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-transfer: both NICs carry the stream.
+	engine.RunFor(time.Second)
+	if got := cl.Server(0).ExternalBW(); got != 1000 {
+		t.Fatalf("source external = %g, want 1000", got)
+	}
+	if got := cl.Server(3).ExternalBW(); got != 1000 {
+		t.Fatalf("dest external = %g, want 1000", got)
+	}
+	if cl.Server(0).DemandBW() < 1000 {
+		t.Fatal("migration stream not visible in DemandBW")
+	}
+	// After completion the charge is released.
+	engine.Run()
+	if cl.Server(0).ExternalBW() != 0 || cl.Server(3).ExternalBW() != 0 {
+		t.Fatal("external bandwidth not released")
+	}
+}
+
+func TestNoAccountingByDefault(t *testing.T) {
+	engine, cl, mgr := newWorld(t)
+	vm, _ := cl.CreateVM("a", res(512, 50), res(512, 100))
+	if err := cl.Place(vm, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Migrate(vm.ID, 2, Live, nil); err != nil {
+		t.Fatal(err)
+	}
+	engine.RunFor(time.Second)
+	if cl.Server(0).ExternalBW() != 0 {
+		t.Fatal("default config charged bandwidth")
+	}
+	engine.Run()
+}
+
+func TestModeString(t *testing.T) {
+	if Live.String() != "live" || Cold.String() != "cold" {
+		t.Fatal("mode names")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode empty")
+	}
+}

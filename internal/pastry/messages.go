@@ -1,0 +1,123 @@
+package pastry
+
+import (
+	"vbundle/internal/ids"
+	"vbundle/internal/simnet"
+)
+
+// envelope carries a key-routed application message one overlay hop.
+type envelope struct {
+	Key     ids.Id
+	App     string
+	Hops    int
+	Source  NodeHandle
+	Payload simnet.Message
+}
+
+// WireSize implements simnet.WireSizer.
+func (e *envelope) WireSize() int {
+	return ids.Bytes + len(e.App) + 4 + handleWireBytes + payloadSize(e.Payload)
+}
+
+// directEnvelope carries a point-to-point application message.
+type directEnvelope struct {
+	App     string
+	From    NodeHandle
+	Payload simnet.Message
+}
+
+// WireSize implements simnet.WireSizer.
+func (e *directEnvelope) WireSize() int {
+	return len(e.App) + handleWireBytes + payloadSize(e.Payload)
+}
+
+func payloadSize(p simnet.Message) int {
+	if ws, ok := p.(simnet.WireSizer); ok {
+		return ws.WireSize()
+	}
+	return simnet.DefaultWireSize
+}
+
+// joinForward routes a join request toward the joiner's own identifier,
+// accumulating routing-table rows from each node on the path.
+type joinForward struct {
+	Joiner NodeHandle
+	Hops   int
+	Rows   []NodeHandle // flattened entries harvested along the route
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *joinForward) WireSize() int {
+	return handleWireBytes*(1+len(m.Rows)) + 4
+}
+
+// joinReply is sent by the node numerically closest to the joiner; it
+// carries the accumulated routing state plus the closest node's leaf set.
+type joinReply struct {
+	From    NodeHandle
+	Rows    []NodeHandle
+	LeafCW  []NodeHandle
+	LeafCCW []NodeHandle
+	Hops    int
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *joinReply) WireSize() int {
+	return handleWireBytes*(1+len(m.Rows)+len(m.LeafCW)+len(m.LeafCCW)) + 4
+}
+
+// announce tells existing nodes about a freshly joined node so they can fold
+// it into their own tables.
+type announce struct {
+	From NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (announce) WireSize() int { return handleWireBytes }
+
+// leafExchange shares leaf-set contents between neighbors; Reply suppresses
+// the answering exchange to terminate the handshake.
+type leafExchange struct {
+	From  NodeHandle
+	CW    []NodeHandle
+	CCW   []NodeHandle
+	Reply bool
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *leafExchange) WireSize() int {
+	return handleWireBytes*(1+len(m.CW)+len(m.CCW)) + 1
+}
+
+// rtExchange shares one routing-table row between peers; the receiver folds
+// the entries in and (unless Reply) answers with its own row of the same
+// index, the periodic routing-table maintenance of Pastry §2.
+type rtExchange struct {
+	From    NodeHandle
+	Row     int
+	Entries []NodeHandle
+	Reply   bool
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *rtExchange) WireSize() int {
+	return handleWireBytes*(1+len(m.Entries)) + 4 + 1
+}
+
+// pingMsg probes a peer for liveness.
+type pingMsg struct {
+	Seq  uint64
+	From NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (pingMsg) WireSize() int { return 8 + handleWireBytes }
+
+// pongMsg answers a pingMsg.
+type pongMsg struct {
+	Seq  uint64
+	From NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (pongMsg) WireSize() int { return 8 + handleWireBytes }

@@ -1,0 +1,535 @@
+package pastry
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vbundle/internal/ids"
+	"vbundle/internal/sim"
+	"vbundle/internal/simnet"
+)
+
+// Node is one Pastry overlay participant. All methods must be called from
+// the simulation event loop (the engine is single-threaded).
+type Node struct {
+	cfg    Config
+	handle NodeHandle
+	net    *simnet.Network
+	engine *sim.Engine
+	prox   simnet.LatencyFunc
+
+	apps map[string]App
+
+	rt        []NodeHandle // rows*cols flattened; zero handle = empty slot
+	leafCW    []NodeHandle // successors, sorted by clockwise distance
+	leafCCW   []NodeHandle // predecessors, sorted by counter-clockwise distance
+	neighbors []NodeHandle // sorted by proximity to self
+
+	joined   bool
+	onJoined []func()
+
+	pingSeq      uint64
+	pendingPings map[uint64]func(alive bool)
+	onDead       []func(NodeHandle)
+	// suspicion counts consecutive failed probes per peer address; any
+	// received message clears it.
+	suspicion map[simnet.Addr]int
+
+	maintenance *sim.Ticker
+
+	// routeStats accumulates delivered-hops samples for overhead analysis.
+	deliveries int
+	totalHops  int
+}
+
+// NewNode creates a node with the given identifier at the given network
+// address and attaches it to the network. The node is not joined yet: call
+// Join (or let Ring.BuildStatic populate its tables).
+func NewNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox simnet.LatencyFunc) *Node {
+	cfg = cfg.withDefaults()
+	rt := make([]NodeHandle, cfg.rows()*cfg.cols())
+	for i := range rt {
+		rt[i] = NoHandle // the zero NodeHandle is a real node, not "empty"
+	}
+	n := &Node{
+		cfg:          cfg,
+		handle:       NodeHandle{Id: id, Addr: addr},
+		net:          net,
+		engine:       net.Engine(),
+		prox:         prox,
+		apps:         make(map[string]App),
+		rt:           rt,
+		pendingPings: make(map[uint64]func(bool)),
+		suspicion:    make(map[simnet.Addr]int),
+	}
+	net.Attach(addr, n)
+	return n
+}
+
+// Handle returns the node's identifier and address.
+func (n *Node) Handle() NodeHandle { return n.handle }
+
+// ID returns the node's ring identifier.
+func (n *Node) ID() ids.Id { return n.handle.Id }
+
+// Addr returns the node's network address.
+func (n *Node) Addr() simnet.Addr { return n.handle.Addr }
+
+// Config returns the node's effective configuration (defaults applied).
+func (n *Node) Config() Config { return n.cfg }
+
+// Engine returns the simulation engine driving the node.
+func (n *Node) Engine() *sim.Engine { return n.engine }
+
+// Network returns the transport the node is attached to.
+func (n *Node) Network() *simnet.Network { return n.net }
+
+// LatencyBetween returns the proximity-metric latency between two network
+// addresses; applications use it to rank candidates topologically.
+func (n *Node) LatencyBetween(a, b simnet.Addr) time.Duration { return n.prox(a, b) }
+
+// Register installs an application under the given name. Registering the
+// same name twice panics: it is always a wiring bug.
+func (n *Node) Register(name string, app App) {
+	if _, dup := n.apps[name]; dup {
+		panic(fmt.Sprintf("pastry: app %q registered twice on node %s", name, n.handle.Id.Short()))
+	}
+	n.apps[name] = app
+}
+
+// OnNodeDead subscribes fn to failure notifications: it is invoked whenever
+// this node declares a peer dead through probe timeouts.
+func (n *Node) OnNodeDead(fn func(NodeHandle)) {
+	n.onDead = append(n.onDead, fn)
+}
+
+// Joined reports whether the node has completed its join.
+func (n *Node) Joined() bool { return n.joined }
+
+// OnJoined registers fn to run once the node completes its join; if the
+// node is already joined, fn runs immediately.
+func (n *Node) OnJoined(fn func()) {
+	if n.joined {
+		fn()
+		return
+	}
+	n.onJoined = append(n.onJoined, fn)
+}
+
+func (n *Node) markJoined() {
+	if n.joined {
+		return
+	}
+	n.joined = true
+	for _, fn := range n.onJoined {
+		fn()
+	}
+	n.onJoined = nil
+}
+
+// --- table maintenance ---------------------------------------------------
+
+// rtSlot returns a pointer to routing-table row l, column d.
+func (n *Node) rtSlot(l, d int) *NodeHandle {
+	return &n.rt[l*n.cfg.cols()+d]
+}
+
+// RoutingTableEntry returns the entry at row l, column d, which is zero if
+// the slot is empty.
+func (n *Node) RoutingTableEntry(l, d int) NodeHandle { return *n.rtSlot(l, d) }
+
+// RoutingTableSize returns the number of populated routing-table slots.
+func (n *Node) RoutingTableSize() int {
+	var c int
+	for _, h := range n.rt {
+		if !h.IsNil() {
+			c++
+		}
+	}
+	return c
+}
+
+// Consider folds a discovered handle into the node's routing state: the
+// routing table (kept proximity-optimal), the leaf set, and the neighborhood
+// set. It is cheap and idempotent; every protocol message that carries
+// handles calls it opportunistically.
+func (n *Node) Consider(h NodeHandle) {
+	if h.IsNil() || h.Id == n.handle.Id {
+		return
+	}
+	n.rtInsert(h)
+	n.leafInsert(h)
+	n.neighborInsert(h)
+}
+
+func (n *Node) rtInsert(h NodeHandle) {
+	l := n.handle.Id.CommonPrefixLen(h.Id, n.cfg.B)
+	if l >= n.cfg.rows() {
+		return // identical identifier; cannot happen for distinct nodes
+	}
+	d := h.Id.DigitAt(l, n.cfg.B)
+	slot := n.rtSlot(l, d)
+	switch {
+	case slot.IsNil():
+		*slot = h
+	case slot.Id == h.Id:
+		// refresh address (no-op in simulation)
+		*slot = h
+	default:
+		// Keep the entry closer by network proximity (Pastry's locality
+		// heuristic).
+		if n.prox(n.handle.Addr, h.Addr) < n.prox(n.handle.Addr, slot.Addr) {
+			*slot = h
+		}
+	}
+}
+
+// cwDist is the clockwise distance from the local id to x.
+func (n *Node) cwDist(x ids.Id) ids.Id { return x.Sub(n.handle.Id) }
+
+// ccwDist is the counter-clockwise distance from the local id to x.
+func (n *Node) ccwDist(x ids.Id) ids.Id { return n.handle.Id.Sub(x) }
+
+func (n *Node) leafInsert(h NodeHandle) {
+	half := n.cfg.LeafSize / 2
+	n.leafCW = insertSortedByDist(n.leafCW, h, half, func(x ids.Id) ids.Id { return n.cwDist(x) })
+	n.leafCCW = insertSortedByDist(n.leafCCW, h, half, func(x ids.Id) ids.Id { return n.ccwDist(x) })
+}
+
+func insertSortedByDist(list []NodeHandle, h NodeHandle, max int, dist func(ids.Id) ids.Id) []NodeHandle {
+	d := dist(h.Id)
+	pos := sort.Search(len(list), func(i int) bool {
+		return !dist(list[i].Id).Less(d)
+	})
+	if pos < len(list) && list[pos].Id == h.Id {
+		return list // already present
+	}
+	list = append(list, NodeHandle{})
+	copy(list[pos+1:], list[pos:])
+	list[pos] = h
+	if len(list) > max {
+		list = list[:max]
+	}
+	return list
+}
+
+func (n *Node) neighborInsert(h NodeHandle) {
+	d := n.prox(n.handle.Addr, h.Addr)
+	pos := sort.Search(len(n.neighbors), func(i int) bool {
+		di := n.prox(n.handle.Addr, n.neighbors[i].Addr)
+		if di != d {
+			return di > d
+		}
+		// Proximity ties (same rack) break by ring closeness, keeping the
+		// neighborhood set deterministic.
+		return !ids.CloserTo(n.handle.Id, n.neighbors[i].Id, h.Id)
+	})
+	for _, nb := range n.neighbors {
+		if nb.Id == h.Id {
+			return
+		}
+	}
+	n.neighbors = append(n.neighbors, NodeHandle{})
+	copy(n.neighbors[pos+1:], n.neighbors[pos:])
+	n.neighbors[pos] = h
+	if len(n.neighbors) > n.cfg.NeighborhoodSize {
+		n.neighbors = n.neighbors[:n.cfg.NeighborhoodSize]
+	}
+}
+
+// Forget removes every trace of the given node from the local tables; it is
+// called when the peer is declared dead.
+func (n *Node) Forget(id ids.Id) {
+	for i := range n.rt {
+		if n.rt[i].Id == id {
+			n.rt[i] = NoHandle
+		}
+	}
+	n.leafCW = removeByID(n.leafCW, id)
+	n.leafCCW = removeByID(n.leafCCW, id)
+	n.neighbors = removeByID(n.neighbors, id)
+}
+
+func removeByID(list []NodeHandle, id ids.Id) []NodeHandle {
+	out := list[:0]
+	for _, h := range list {
+		if h.Id != id {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// LeafSet returns the node's leaf set: predecessors (counter-clockwise,
+// nearest first) and successors (clockwise, nearest first). The returned
+// slices are copies.
+func (n *Node) LeafSet() (ccw, cw []NodeHandle) {
+	ccw = append([]NodeHandle(nil), n.leafCCW...)
+	cw = append([]NodeHandle(nil), n.leafCW...)
+	return ccw, cw
+}
+
+// Neighborhood returns the proximity-based neighbor set, closest first.
+// The returned slice is a copy.
+func (n *Node) Neighborhood() []NodeHandle {
+	return append([]NodeHandle(nil), n.neighbors...)
+}
+
+// knownNodes calls fn for every distinct node the local tables reference.
+func (n *Node) knownNodes(fn func(NodeHandle)) {
+	seen := make(map[ids.Id]struct{})
+	visit := func(h NodeHandle) {
+		if h.IsNil() {
+			return
+		}
+		if _, ok := seen[h.Id]; ok {
+			return
+		}
+		seen[h.Id] = struct{}{}
+		fn(h)
+	}
+	for _, h := range n.rt {
+		visit(h)
+	}
+	for _, h := range n.leafCW {
+		visit(h)
+	}
+	for _, h := range n.leafCCW {
+		visit(h)
+	}
+	for _, h := range n.neighbors {
+		visit(h)
+	}
+}
+
+// --- message dispatch ------------------------------------------------------
+
+// HandleMessage implements simnet.Handler.
+func (n *Node) HandleMessage(from simnet.Addr, msg simnet.Message) {
+	delete(n.suspicion, from) // any traffic proves the peer alive
+	switch m := msg.(type) {
+	case *envelope:
+		n.Consider(m.Source)
+		n.routeEnvelope(m)
+	case *directEnvelope:
+		n.Consider(m.From)
+		if app, ok := n.apps[m.App]; ok {
+			app.HandleDirect(m.From, m.Payload)
+		}
+	case *joinForward:
+		n.handleJoinForward(m)
+	case *joinReply:
+		n.handleJoinReply(m)
+	case announce:
+		n.Consider(m.From)
+	case *leafExchange:
+		n.handleLeafExchange(m)
+	case *rtExchange:
+		n.handleRTExchange(m)
+	case pingMsg:
+		n.Consider(m.From)
+		n.net.Send(n.handle.Addr, m.From.Addr, pongMsg{Seq: m.Seq, From: n.handle})
+	case pongMsg:
+		n.Consider(m.From)
+		if cb, ok := n.pendingPings[m.Seq]; ok {
+			delete(n.pendingPings, m.Seq)
+			cb(true)
+		}
+	}
+}
+
+// SendDirect delivers payload to app on the node named by to, bypassing
+// key-based routing (one network hop).
+func (n *Node) SendDirect(to NodeHandle, app string, payload simnet.Message) {
+	n.net.Send(n.handle.Addr, to.Addr, &directEnvelope{App: app, From: n.handle, Payload: payload})
+}
+
+// Ping probes a peer and invokes cb with its liveness verdict after at most
+// the configured probe timeout.
+func (n *Node) Ping(to NodeHandle, cb func(alive bool)) {
+	n.pingSeq++
+	seq := n.pingSeq
+	n.pendingPings[seq] = cb
+	n.net.Send(n.handle.Addr, to.Addr, pingMsg{Seq: seq, From: n.handle})
+	n.engine.After(n.cfg.ProbeTimeout, func() {
+		if cb, ok := n.pendingPings[seq]; ok {
+			delete(n.pendingPings, seq)
+			cb(false)
+		}
+	})
+}
+
+// declareDead forgets the peer and tells subscribers, then starts leaf-set
+// repair if the peer occupied a leaf position.
+func (n *Node) declareDead(h NodeHandle) {
+	wasLeaf := containsID(n.leafCW, h.Id) || containsID(n.leafCCW, h.Id)
+	n.Forget(h.Id)
+	for _, fn := range n.onDead {
+		fn(h)
+	}
+	if wasLeaf {
+		n.repairLeafSet()
+	}
+}
+
+func containsID(list []NodeHandle, id ids.Id) bool {
+	for _, h := range list {
+		if h.Id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// repairLeafSet asks the farthest live leaf on each side for its leaf set,
+// the standard Pastry repair that refills holes left by failures.
+func (n *Node) repairLeafSet() {
+	req := &leafExchange{From: n.handle, CW: n.leafCW, CCW: n.leafCCW}
+	if len(n.leafCW) > 0 {
+		n.net.Send(n.handle.Addr, n.leafCW[len(n.leafCW)-1].Addr, req)
+	}
+	if len(n.leafCCW) > 0 {
+		n.net.Send(n.handle.Addr, n.leafCCW[len(n.leafCCW)-1].Addr, req)
+	}
+}
+
+func (n *Node) handleLeafExchange(m *leafExchange) {
+	n.Consider(m.From)
+	for _, h := range m.CW {
+		n.Consider(h)
+	}
+	for _, h := range m.CCW {
+		n.Consider(h)
+	}
+	if !m.Reply {
+		n.net.Send(n.handle.Addr, m.From.Addr, &leafExchange{
+			From: n.handle, CW: n.leafCW, CCW: n.leafCCW, Reply: true,
+		})
+	}
+}
+
+// StartMaintenance begins periodic leaf-set exchange and liveness probing.
+// It is idempotent.
+func (n *Node) StartMaintenance() {
+	if n.maintenance != nil {
+		return
+	}
+	n.maintenance = n.engine.Every(n.cfg.MaintenanceInterval, n.maintenanceRound)
+}
+
+// StopMaintenance halts periodic maintenance.
+func (n *Node) StopMaintenance() {
+	if n.maintenance != nil {
+		n.maintenance.Stop()
+		n.maintenance = nil
+	}
+}
+
+func (n *Node) maintenanceRound() {
+	// Exchange leaf sets with immediate ring neighbors to keep the ring
+	// consistent as membership changes.
+	if len(n.leafCW) > 0 {
+		n.net.Send(n.handle.Addr, n.leafCW[0].Addr, &leafExchange{From: n.handle, CW: n.leafCW, CCW: n.leafCCW})
+	}
+	if len(n.leafCCW) > 0 {
+		n.net.Send(n.handle.Addr, n.leafCCW[0].Addr, &leafExchange{From: n.handle, CW: n.leafCW, CCW: n.leafCCW})
+	}
+	// Exchange one routing-table row with a random entry of that row: the
+	// periodic routing-table maintenance that refreshes stale entries and
+	// spreads knowledge of failures beyond the leaf sets.
+	n.rtMaintenance()
+	// Probe a few random leaf-set members for liveness.
+	candidates := make([]NodeHandle, 0, len(n.leafCW)+len(n.leafCCW))
+	candidates = append(candidates, n.leafCW...)
+	candidates = append(candidates, n.leafCCW...)
+	if len(candidates) == 0 {
+		return
+	}
+	rng := n.engine.Rand()
+	for i := 0; i < n.cfg.ProbesPerRound && i < len(candidates); i++ {
+		n.probe(candidates[rng.Intn(len(candidates))])
+	}
+}
+
+// rtMaintenance picks a random populated routing-table row and swaps it
+// with a random peer from that row.
+func (n *Node) rtMaintenance() {
+	rng := n.engine.Rand()
+	rows := n.cfg.rows()
+	start := rng.Intn(rows)
+	for k := 0; k < rows; k++ {
+		row := (start + k) % rows
+		entries := n.rowEntries(row)
+		if len(entries) == 0 {
+			continue
+		}
+		peer := entries[rng.Intn(len(entries))]
+		n.net.Send(n.handle.Addr, peer.Addr, &rtExchange{
+			From: n.handle, Row: row, Entries: entries,
+		})
+		return
+	}
+}
+
+// rowEntries returns the populated entries of one routing-table row.
+func (n *Node) rowEntries(row int) []NodeHandle {
+	var out []NodeHandle
+	for col := 0; col < n.cfg.cols(); col++ {
+		if e := *n.rtSlot(row, col); !e.IsNil() {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func (n *Node) handleRTExchange(m *rtExchange) {
+	n.Consider(m.From)
+	for _, h := range m.Entries {
+		n.Consider(h)
+	}
+	if m.Reply {
+		return
+	}
+	if m.Row < 0 || m.Row >= n.cfg.rows() {
+		return
+	}
+	n.net.Send(n.handle.Addr, m.From.Addr, &rtExchange{
+		From: n.handle, Row: m.Row, Entries: n.rowEntries(m.Row), Reply: true,
+	})
+}
+
+// probe pings a peer; failures re-probe immediately until ProbeRetries
+// consecutive misses execute the death verdict, so the detector tolerates
+// heavy message loss while still catching real crashes within one round.
+func (n *Node) probe(target NodeHandle) {
+	n.Ping(target, func(alive bool) {
+		if alive {
+			delete(n.suspicion, target.Addr)
+			return
+		}
+		n.suspicion[target.Addr]++
+		if n.suspicion[target.Addr] >= n.cfg.ProbeRetries {
+			delete(n.suspicion, target.Addr)
+			n.declareDead(target)
+			return
+		}
+		n.probe(target)
+	})
+}
+
+// RouteStats returns the number of messages this node delivered as final
+// destination and the mean number of hops they travelled.
+func (n *Node) RouteStats() (deliveries int, meanHops float64) {
+	if n.deliveries == 0 {
+		return 0, 0
+	}
+	return n.deliveries, float64(n.totalHops) / float64(n.deliveries)
+}
+
+var _ simnet.Handler = (*Node)(nil)
+
+// String identifies the node in logs.
+func (n *Node) String() string {
+	return fmt.Sprintf("pastry[%s@%d]", n.handle.Id.Short(), n.handle.Addr)
+}

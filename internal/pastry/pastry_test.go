@@ -1,0 +1,627 @@
+package pastry
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"vbundle/internal/ids"
+	"vbundle/internal/sim"
+	"vbundle/internal/simnet"
+	"vbundle/internal/topology"
+)
+
+func testTopo(t *testing.T, racks, perRack int) *topology.Topology {
+	t.Helper()
+	tp, err := topology.New(topology.Spec{
+		Racks:            racks,
+		ServersPerRack:   perRack,
+		RacksPerPod:      2,
+		NICMbps:          1000,
+		Oversubscription: 8,
+		LANHop:           time.Millisecond,
+		LocalDelivery:    10 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	return tp
+}
+
+// collector records deliveries per key.
+type collector struct {
+	BaseApp
+	node      *Node
+	delivered map[ids.Id][]deliveryRec
+}
+
+type deliveryRec struct {
+	addr simnet.Addr
+	hops int
+}
+
+func newCollector(node *Node, sink map[ids.Id][]deliveryRec) *collector {
+	c := &collector{node: node, delivered: sink}
+	node.Register("test", c)
+	return c
+}
+
+func (c *collector) Deliver(key ids.Id, _ simnet.Message, info RouteInfo) {
+	c.delivered[key] = append(c.delivered[key], deliveryRec{addr: c.node.Addr(), hops: info.Hops})
+}
+
+func buildStaticRing(t *testing.T, racks, perRack int, assign IdAssigner) (*Ring, map[ids.Id][]deliveryRec) {
+	t.Helper()
+	engine := sim.NewEngine(42)
+	ring := NewRing(engine, testTopo(t, racks, perRack), Config{}, assign)
+	ring.BuildStatic()
+	sink := make(map[ids.Id][]deliveryRec)
+	for _, n := range ring.Nodes() {
+		newCollector(n, sink)
+	}
+	return ring, sink
+}
+
+func TestStaticRoutingReachesNumericallyClosest(t *testing.T) {
+	for _, assign := range []struct {
+		name string
+		fn   IdAssigner
+	}{
+		{"hierarchy", HierarchyAssigner},
+		{"random", RandomAssigner},
+	} {
+		t.Run(assign.name, func(t *testing.T) {
+			ring, sink := buildStaticRing(t, 8, 8, assign.fn)
+			rng := ring.Engine().Rand()
+			const trials = 200
+			keys := make([]ids.Id, trials)
+			for i := range keys {
+				keys[i] = ids.Random(rng)
+				src := ring.Node(rng.Intn(ring.Size()))
+				src.Route(keys[i], "test", fmt.Sprintf("m%d", i))
+			}
+			ring.Engine().Run()
+			for _, key := range keys {
+				recs := sink[key]
+				if len(recs) != 1 {
+					t.Fatalf("key %s delivered %d times", key.Short(), len(recs))
+				}
+				want := ring.ClosestLive(key)
+				if recs[0].addr != want.Addr() {
+					t.Errorf("key %s delivered at node %d, want %d", key.Short(), recs[0].addr, want.Addr())
+				}
+			}
+		})
+	}
+}
+
+func TestRoutingHopsLogarithmic(t *testing.T) {
+	ring, sink := buildStaticRing(t, 16, 16, RandomAssigner) // 256 nodes
+	rng := ring.Engine().Rand()
+	const trials = 300
+	for i := 0; i < trials; i++ {
+		key := ids.Random(rng)
+		ring.Node(rng.Intn(ring.Size())).Route(key, "test", i)
+	}
+	ring.Engine().Run()
+	var total, count, max int
+	for _, recs := range sink {
+		for _, r := range recs {
+			total += r.hops
+			count++
+			if r.hops > max {
+				max = r.hops
+			}
+		}
+	}
+	mean := float64(total) / float64(count)
+	// ceil(log_16 256) = 2; allow generous slack for leaf-set steps.
+	bound := math.Log(float64(ring.Size()))/math.Log(16) + 2
+	if mean > bound {
+		t.Errorf("mean hops %.2f exceeds %.2f for N=%d", mean, bound, ring.Size())
+	}
+	if max > 8 {
+		t.Errorf("max hops %d unexpectedly large", max)
+	}
+}
+
+func TestSelfRouteDeliversLocally(t *testing.T) {
+	ring, sink := buildStaticRing(t, 2, 4, HierarchyAssigner)
+	n := ring.Node(3)
+	n.Route(n.ID(), "test", "self")
+	ring.Engine().Run()
+	recs := sink[n.ID()]
+	if len(recs) != 1 || recs[0].addr != n.Addr() || recs[0].hops != 0 {
+		t.Fatalf("self route: %+v", recs)
+	}
+}
+
+func TestStaticLeafSetsAreRingNeighbors(t *testing.T) {
+	ring, _ := buildStaticRing(t, 4, 8, HierarchyAssigner)
+	// With hierarchy ids, node i's ring successor is node i+1 (mod N).
+	for i, n := range ring.Nodes() {
+		ccw, cw := n.LeafSet()
+		if len(cw) == 0 || len(ccw) == 0 {
+			t.Fatalf("node %d has empty leaf side", i)
+		}
+		wantCW := ring.Node((i + 1) % ring.Size()).ID()
+		wantCCW := ring.Node((i - 1 + ring.Size()) % ring.Size()).ID()
+		if cw[0].Id != wantCW {
+			t.Errorf("node %d successor = %s, want %s", i, cw[0].Id.Short(), wantCW.Short())
+		}
+		if ccw[0].Id != wantCCW {
+			t.Errorf("node %d predecessor = %s, want %s", i, ccw[0].Id.Short(), wantCCW.Short())
+		}
+		if len(cw) != 8 || len(ccw) != 8 {
+			t.Errorf("node %d leaf halves %d/%d, want 8/8", i, len(ccw), len(cw))
+		}
+	}
+}
+
+func TestRoutingTableEntriesHaveCorrectPrefix(t *testing.T) {
+	ring, _ := buildStaticRing(t, 8, 8, RandomAssigner)
+	for _, n := range ring.Nodes() {
+		cfg := n.Config()
+		for row := 0; row < cfg.rows(); row++ {
+			for col := 0; col < cfg.cols(); col++ {
+				e := n.RoutingTableEntry(row, col)
+				if e.IsNil() {
+					continue
+				}
+				if got := n.ID().CommonPrefixLen(e.Id, cfg.B); got != row {
+					t.Fatalf("node %s rt[%d][%d]=%s shares %d digits, want %d",
+						n.ID().Short(), row, col, e.Id.Short(), got, row)
+				}
+				if got := e.Id.DigitAt(row, cfg.B); got != col {
+					t.Fatalf("node %s rt[%d][%d]=%s digit %d, want %d",
+						n.ID().Short(), row, col, e.Id.Short(), got, col)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborhoodPrefersSameRack(t *testing.T) {
+	ring, _ := buildStaticRing(t, 4, 8, HierarchyAssigner)
+	topo := ring.Topology()
+	for i, n := range ring.Nodes() {
+		nb := n.Neighborhood()
+		if len(nb) == 0 {
+			t.Fatalf("node %d has empty neighborhood", i)
+		}
+		// The closest neighbor must share the rack (racks have 8 servers,
+		// so at least 7 same-rack candidates exist).
+		if !topo.SameRack(i, int(nb[0].Addr)) {
+			t.Errorf("node %d closest neighbor %d not in same rack", i, nb[0].Addr)
+		}
+	}
+}
+
+func TestProtocolJoinConvergesToCorrectRouting(t *testing.T) {
+	engine := sim.NewEngine(7)
+	ring := NewRing(engine, testTopo(t, 5, 8), Config{}, RandomAssigner) // 40 nodes
+	done := ring.JoinAll(500 * time.Millisecond)
+	engine.RunUntil(time.Duration(ring.Size())*500*time.Millisecond + 30*time.Second)
+	if !done() {
+		t.Fatal("not all nodes joined")
+	}
+	// A few maintenance rounds to polish tables.
+	ring.StartMaintenance()
+	engine.RunFor(3 * 30 * time.Second)
+	ring.StopMaintenance()
+
+	sink := make(map[ids.Id][]deliveryRec)
+	for _, n := range ring.Nodes() {
+		newCollector(n, sink)
+	}
+	rng := engine.Rand()
+	keys := make([]ids.Id, 100)
+	for i := range keys {
+		keys[i] = ids.Random(rng)
+		ring.Node(rng.Intn(ring.Size())).Route(keys[i], "test", i)
+	}
+	engine.Run()
+	for _, key := range keys {
+		recs := sink[key]
+		if len(recs) != 1 {
+			t.Fatalf("key %s delivered %d times", key.Short(), len(recs))
+		}
+		want := ring.ClosestLive(key)
+		if recs[0].addr != want.Addr() {
+			t.Errorf("key %s delivered at %d, want %d", key.Short(), recs[0].addr, want.Addr())
+		}
+	}
+}
+
+func TestProtocolJoinLeafSetsMatchGroundTruth(t *testing.T) {
+	engine := sim.NewEngine(3)
+	ring := NewRing(engine, testTopo(t, 3, 8), Config{}, HierarchyAssigner) // 24 nodes
+	ring.JoinAll(500 * time.Millisecond)
+	engine.RunUntil(time.Duration(ring.Size())*500*time.Millisecond + 30*time.Second)
+	ring.StartMaintenance()
+	engine.RunFor(3 * 30 * time.Second)
+	ring.StopMaintenance()
+	engine.Run()
+	for i, n := range ring.Nodes() {
+		ccw, cw := n.LeafSet()
+		if len(cw) == 0 || len(ccw) == 0 {
+			t.Fatalf("node %d leaf sides empty after join", i)
+		}
+		wantCW := ring.Node((i + 1) % ring.Size()).ID()
+		wantCCW := ring.Node((i - 1 + ring.Size()) % ring.Size()).ID()
+		if cw[0].Id != wantCW || ccw[0].Id != wantCCW {
+			t.Errorf("node %d ring neighbors wrong: cw=%s want %s, ccw=%s want %s",
+				i, cw[0].Id.Short(), wantCW.Short(), ccw[0].Id.Short(), wantCCW.Short())
+		}
+	}
+}
+
+func TestFailureRepairRestoresRouting(t *testing.T) {
+	ring, sink := buildStaticRing(t, 4, 8, HierarchyAssigner)
+	engine := ring.Engine()
+	ring.StartMaintenance()
+
+	victim := ring.Node(13)
+	ring.Network().Kill(victim.Addr())
+	// Let several maintenance rounds detect the failure and repair.
+	engine.RunFor(5 * 30 * time.Second)
+
+	// A key owned by the victim must now land on the next closest live node.
+	key := victim.ID()
+	ring.Node(0).Route(key, "test", "after-failure")
+	ring.StopMaintenance()
+	engine.Run()
+
+	recs := sink[key]
+	if len(recs) != 1 {
+		t.Fatalf("key delivered %d times after failure", len(recs))
+	}
+	want := ring.ClosestLive(key)
+	if want.Addr() == victim.Addr() {
+		t.Fatal("ClosestLive returned dead node")
+	}
+	if recs[0].addr != want.Addr() {
+		t.Errorf("delivered at %d, want %d", recs[0].addr, want.Addr())
+	}
+}
+
+func TestOnNodeDeadFires(t *testing.T) {
+	ring, _ := buildStaticRing(t, 2, 8, HierarchyAssigner)
+	engine := ring.Engine()
+	var deadSeen []NodeHandle
+	observer := ring.Node(5)
+	observer.OnNodeDead(func(h NodeHandle) { deadSeen = append(deadSeen, h) })
+	victim := ring.Node(6) // ring neighbor of observer
+	ring.Network().Kill(victim.Addr())
+	ring.StartMaintenance()
+	// The prober picks random leaf-set members; give it enough rounds that
+	// the victim is chosen with near-certainty.
+	engine.RunFor(40 * 30 * time.Second)
+	ring.StopMaintenance()
+	engine.Run()
+	for _, h := range deadSeen {
+		if h.Id == victim.ID() {
+			return
+		}
+	}
+	t.Fatalf("observer never declared victim dead (saw %d deaths)", len(deadSeen))
+}
+
+// consumingApp stops routing at the first forwarder.
+type consumingApp struct {
+	BaseApp
+	consumed int
+}
+
+func (c *consumingApp) Forward(ids.Id, simnet.Message, NodeHandle) bool {
+	c.consumed++
+	return false
+}
+
+func TestForwardCanConsumeMessage(t *testing.T) {
+	ring, sink := buildStaticRing(t, 4, 8, RandomAssigner)
+	apps := make([]*consumingApp, ring.Size())
+	for i, n := range ring.Nodes() {
+		apps[i] = &consumingApp{}
+		n.Register("consume", apps[i])
+	}
+	rng := ring.Engine().Rand()
+	// Pick a key that is NOT owned by the source so at least one forward
+	// decision happens.
+	src := ring.Node(0)
+	var key ids.Id
+	for {
+		key = ids.Random(rng)
+		if ring.ClosestLive(key).Addr() != src.Addr() {
+			break
+		}
+	}
+	src.Route(key, "consume", "eat me")
+	ring.Engine().Run()
+	total := 0
+	for _, a := range apps {
+		total += a.consumed
+	}
+	if total != 1 {
+		t.Fatalf("consumed %d times, want exactly 1", total)
+	}
+	if len(sink) != 0 {
+		t.Fatal("consumed message was still delivered")
+	}
+}
+
+func TestSendDirect(t *testing.T) {
+	ring, _ := buildStaticRing(t, 2, 4, HierarchyAssigner)
+	var got []simnet.Message
+	var from []NodeHandle
+	dst := ring.Node(5)
+	dst.Register("direct", directApp{got: &got, from: &from})
+	ring.Node(1).SendDirect(dst.Handle(), "direct", "hello")
+	ring.Engine().Run()
+	if len(got) != 1 || got[0] != "hello" || from[0].Id != ring.Node(1).ID() {
+		t.Fatalf("direct delivery: %v from %v", got, from)
+	}
+}
+
+type directApp struct {
+	BaseApp
+	got  *[]simnet.Message
+	from *[]NodeHandle
+}
+
+func (d directApp) HandleDirect(from NodeHandle, payload simnet.Message) {
+	*d.got = append(*d.got, payload)
+	*d.from = append(*d.from, from)
+}
+
+func TestPing(t *testing.T) {
+	ring, _ := buildStaticRing(t, 2, 4, HierarchyAssigner)
+	engine := ring.Engine()
+	alive := make(map[string]bool)
+	ring.Node(0).Ping(ring.Node(1).Handle(), func(ok bool) { alive["live"] = ok })
+	ring.Network().Kill(ring.Node(2).Addr())
+	ring.Node(0).Ping(ring.Node(2).Handle(), func(ok bool) { alive["dead"] = ok })
+	engine.Run()
+	if !alive["live"] {
+		t.Error("ping to live node reported dead")
+	}
+	if alive["dead"] {
+		t.Error("ping to dead node reported alive")
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	ring, _ := buildStaticRing(t, 1, 2, HierarchyAssigner)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	ring.Node(0).Register("test", BaseApp{}) // "test" taken by collector
+}
+
+func TestRouteStats(t *testing.T) {
+	ring, _ := buildStaticRing(t, 4, 4, RandomAssigner)
+	rng := ring.Engine().Rand()
+	for i := 0; i < 50; i++ {
+		ring.Node(rng.Intn(ring.Size())).Route(ids.Random(rng), "test", i)
+	}
+	ring.Engine().Run()
+	var deliveries int
+	for _, n := range ring.Nodes() {
+		d, mean := n.RouteStats()
+		deliveries += d
+		if d > 0 && mean < 0 {
+			t.Fatal("negative mean hops")
+		}
+	}
+	if deliveries != 50 {
+		t.Fatalf("total deliveries %d, want 50", deliveries)
+	}
+}
+
+func TestConsiderIgnoresSelfAndZero(t *testing.T) {
+	ring, _ := buildStaticRing(t, 1, 4, HierarchyAssigner)
+	n := ring.Node(0)
+	before := n.RoutingTableSize()
+	n.Consider(NoHandle)
+	n.Consider(n.Handle())
+	if n.RoutingTableSize() != before {
+		t.Fatal("Consider(self/zero) changed routing table")
+	}
+}
+
+func TestForgetRemovesEverywhere(t *testing.T) {
+	ring, _ := buildStaticRing(t, 2, 8, HierarchyAssigner)
+	n := ring.Node(0)
+	target := ring.Node(1).Handle() // ring + rack neighbor: in leaf, rt or neighborhood
+	n.Forget(target.Id)
+	ccw, cw := n.LeafSet()
+	for _, h := range append(ccw, cw...) {
+		if h.Id == target.Id {
+			t.Fatal("Forget left node in leaf set")
+		}
+	}
+	for _, h := range n.Neighborhood() {
+		if h.Id == target.Id {
+			t.Fatal("Forget left node in neighborhood")
+		}
+	}
+	cfg := n.Config()
+	for row := 0; row < cfg.rows(); row++ {
+		for col := 0; col < cfg.cols(); col++ {
+			if n.RoutingTableEntry(row, col).Id == target.Id {
+				t.Fatal("Forget left node in routing table")
+			}
+		}
+	}
+}
+
+func TestHierarchyRoutingPrefersNearbyHops(t *testing.T) {
+	// With hierarchy-assigned ids, routing to a numerically nearby key
+	// should complete with strictly fewer network hops than the worst case.
+	ring, sink := buildStaticRing(t, 8, 8, HierarchyAssigner)
+	src := ring.Node(10)
+	key := ring.Node(11).ID() // physically adjacent server
+	src.Route(key, "test", "near")
+	ring.Engine().Run()
+	recs := sink[key]
+	if len(recs) != 1 {
+		t.Fatalf("delivered %d times", len(recs))
+	}
+	if recs[0].hops > 1 {
+		t.Errorf("adjacent-key route took %d hops, want <= 1", recs[0].hops)
+	}
+}
+
+func TestNextHopMakesProgressProperty(t *testing.T) {
+	// The termination argument for Pastry routing: every hop either shares
+	// a strictly longer digit prefix with the key, or is strictly closer
+	// on the ring. Verified over random nodes and keys.
+	ring, _ := buildStaticRing(t, 8, 8, RandomAssigner)
+	rng := ring.Engine().Rand()
+	cfg := ring.Node(0).Config()
+	for trial := 0; trial < 2000; trial++ {
+		node := ring.Node(rng.Intn(ring.Size()))
+		key := ids.Random(rng)
+		next := node.NextHop(key)
+		if next.IsNil() {
+			continue // local delivery
+		}
+		selfPrefix := node.ID().CommonPrefixLen(key, cfg.B)
+		nextPrefix := next.Id.CommonPrefixLen(key, cfg.B)
+		closer := ids.CloserTo(key, next.Id, node.ID())
+		if nextPrefix <= selfPrefix && !closer {
+			t.Fatalf("no progress: node %s -> %s for key %s (prefix %d->%d)",
+				node.ID().Short(), next.Id.Short(), key.Short(), selfPrefix, nextPrefix)
+		}
+	}
+}
+
+func TestRoutingTableMaintenanceFillsHoles(t *testing.T) {
+	// Empty a node's routing table; periodic row exchanges must repopulate
+	// it from peers.
+	ring, _ := buildStaticRing(t, 8, 8, RandomAssigner)
+	victim := ring.Node(20)
+	before := victim.RoutingTableSize()
+	if before == 0 {
+		t.Fatal("static build left table empty")
+	}
+	// Wipe most rows, keeping one entry so maintenance has a first peer.
+	cfg := victim.Config()
+	kept := NodeHandle{}
+	for row := 0; row < cfg.rows(); row++ {
+		for col := 0; col < cfg.cols(); col++ {
+			if e := victim.RoutingTableEntry(row, col); !e.IsNil() {
+				if kept.IsNil() {
+					kept = e
+					continue
+				}
+				victim.Forget(e.Id)
+			}
+		}
+	}
+	if victim.RoutingTableSize() >= before {
+		t.Fatal("wipe failed")
+	}
+	ring.StartMaintenance()
+	ring.Engine().RunFor(10 * 30 * time.Second)
+	ring.StopMaintenance()
+	ring.Engine().Run()
+	after := victim.RoutingTableSize()
+	if after < before/2 {
+		t.Fatalf("table only refilled to %d of %d entries", after, before)
+	}
+}
+
+func TestLossyNetworkDoesNotMassKill(t *testing.T) {
+	// 30% message loss: single lost pings must not execute live peers;
+	// the detector requires ProbeRetries consecutive misses.
+	engine := sim.NewEngine(17)
+	ring := NewRing(engine, testTopo(t, 4, 8), Config{}, HierarchyAssigner,
+		simnet.WithDropRate(0.3))
+	ring.BuildStatic()
+	falseDeaths := 0
+	for _, n := range ring.Nodes() {
+		n.OnNodeDead(func(NodeHandle) { falseDeaths++ })
+	}
+	ring.StartMaintenance()
+	engine.RunFor(20 * 30 * time.Second)
+	ring.StopMaintenance()
+	engine.Run()
+	// All nodes are actually alive, so every death verdict is false. A few
+	// are statistically unavoidable at 30% loss (each ping+pong round trip
+	// fails half the time), but nothing like the mass-kill a
+	// zero-tolerance detector produces.
+	if falseDeaths > ring.Size()/4 {
+		t.Fatalf("%d false deaths across %d nodes in 20 rounds", falseDeaths, ring.Size())
+	}
+	// Routing still reaches the numerically closest node afterwards (on a
+	// lossless follow-up so delivery itself is deterministic).
+	sink := make(map[ids.Id][]deliveryRec)
+	for _, n := range ring.Nodes() {
+		newCollector(n, sink)
+	}
+	// Note: messages may still drop; only assert on keys that arrived.
+	rng := engine.Rand()
+	correct, arrived := 0, 0
+	for i := 0; i < 100; i++ {
+		key := ids.Random(rng)
+		ring.Node(rng.Intn(ring.Size())).Route(key, "test", i)
+		engine.Run()
+		if recs := sink[key]; len(recs) == 1 {
+			arrived++
+			if recs[0].addr == ring.ClosestLive(key).Addr() {
+				correct++
+			}
+		}
+	}
+	if arrived == 0 {
+		t.Fatal("no routes arrived at 30% loss")
+	}
+	if correct < arrived*9/10 {
+		t.Errorf("only %d/%d arrived routes were correct", correct, arrived)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.B != 4 || cfg.LeafSize != 16 || cfg.NeighborhoodSize != 16 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.rows() != 32 || cfg.cols() != 16 {
+		t.Fatalf("rows/cols: %d/%d", cfg.rows(), cfg.cols())
+	}
+}
+
+func TestSmallRingsRouteCorrectly(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			engine := sim.NewEngine(int64(n))
+			ring := NewRing(engine, testTopo(t, 1, n), Config{}, HierarchyAssigner)
+			ring.BuildStatic()
+			sink := make(map[ids.Id][]deliveryRec)
+			for _, node := range ring.Nodes() {
+				newCollector(node, sink)
+			}
+			rng := engine.Rand()
+			keys := make([]ids.Id, 20)
+			for i := range keys {
+				keys[i] = ids.Random(rng)
+				ring.Node(rng.Intn(n)).Route(keys[i], "test", i)
+			}
+			engine.Run()
+			for _, key := range keys {
+				recs := sink[key]
+				if len(recs) != 1 {
+					t.Fatalf("key %s delivered %d times", key.Short(), len(recs))
+				}
+				if want := ring.ClosestLive(key); recs[0].addr != want.Addr() {
+					t.Errorf("key %s at %d, want %d", key.Short(), recs[0].addr, want.Addr())
+				}
+			}
+		})
+	}
+}

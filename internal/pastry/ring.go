@@ -1,0 +1,248 @@
+package pastry
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vbundle/internal/ids"
+	"vbundle/internal/sim"
+	"vbundle/internal/simnet"
+	"vbundle/internal/topology"
+)
+
+// IdAssigner maps a server index to its ring identifier.
+type IdAssigner func(index, total int) ids.Id
+
+// HierarchyAssigner is v-Bundle's certificate-authority assignment (paper
+// §II.B): identifiers are spaced evenly around the ring in server-enumeration
+// order, so ring adjacency mirrors physical adjacency.
+func HierarchyAssigner(index, total int) ids.Id { return ids.Scaled(index, total) }
+
+// RandomAssigner derives a pseudo-random identifier per server (classic
+// Pastry, no topology awareness); used as a baseline and in overlay tests.
+func RandomAssigner(index, total int) ids.Id {
+	return ids.HashString(fmt.Sprintf("node-%d/%d", index, total))
+}
+
+// Ring bundles a full overlay: one Pastry node per server of a topology,
+// connected through a simulated network whose latencies follow that
+// topology.
+type Ring struct {
+	cfg    Config
+	engine *sim.Engine
+	net    *simnet.Network
+	topo   *topology.Topology
+	nodes  []*Node
+
+	// byID holds node indices sorted by identifier; it backs the static
+	// builder and ground-truth queries in tests.
+	byID []int
+}
+
+// NewRing creates the network and one node per server. Nodes are not joined:
+// call JoinAll for the message-driven protocol or BuildStatic to populate
+// tables directly (used by the large-scale experiments, where running 3 000
+// individual joins is not the phenomenon under study).
+func NewRing(engine *sim.Engine, topo *topology.Topology, cfg Config, assign IdAssigner, opts ...simnet.Option) *Ring {
+	if assign == nil {
+		assign = HierarchyAssigner
+	}
+	n := topo.Servers()
+	lat := func(a, b simnet.Addr) time.Duration { return topo.Latency(int(a), int(b)) }
+	net := simnet.New(engine, n, lat, opts...)
+	r := &Ring{
+		cfg:    cfg.withDefaults(),
+		engine: engine,
+		net:    net,
+		topo:   topo,
+		nodes:  make([]*Node, n),
+		byID:   make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		r.nodes[i] = NewNode(net, simnet.Addr(i), assign(i, n), r.cfg, lat)
+		r.byID[i] = i
+	}
+	sort.Slice(r.byID, func(a, b int) bool {
+		return r.nodes[r.byID[a]].ID().Less(r.nodes[r.byID[b]].ID())
+	})
+	return r
+}
+
+// Engine returns the simulation engine.
+func (r *Ring) Engine() *sim.Engine { return r.engine }
+
+// Network returns the underlying transport.
+func (r *Ring) Network() *simnet.Network { return r.net }
+
+// Topology returns the physical topology the ring is built over.
+func (r *Ring) Topology() *topology.Topology { return r.topo }
+
+// Size returns the number of nodes.
+func (r *Ring) Size() int { return len(r.nodes) }
+
+// Node returns the node running on server i.
+func (r *Ring) Node(i int) *Node { return r.nodes[i] }
+
+// Nodes returns all nodes indexed by server. The slice is shared; do not
+// mutate it.
+func (r *Ring) Nodes() []*Node { return r.nodes }
+
+// ClosestLive returns the live node whose identifier is numerically closest
+// to key: the ground truth a correct overlay routes to. Tests compare
+// routed destinations against it.
+func (r *Ring) ClosestLive(key ids.Id) *Node {
+	var best *Node
+	for _, n := range r.nodes {
+		if !r.net.Alive(n.Addr()) {
+			continue
+		}
+		if best == nil || ids.CloserTo(key, n.ID(), best.ID()) {
+			best = n
+		}
+	}
+	return best
+}
+
+// JoinAll schedules the message-driven join of every node, staggered so the
+// ring stabilizes incrementally: node 0 bootstraps the ring and each later
+// node joins through its physical predecessor. The returned function
+// reports whether all nodes have joined; callers typically RunUntil it.
+func (r *Ring) JoinAll(stagger time.Duration) (allJoined func() bool) {
+	for i, node := range r.nodes {
+		i, node := i, node
+		r.engine.After(time.Duration(i)*stagger, func() {
+			if i == 0 {
+				node.Join(simnet.Nowhere)
+				return
+			}
+			node.Join(r.nodes[i-1].Addr())
+		})
+	}
+	return func() bool {
+		for _, n := range r.nodes {
+			if !n.Joined() {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// StartMaintenance turns on periodic maintenance on every node.
+func (r *Ring) StartMaintenance() {
+	for _, n := range r.nodes {
+		n.StartMaintenance()
+	}
+}
+
+// StopMaintenance halts maintenance on every node.
+func (r *Ring) StopMaintenance() {
+	for _, n := range r.nodes {
+		n.StopMaintenance()
+	}
+}
+
+// BuildStatic populates every node's leaf set, routing table and
+// neighborhood set directly from global knowledge, bypassing the join
+// protocol. The resulting state is exactly what a converged ring reaches;
+// overlay unit tests assert the equivalence on small rings.
+func (r *Ring) BuildStatic() {
+	n := len(r.nodes)
+	if n == 0 {
+		return
+	}
+	half := r.cfg.LeafSize / 2
+
+	// pos[i] is the rank of node i in identifier order.
+	pos := make([]int, n)
+	for p, i := range r.byID {
+		pos[i] = p
+	}
+	sortedIDs := make([]ids.Id, n)
+	for p, i := range r.byID {
+		sortedIDs[p] = r.nodes[i].ID()
+	}
+
+	for i, node := range r.nodes {
+		p := pos[i]
+		// Leaf sets: ring neighbors in identifier order.
+		for k := 1; k <= half && k < n; k++ {
+			cw := r.nodes[r.byID[(p+k)%n]]
+			ccw := r.nodes[r.byID[(p-k+n)%n]]
+			node.leafInsert(cw.Handle())
+			node.leafInsert(ccw.Handle())
+		}
+		// Routing table: for every row and digit, the member of the
+		// matching prefix range nearest in rank (with hierarchy ids, rank
+		// distance is physical distance).
+		r.fillRoutingTable(node, p, sortedIDs)
+		// Neighborhood set: physically closest servers.
+		r.fillNeighborhood(node)
+		node.markJoined()
+	}
+}
+
+func (r *Ring) fillRoutingTable(node *Node, p int, sortedIDs []ids.Id) {
+	n := len(sortedIDs)
+	own := node.ID()
+	for row := 0; row < r.cfg.rows(); row++ {
+		ownDigit := own.DigitAt(row, r.cfg.B)
+		for col := 0; col < r.cfg.cols(); col++ {
+			if col == ownDigit {
+				continue
+			}
+			lo, hi := prefixRange(own, row, col, r.cfg.B)
+			// Nodes with identifier in [lo, hi].
+			start := sort.Search(n, func(k int) bool { return !sortedIDs[k].Less(lo) })
+			if start == n || hi.Less(sortedIDs[start]) {
+				continue
+			}
+			end := sort.Search(n, func(k int) bool { return hi.Less(sortedIDs[k]) }) // exclusive
+			// Pick the candidate with rank closest to p; p itself is never
+			// inside [start,end) because its digit at row differs.
+			best := start
+			if p >= end {
+				best = end - 1
+			}
+			*node.rtSlot(row, col) = r.nodes[r.byID[best]].Handle()
+		}
+		// Once the prefix range around our own identifier contains only us,
+		// deeper rows are necessarily empty; stop early.
+		lo, hi := prefixRange(own, row, own.DigitAt(row, r.cfg.B), r.cfg.B)
+		start := sort.Search(n, func(k int) bool { return !sortedIDs[k].Less(lo) })
+		end := sort.Search(n, func(k int) bool { return hi.Less(sortedIDs[k]) })
+		if end-start <= 1 {
+			break
+		}
+	}
+}
+
+// prefixRange returns the smallest and largest identifiers sharing the first
+// row digits with base and having digit row equal to col.
+func prefixRange(base ids.Id, row, col, b int) (lo, hi ids.Id) {
+	lo = base.WithDigit(row, b, col)
+	hi = lo
+	perID := ids.Bits / b
+	for k := row + 1; k < perID; k++ {
+		lo = lo.WithDigit(k, b, 0)
+		hi = hi.WithDigit(k, b, 1<<uint(b)-1)
+	}
+	return lo, hi
+}
+
+func (r *Ring) fillNeighborhood(node *Node) {
+	// Offer candidates in widening index windows around the server; with
+	// rack-major enumeration and tiered latencies, neighborInsert keeps
+	// exactly the |M| proximity-closest (same rack first, then same pod).
+	self := int(node.Addr())
+	offered := 0
+	for d := 1; offered < 2*r.cfg.NeighborhoodSize && d < r.topo.Servers(); d++ {
+		for _, srv := range [2]int{self - d, self + d} {
+			if srv >= 0 && srv < r.topo.Servers() {
+				node.neighborInsert(r.nodes[srv].Handle())
+				offered++
+			}
+		}
+	}
+}

@@ -1,0 +1,366 @@
+// Package placement implements v-Bundle's topology-aware VM placement
+// (paper §II) and the baselines it is compared against.
+//
+// The DHT engine is the paper's algorithm: every VM of a customer is tagged
+// with key = hash(customer); a boot query is routed through the Pastry
+// overlay toward that key, so it lands on the server whose hierarchy-
+// assigned nodeId is numerically closest — a fixed "home" location per
+// customer. If that server cannot admit the VM, the query spills outward
+// through the server's neighborhood and leaf sets (physically adjacent
+// machines under hierarchy identifiers) until some server accepts. The
+// result: one customer's chatting VMs pack into the same servers and racks,
+// preserving bi-section bandwidth.
+//
+// The Greedy engine reproduces the paper's comparison baseline (Fig. 8b):
+// first-fit over the server list, oblivious to who talks to whom. Random
+// places on a uniformly random server with room.
+package placement
+
+import (
+	"fmt"
+	"time"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/ids"
+	"vbundle/internal/pastry"
+	"vbundle/internal/simnet"
+)
+
+// Engine places VMs onto servers. Place reports the chosen server through
+// onDone, which may fire synchronously (greedy, random) or after routed
+// messages settle (DHT).
+type Engine interface {
+	// Place finds a server for the VM and admits it there. onDone receives
+	// the chosen server index, the number of overlay hops the query took
+	// (zero for centralized engines) or an error when no server can admit
+	// the VM.
+	Place(vm *cluster.VM, onDone func(Result, error))
+	// Name identifies the engine in experiment output.
+	Name() string
+}
+
+// Result describes a successful placement.
+type Result struct {
+	// Server is where the VM was admitted.
+	Server int
+	// Hops counts overlay routing plus spill forwarding steps (DHT only).
+	Hops int
+}
+
+// --- greedy baseline ---------------------------------------------------------
+
+// Greedy is the paper's baseline: scan servers in index order and take the
+// first with room ("the first server it finds with enough resources").
+type Greedy struct {
+	cl *cluster.Cluster
+}
+
+// NewGreedy creates the greedy engine.
+func NewGreedy(cl *cluster.Cluster) *Greedy { return &Greedy{cl: cl} }
+
+// Name implements Engine.
+func (g *Greedy) Name() string { return "greedy" }
+
+// Place implements Engine.
+func (g *Greedy) Place(vm *cluster.VM, onDone func(Result, error)) {
+	for i := 0; i < g.cl.Size(); i++ {
+		if g.cl.Server(i).CanAdmit(vm) {
+			if err := g.cl.Place(vm, i); err != nil {
+				onDone(Result{}, err)
+				return
+			}
+			onDone(Result{Server: i}, nil)
+			return
+		}
+	}
+	onDone(Result{}, fmt.Errorf("placement: no server can admit vm %d", vm.ID))
+}
+
+var _ Engine = (*Greedy)(nil)
+
+// --- random baseline ---------------------------------------------------------
+
+// Random places each VM on a uniformly random server with room, the
+// "simple method" the paper attributes to topology-unaware IaaS providers.
+type Random struct {
+	cl  *cluster.Cluster
+	rng interface{ Intn(int) int }
+}
+
+// NewRandom creates the random engine using the given source (typically the
+// simulation engine's).
+func NewRandom(cl *cluster.Cluster, rng interface{ Intn(int) int }) *Random {
+	return &Random{cl: cl, rng: rng}
+}
+
+// Name implements Engine.
+func (r *Random) Name() string { return "random" }
+
+// Place implements Engine.
+func (r *Random) Place(vm *cluster.VM, onDone func(Result, error)) {
+	n := r.cl.Size()
+	start := r.rng.Intn(n)
+	for k := 0; k < n; k++ {
+		i := (start + k) % n
+		if r.cl.Server(i).CanAdmit(vm) {
+			if err := r.cl.Place(vm, i); err != nil {
+				onDone(Result{}, err)
+				return
+			}
+			onDone(Result{Server: i}, nil)
+			return
+		}
+	}
+	onDone(Result{}, fmt.Errorf("placement: no server can admit vm %d", vm.ID))
+}
+
+var _ Engine = (*Random)(nil)
+
+// --- DHT engine (the paper's algorithm) ---------------------------------------
+
+// AppName is the Pastry application name of the placement protocol.
+const AppName = "vb-place"
+
+// DHTConfig tunes the DHT engine.
+type DHTConfig struct {
+	// MaxSpillHops bounds the spill walk after the rendezvous server; a
+	// query that exhausts it fails. Defaults to 4 × the cluster size's
+	// square root, generously above any realistic spill.
+	MaxSpillHops int
+	// Gateway is the server index that originates boot queries (the cloud
+	// front end submits through it). Defaults to 0.
+	Gateway int
+	// QueryTimeout bounds how long the gateway waits for an answer.
+	// Defaults to 30 seconds of virtual time.
+	QueryTimeout time.Duration
+}
+
+func (c DHTConfig) withDefaults(clusterSize int) DHTConfig {
+	if c.MaxSpillHops == 0 {
+		// A spill walk may, in the worst case, have to traverse a whole
+		// saturated customer region; bounding at the cluster size keeps
+		// failure detection finite without rejecting feasible placements.
+		c.MaxSpillHops = clusterSize
+	}
+	if c.QueryTimeout == 0 {
+		c.QueryTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// DHT is the topology-aware engine. One agent runs on every Pastry node;
+// the engine's Place routes a boot query from the gateway toward
+// hash(customer).
+type DHT struct {
+	ring *pastry.Ring
+	cl   *cluster.Cluster
+	cfg  DHTConfig
+
+	seq     uint64
+	pending map[uint64]*pendingQuery
+
+	// stats
+	placed     int
+	totalHops  int
+	maxHops    int
+	spillFails int
+}
+
+type pendingQuery struct {
+	vm     *cluster.VM
+	onDone func(Result, error)
+}
+
+// NewDHT builds the engine and registers its agent on every ring node.
+func NewDHT(ring *pastry.Ring, cl *cluster.Cluster, cfg DHTConfig) *DHT {
+	if ring.Size() != cl.Size() {
+		panic(fmt.Sprintf("placement: ring has %d nodes but cluster %d servers", ring.Size(), cl.Size()))
+	}
+	d := &DHT{
+		ring:    ring,
+		cl:      cl,
+		cfg:     cfg.withDefaults(cl.Size()),
+		pending: make(map[uint64]*pendingQuery),
+	}
+	for i, node := range ring.Nodes() {
+		node.Register(AppName, &dhtAgent{d: d, server: i, node: node})
+	}
+	return d
+}
+
+// Name implements Engine.
+func (d *DHT) Name() string { return "vbundle-dht" }
+
+// Place implements Engine: route a boot query toward hash(customer).
+func (d *DHT) Place(vm *cluster.VM, onDone func(Result, error)) {
+	d.seq++
+	seq := d.seq
+	d.pending[seq] = &pendingQuery{vm: vm, onDone: onDone}
+	gateway := d.ring.Node(d.cfg.Gateway)
+	gateway.Engine().After(d.cfg.QueryTimeout, func() {
+		if pq, ok := d.pending[seq]; ok {
+			delete(d.pending, seq)
+			pq.onDone(Result{}, fmt.Errorf("placement: query %d for vm %d timed out", seq, vm.ID))
+		}
+	})
+	gateway.Route(vm.Key, AppName, &bootQuery{Seq: seq, VM: vm, Origin: gateway.Handle()})
+}
+
+// Stats reports placements completed, mean and max query hops, and spill
+// exhaustion failures.
+func (d *DHT) Stats() (placed int, meanHops float64, maxHops, failures int) {
+	mean := 0.0
+	if d.placed > 0 {
+		mean = float64(d.totalHops) / float64(d.placed)
+	}
+	return d.placed, mean, d.maxHops, d.spillFails
+}
+
+func (d *DHT) finish(seq uint64, server, hops int, ok bool) {
+	pq, pending := d.pending[seq]
+	if !pending {
+		return // timed out
+	}
+	delete(d.pending, seq)
+	if ok {
+		d.placed++
+		d.totalHops += hops
+		if hops > d.maxHops {
+			d.maxHops = hops
+		}
+		pq.onDone(Result{Server: server, Hops: hops}, nil)
+		return
+	}
+	d.spillFails++
+	pq.onDone(Result{}, fmt.Errorf("placement: spill walk exhausted for vm %d", pq.vm.ID))
+}
+
+// bootQuery carries a VM boot request toward its customer key and then
+// along the spill walk. The VM pointer is an in-process simulation shortcut
+// for the attribute bundle a real query would serialize.
+type bootQuery struct {
+	Seq     uint64
+	VM      *cluster.VM
+	Origin  pastry.NodeHandle
+	Spill   int
+	Visited []ids.Id
+}
+
+// WireSize implements simnet.WireSizer: a realistic boot request carries the
+// VM attribute tuple, origin and the visited list.
+func (q *bootQuery) WireSize() int { return 64 + 20 + 16*len(q.Visited) }
+
+func (q *bootQuery) visited(id ids.Id) bool {
+	for _, v := range q.Visited {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// bootReply reports the accepting server (or failure) to the gateway.
+type bootReply struct {
+	Seq    uint64
+	Server int
+	Hops   int
+	OK     bool
+}
+
+// WireSize implements simnet.WireSizer.
+func (bootReply) WireSize() int { return 8 + 4 + 4 + 1 }
+
+// dhtAgent is the per-server protocol handler.
+type dhtAgent struct {
+	pastry.BaseApp
+	d      *DHT
+	server int
+	node   *pastry.Node
+}
+
+// Deliver implements pastry.App: the query reached the customer's
+// rendezvous server; try to admit locally or start the spill walk.
+func (a *dhtAgent) Deliver(_ ids.Id, payload simnet.Message, info pastry.RouteInfo) {
+	q, ok := payload.(*bootQuery)
+	if !ok {
+		return
+	}
+	q.Spill += info.Hops
+	a.tryAdmit(q)
+}
+
+// HandleDirect implements pastry.App: spill-walk forwarding and replies.
+func (a *dhtAgent) HandleDirect(_ pastry.NodeHandle, payload simnet.Message) {
+	switch m := payload.(type) {
+	case *bootQuery:
+		m.Spill++
+		a.tryAdmit(m)
+	case *bootReply:
+		a.d.finish(m.Seq, m.Server, m.Hops, m.OK)
+	}
+}
+
+func (a *dhtAgent) tryAdmit(q *bootQuery) {
+	q.Visited = append(q.Visited, a.node.ID())
+	if a.d.cl.Server(a.server).CanAdmit(q.VM) {
+		if err := a.d.cl.Place(q.VM, a.server); err == nil {
+			a.reply(q, true)
+			return
+		}
+	}
+	if q.Spill >= a.d.cfg.MaxSpillHops {
+		a.reply(q, false)
+		return
+	}
+	next := a.nextSpillTarget(q)
+	if next.IsNil() {
+		a.reply(q, false)
+		return
+	}
+	a.node.SendDirect(next, AppName, q)
+}
+
+// nextSpillTarget picks the closest unvisited server among the node's
+// neighborhood and leaf sets: under hierarchy identifiers these are the
+// physically adjacent machines, so the walk grows the customer's footprint
+// outward from its home rack.
+func (a *dhtAgent) nextSpillTarget(q *bootQuery) pastry.NodeHandle {
+	best := pastry.NoHandle
+	var bestLat time.Duration
+	self := a.node.Handle()
+	consider := func(h pastry.NodeHandle) {
+		if h.IsNil() || q.visited(h.Id) {
+			return
+		}
+		lat := a.node.LatencyBetween(self.Addr, h.Addr)
+		switch {
+		case best.IsNil(), lat < bestLat:
+			best, bestLat = h, lat
+		case lat == bestLat && ids.CloserTo(q.VM.Key, h.Id, best.Id):
+			best = h
+		}
+	}
+	for _, h := range a.node.Neighborhood() {
+		consider(h)
+	}
+	ccw, cw := a.node.LeafSet()
+	for _, h := range ccw {
+		consider(h)
+	}
+	for _, h := range cw {
+		consider(h)
+	}
+	return best
+}
+
+func (a *dhtAgent) reply(q *bootQuery, ok bool) {
+	msg := &bootReply{Seq: q.Seq, Server: a.server, Hops: q.Spill, OK: ok}
+	if q.Origin.Addr == a.node.Addr() {
+		a.HandleDirect(q.Origin, msg)
+		return
+	}
+	a.node.SendDirect(q.Origin, AppName, msg)
+}
+
+var _ Engine = (*DHT)(nil)
+var _ pastry.App = (*dhtAgent)(nil)

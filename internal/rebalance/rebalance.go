@@ -1,0 +1,691 @@
+// Package rebalance implements v-Bundle's decentralized resource shuffling
+// algorithm (paper §III): every server learns the cluster-wide mean
+// utilization through aggregation trees (BW_Capacity and BW_Demand for the
+// paper's bandwidth focus), classifies itself as a load shedder
+// (utilization above mean + threshold) or load receiver (below mean −
+// threshold), and shedders discover receivers through the Less-Loaded
+// Scribe any-cast group.
+//
+// The exchange protocol follows the paper's four steps (§III.C):
+//
+//  1. a shedder periodically any-casts a load-balance query carrying the
+//     evacuated VM's resource requirements;
+//  2. the any-cast DFS prefers topologically close receivers, keeping the
+//     bandwidth-preserving placement intact;
+//  3. the first receiver that (a) can still reserve the VM's guarantees
+//     and (b) would stay under mean + threshold after accepting answers
+//     and holds the resources while the VM is in flight;
+//  4. the shedder live-migrates the VM and stops querying once its own
+//     utilization falls back to the average line.
+//
+// Two §VII extensions are implemented: the rebalancer can track multiple
+// metrics at once (bandwidth, CPU, memory — Config.Kinds), and a migration
+// cost-benefit module can veto moves whose predicted overhead exceeds the
+// bandwidth they would recover (Config.CostBenefit).
+package rebalance
+
+import (
+	"time"
+
+	"vbundle/internal/aggregation"
+	"vbundle/internal/cluster"
+	"vbundle/internal/costbenefit"
+	"vbundle/internal/ids"
+	"vbundle/internal/migration"
+	"vbundle/internal/pastry"
+	"vbundle/internal/scribe"
+	"vbundle/internal/simnet"
+	"vbundle/internal/tcshape"
+)
+
+// Group and application names from the paper (Fig. 4 and §III.C).
+const (
+	// TopicCapacity aggregates per-server NIC capacity (bandwidth kind).
+	TopicCapacity = "BW_Capacity"
+	// TopicDemand aggregates per-server bandwidth demand (bandwidth kind).
+	TopicDemand = "BW_Demand"
+	// LessLoadedGroup is the any-cast group load receivers join.
+	LessLoadedGroup = "less-loaded"
+	// AppName is the Pastry application name for direct agent messages.
+	AppName = "vb-rebal"
+)
+
+// topicCapacityFor and topicDemandFor name the per-kind aggregation topics;
+// the bandwidth kind keeps the paper's names.
+func topicCapacityFor(k cluster.Kind) string {
+	switch k {
+	case cluster.KindBandwidth:
+		return TopicCapacity
+	case cluster.KindCPU:
+		return "CPU_Capacity"
+	case cluster.KindMemory:
+		return "Mem_Capacity"
+	default:
+		return "X_Capacity"
+	}
+}
+
+func topicDemandFor(k cluster.Kind) string {
+	switch k {
+	case cluster.KindBandwidth:
+		return TopicDemand
+	case cluster.KindCPU:
+		return "CPU_Demand"
+	case cluster.KindMemory:
+		return "Mem_Demand"
+	default:
+		return "X_Demand"
+	}
+}
+
+// Role is a server's self-identified position relative to the cluster mean.
+type Role int
+
+// Roles.
+const (
+	// RoleNeutral servers neither shed nor receive.
+	RoleNeutral Role = iota + 1
+	// RoleShedder servers are above mean + threshold and evacuate VMs.
+	RoleShedder
+	// RoleReceiver servers are below mean − threshold and accept VMs.
+	RoleReceiver
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleNeutral:
+		return "neutral"
+	case RoleShedder:
+		return "shedder"
+	case RoleReceiver:
+		return "receiver"
+	default:
+		return "unknown"
+	}
+}
+
+// Config tunes the rebalancer.
+type Config struct {
+	// Threshold is the margin over the mean utilization line; the paper
+	// sweeps 0.1/0.183/0.3. Defaults to 0.183 (Fig. 10's setting).
+	Threshold float64
+	// UpdateInterval is the demand-sampling period (paper: 5 minutes).
+	UpdateInterval time.Duration
+	// RebalanceInterval is the shedder query period (paper: 25 minutes).
+	RebalanceInterval time.Duration
+	// MaxShedsPerRound bounds how many VMs one shedder evacuates per
+	// rebalance round. Defaults to 4.
+	MaxShedsPerRound int
+	// Mode selects live or cold migration. Defaults to live.
+	Mode migration.Mode
+	// Kinds lists the resources the rebalancer tracks; a server sheds when
+	// ANY kind exceeds its band and receives only when ALL kinds have
+	// room. Defaults to bandwidth only, as in the paper's evaluation; the
+	// multi-metric extension of §VII adds CPU and memory.
+	Kinds []cluster.Kind
+	// SameCustomerOnly restricts exchanges to the paper's bundle
+	// semantics: a VM may only move to a server already hosting VMs of
+	// the same customer whose purchased reservations exceed their current
+	// demand — "borrow unused... bandwidth from lightly loaded ones, as
+	// long as all of those VMs belong to the same customer" (§I).
+	SameCustomerOnly bool
+	// CostBenefit, when non-nil, enables the §V.B cost-benefit analysis:
+	// an accepted exchange is migrated only if the predicted recovered
+	// bandwidth outweighs the predicted migration overhead.
+	CostBenefit *costbenefit.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threshold == 0 {
+		c.Threshold = 0.183
+	}
+	if c.UpdateInterval == 0 {
+		c.UpdateInterval = 5 * time.Minute
+	}
+	if c.RebalanceInterval == 0 {
+		c.RebalanceInterval = 25 * time.Minute
+	}
+	if c.MaxShedsPerRound == 0 {
+		c.MaxShedsPerRound = 4
+	}
+	if c.Mode == 0 {
+		c.Mode = migration.Live
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []cluster.Kind{cluster.KindBandwidth}
+	}
+	return c
+}
+
+// Coordinator wires one rebalancing agent per server and drives the
+// periodic cycle. It is a construction convenience: all decisions stay
+// local to the per-server agents.
+type Coordinator struct {
+	cfg      Config
+	ring     *pastry.Ring
+	cl       *cluster.Cluster
+	mig      *migration.Manager
+	analyzer *costbenefit.Analyzer // nil when cost-benefit is disabled
+	agents   []*Agent
+
+	started bool
+}
+
+// NewCoordinator builds agents on top of existing per-node aggregation
+// managers (one per ring node, index-aligned with servers).
+func NewCoordinator(ring *pastry.Ring, cl *cluster.Cluster, mig *migration.Manager, managers []*aggregation.Manager, cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg, ring: ring, cl: cl, mig: mig}
+	if cfg.CostBenefit != nil {
+		c.analyzer = costbenefit.New(*cfg.CostBenefit, mig.Config())
+	}
+	c.agents = make([]*Agent, ring.Size())
+	for i := range c.agents {
+		c.agents[i] = newAgent(c, i, ring.Node(i), managers[i])
+	}
+	return c
+}
+
+// Config returns the effective configuration.
+func (c *Coordinator) Config() Config { return c.cfg }
+
+// Agent returns the agent for server i.
+func (c *Coordinator) Agent(i int) *Agent { return c.agents[i] }
+
+// Start subscribes every agent, seeds local values, and begins the periodic
+// update and rebalance cycles.
+func (c *Coordinator) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	for _, a := range c.agents {
+		a.start()
+	}
+}
+
+// Stop halts all periodic activity.
+func (c *Coordinator) Stop() {
+	if !c.started {
+		return
+	}
+	c.started = false
+	for _, a := range c.agents {
+		a.stop()
+	}
+}
+
+// Roles counts agents per current role.
+func (c *Coordinator) Roles() (shedders, receivers, neutral int) {
+	for _, a := range c.agents {
+		switch a.role {
+		case RoleShedder:
+			shedders++
+		case RoleReceiver:
+			receivers++
+		default:
+			neutral++
+		}
+	}
+	return shedders, receivers, neutral
+}
+
+// MigrationsTriggered sums the shed attempts that led to migrations.
+func (c *Coordinator) MigrationsTriggered() int {
+	total := 0
+	for _, a := range c.agents {
+		total += a.migrationsTriggered
+	}
+	return total
+}
+
+// QueriesSent sums the any-cast load-balance queries issued.
+func (c *Coordinator) QueriesSent() int {
+	total := 0
+	for _, a := range c.agents {
+		total += a.queriesSent
+	}
+	return total
+}
+
+// VetoedByCost sums the shed attempts abandoned by the cost-benefit module.
+func (c *Coordinator) VetoedByCost() int {
+	total := 0
+	for _, a := range c.agents {
+		total += a.vetoedByCost
+	}
+	return total
+}
+
+// Agent is the per-server rebalancing logic.
+type Agent struct {
+	pastry.BaseApp
+	coord  *Coordinator
+	server int
+	node   *pastry.Node
+	agg    *aggregation.Manager
+
+	role     Role
+	means    map[cluster.Kind]float64
+	haveMean bool
+	inGroup  bool
+
+	// pendingReserve holds resources promised to accepted inbound VMs
+	// while they migrate (paper step 3: "hold part of its bandwidth
+	// waiting").
+	pendingReserve map[cluster.Kind]float64
+	// shedding tracks outbound VMs already committed this round.
+	shedding map[cluster.VMID]bool
+
+	updateTicker, rebalanceTicker *simTicker
+
+	migrationsTriggered int
+	queriesSent         int
+	vetoedByCost        int
+}
+
+type simTicker struct{ stop func() }
+
+func newAgent(coord *Coordinator, server int, node *pastry.Node, agg *aggregation.Manager) *Agent {
+	a := &Agent{
+		coord:          coord,
+		server:         server,
+		node:           node,
+		agg:            agg,
+		role:           RoleNeutral,
+		means:          make(map[cluster.Kind]float64),
+		pendingReserve: make(map[cluster.Kind]float64),
+		shedding:       make(map[cluster.VMID]bool),
+	}
+	node.Register(AppName, a)
+	return a
+}
+
+// Role returns the agent's current self-identification.
+func (a *Agent) Role() Role { return a.role }
+
+// MeanUtilization returns the last cluster-mean bandwidth utilization the
+// agent computed (the paper's "average utilization line").
+func (a *Agent) MeanUtilization() (float64, bool) {
+	m, ok := a.means[cluster.KindBandwidth]
+	return m, ok && a.haveMean
+}
+
+// MeanFor returns the cluster mean for one tracked resource kind.
+func (a *Agent) MeanFor(k cluster.Kind) (float64, bool) {
+	m, ok := a.means[k]
+	return m, ok
+}
+
+func (a *Agent) start() {
+	for _, k := range a.coord.cfg.Kinds {
+		a.agg.Subscribe(topicCapacityFor(k), func(aggregation.Global) { a.reevaluate() })
+		a.agg.Subscribe(topicDemandFor(k), func(aggregation.Global) { a.reevaluate() })
+	}
+	a.publishLocal()
+	a.agg.Start()
+	cfg := a.coord.cfg
+	ut := a.node.Engine().Every(cfg.UpdateInterval, a.publishLocal)
+	rt := a.node.Engine().Every(cfg.RebalanceInterval, a.rebalanceRound)
+	a.updateTicker = &simTicker{stop: ut.Stop}
+	a.rebalanceTicker = &simTicker{stop: rt.Stop}
+}
+
+func (a *Agent) stop() {
+	if a.updateTicker != nil {
+		a.updateTicker.stop()
+		a.updateTicker = nil
+	}
+	if a.rebalanceTicker != nil {
+		a.rebalanceTicker.stop()
+		a.rebalanceTicker = nil
+	}
+	a.agg.Stop()
+	a.leaveGroup()
+}
+
+// publishLocal pushes the server's current capacity and demand for every
+// tracked kind into the aggregation trees (the periodic leaf update of
+// §III.C step 1).
+func (a *Agent) publishLocal() {
+	srv := a.coord.cl.Server(a.server)
+	for _, k := range a.coord.cfg.Kinds {
+		a.agg.SetLocal(topicCapacityFor(k), srv.Capacity.Get(k))
+		a.agg.SetLocal(topicDemandFor(k), srv.DemandOf(k))
+	}
+}
+
+// utilizationOf is the server's utilization for one kind, including
+// resources held for in-flight arrivals.
+func (a *Agent) utilizationOf(k cluster.Kind) float64 {
+	srv := a.coord.cl.Server(a.server)
+	cap := srv.Capacity.Get(k)
+	if cap == 0 {
+		return 0
+	}
+	return (srv.DemandOf(k) + a.pendingReserve[k]) / cap
+}
+
+// reevaluate recomputes the per-kind means from the freshest globals and
+// flips the agent's role, joining or leaving the Less-Loaded group as
+// needed. With multiple kinds, a server sheds when ANY kind is over its
+// band and receives only when ALL kinds are comfortably below it.
+func (a *Agent) reevaluate() {
+	for _, k := range a.coord.cfg.Kinds {
+		dem, okD := a.agg.Global(topicDemandFor(k))
+		cap, okC := a.agg.Global(topicCapacityFor(k))
+		if !okD || !okC || cap.Sum <= 0 {
+			return // wait until every tracked kind has a global
+		}
+		a.means[k] = dem.Sum / cap.Sum
+	}
+	a.haveMean = true
+	thr := a.coord.cfg.Threshold
+
+	anyHot, allCool := false, true
+	for _, k := range a.coord.cfg.Kinds {
+		mean := a.means[k]
+		util := a.utilizationOf(k)
+		if util > mean+thr {
+			anyHot = true
+		}
+		if mean == 0 {
+			// Nobody in the cluster demands this kind: it cannot make a
+			// server hot and poses no receiving risk, so it neither
+			// disqualifies receivers nor (above) flags shedders.
+			continue
+		}
+		// Receiver cut: mean − threshold per the paper; when a kind's
+		// cluster mean is lower than the threshold itself that bound is
+		// negative and no receiver could ever exist even while individual
+		// servers are hot, so the cut falls back to the average line
+		// ("smaller than the average line", §III.C).
+		cut := mean - thr
+		if cut <= 0 {
+			cut = mean
+		}
+		if util >= cut {
+			allCool = false
+		}
+	}
+	switch {
+	case anyHot:
+		a.role = RoleShedder
+		a.leaveGroup()
+	case allCool:
+		a.role = RoleReceiver
+		a.joinGroup()
+	default:
+		a.role = RoleNeutral
+		a.leaveGroup()
+	}
+}
+
+func (a *Agent) scribe() *scribe.Scribe { return a.agg.Scribe() }
+
+func (a *Agent) joinGroup() {
+	if a.inGroup {
+		return
+	}
+	a.inGroup = true
+	a.scribe().Join(scribe.GroupKey(LessLoadedGroup), scribe.Handlers{
+		OnAnycast: a.considerQuery,
+	})
+}
+
+func (a *Agent) leaveGroup() {
+	if !a.inGroup {
+		return
+	}
+	a.inGroup = false
+	a.scribe().Leave(scribe.GroupKey(LessLoadedGroup))
+}
+
+// considerQuery is the receiver-side acceptance check (§III.C step 3),
+// evaluated for every tracked resource kind.
+func (a *Agent) considerQuery(_ ids.Id, payload simnet.Message, _ pastry.NodeHandle) bool {
+	q, ok := payload.(*shedQuery)
+	if !ok {
+		return false
+	}
+	if a.role != RoleReceiver || !a.haveMean {
+		return false
+	}
+	srv := a.coord.cl.Server(a.server)
+	thr := a.coord.cfg.Threshold
+	// Bundle semantics: only borrow from the same customer's idle
+	// instances on this server.
+	if a.coord.cfg.SameCustomerOnly && !a.hasCustomerSlack(q.Customer, q.Demand) {
+		return false
+	}
+	for _, k := range a.coord.cfg.Kinds {
+		cap := srv.Capacity.Get(k)
+		if cap <= 0 {
+			return false
+		}
+		// (1) Sufficient reserved capacity for the VM's guarantee.
+		if srv.ReservedOf(k)+q.Reservation.Get(k) > cap {
+			return false
+		}
+		// (2) Post-accept utilization stays under mean + threshold (the
+		// oscillation guard).
+		if (srv.DemandOf(k)+a.pendingReserve[k]+q.Demand.Get(k))/cap > a.means[k]+thr {
+			return false
+		}
+	}
+	for _, k := range a.coord.cfg.Kinds {
+		a.pendingReserve[k] += q.Demand.Get(k)
+	}
+	return true
+}
+
+// hasCustomerSlack reports whether this server hosts VMs of the customer
+// whose purchased-but-unused capacity covers the incoming demand for every
+// tracked kind.
+func (a *Agent) hasCustomerSlack(customer string, demand cluster.Resources) bool {
+	srv := a.coord.cl.Server(a.server)
+	var reserved, used cluster.Resources
+	found := false
+	for _, vm := range srv.VMs() {
+		if vm.Customer != customer {
+			continue
+		}
+		found = true
+		reserved = reserved.Add(vm.Reservation)
+		used = used.Add(effectiveDemand(vm))
+	}
+	if !found {
+		return false
+	}
+	for _, k := range a.coord.cfg.Kinds {
+		if reserved.Get(k)-used.Get(k) < demand.Get(k) {
+			return false
+		}
+	}
+	return true
+}
+
+// rebalanceRound runs the shedder side: while over target, evacuate VMs one
+// at a time through the any-cast group.
+func (a *Agent) rebalanceRound() {
+	if a.role != RoleShedder || !a.haveMean {
+		return
+	}
+	a.shedChain(a.coord.cfg.MaxShedsPerRound)
+}
+
+// hottestKind returns the tracked kind with the largest projected overshoot
+// (negative when nothing is over).
+func (a *Agent) hottestKind() (cluster.Kind, float64) {
+	best := a.coord.cfg.Kinds[0]
+	bestOver := -1e18
+	for _, k := range a.coord.cfg.Kinds {
+		over := a.projectedUtilOf(k) - (a.means[k] + a.coord.cfg.Threshold)
+		if over > bestOver {
+			best, bestOver = k, over
+		}
+	}
+	return best, bestOver
+}
+
+// projectedUtilOf is the utilization for one kind once committed
+// evacuations leave.
+func (a *Agent) projectedUtilOf(k cluster.Kind) float64 {
+	srv := a.coord.cl.Server(a.server)
+	cap := srv.Capacity.Get(k)
+	if cap == 0 {
+		return 0
+	}
+	demand := srv.DemandOf(k)
+	for _, vm := range srv.VMs() {
+		if a.shedding[vm.ID] {
+			demand -= vm.EffectiveDemand(k)
+		}
+	}
+	return demand / cap
+}
+
+func (a *Agent) shedChain(budget int) {
+	if budget <= 0 {
+		return
+	}
+	// Stop condition: the paper's shedder stops once it falls back to the
+	// average line; staying a strict improver avoids oscillation.
+	hotKind, over := a.hottestKind()
+	if over <= 0 {
+		return
+	}
+	vm := a.pickVictim(hotKind)
+	if vm == nil {
+		return
+	}
+	// Cost-benefit gate (§V.B): do not even query for a move whose
+	// predicted migration overhead exceeds the bandwidth it would recover.
+	if an := a.coord.analyzer; an != nil {
+		verdict := an.Analyze(costbenefit.Proposal{
+			VM:            vm,
+			Mode:          a.coord.cfg.Mode,
+			DeliveredMbps: a.deliveredBW(vm),
+		})
+		if !verdict.Approved {
+			a.vetoedByCost++
+			return
+		}
+	}
+	a.shedding[vm.ID] = true
+	a.queriesSent++
+	q := &shedQuery{
+		VMID:        vm.ID,
+		Customer:    vm.Customer,
+		Reservation: vm.Reservation,
+		Demand:      effectiveDemand(vm),
+	}
+	a.scribe().Anycast(scribe.GroupKey(LessLoadedGroup), q, func(res scribe.AnycastResult) {
+		if !res.Accepted {
+			delete(a.shedding, vm.ID)
+			return // no receiver this round; retry next interval
+		}
+		dst := int(res.By.Addr)
+		a.migrationsTriggered++
+		err := a.coord.mig.Migrate(vm.ID, dst, a.coord.cfg.Mode, func(error) {
+			delete(a.shedding, vm.ID)
+			// Whatever the outcome, release the receiver's hold: on
+			// success the VM's demand now counts directly there.
+			a.node.SendDirect(res.By, AppName, &releaseMsg{VMID: vm.ID, Demand: q.Demand})
+		})
+		if err != nil {
+			delete(a.shedding, vm.ID)
+			a.node.SendDirect(res.By, AppName, &releaseMsg{VMID: vm.ID, Demand: q.Demand})
+			return
+		}
+		// Keep shedding within this round if still over target.
+		a.shedChain(budget - 1)
+	})
+}
+
+// effectiveDemand builds the VM's per-kind effective demand vector.
+func effectiveDemand(vm *cluster.VM) cluster.Resources {
+	var d cluster.Resources
+	for _, k := range cluster.AllKinds {
+		d = d.Set(k, vm.EffectiveDemand(k))
+	}
+	return d
+}
+
+// deliveredBW runs the server's tc shaper to find how much bandwidth the
+// VM actually receives right now (the cost-benefit baseline).
+func (a *Agent) deliveredBW(vm *cluster.VM) float64 {
+	srv := a.coord.cl.Server(a.server)
+	vms := srv.VMs()
+	classes := make([]tcshape.Class, len(vms))
+	idx := -1
+	for i, v := range vms {
+		classes[i] = tcshape.Class{
+			Rate:   v.Reservation.BandwidthMbps,
+			Ceil:   v.Limit.BandwidthMbps,
+			Demand: v.Demand.BandwidthMbps,
+		}
+		if v.ID == vm.ID {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	return tcshape.Allocate(srv.Capacity.BandwidthMbps, classes)[idx]
+}
+
+// pickVictim selects the evacuation candidate: the hosted VM with the
+// largest effective demand in the hottest kind, not already committed
+// (moving the biggest load first needs the fewest migrations).
+func (a *Agent) pickVictim(k cluster.Kind) *cluster.VM {
+	srv := a.coord.cl.Server(a.server)
+	var best *cluster.VM
+	for _, vm := range srv.VMs() {
+		if a.shedding[vm.ID] || a.coord.mig.InFlight(vm.ID) {
+			continue
+		}
+		if vm.EffectiveDemand(k) <= 0 {
+			continue
+		}
+		if best == nil || vm.EffectiveDemand(k) > best.EffectiveDemand(k) {
+			best = vm
+		}
+	}
+	return best
+}
+
+// HandleDirect implements pastry.App for the release protocol.
+func (a *Agent) HandleDirect(_ pastry.NodeHandle, payload simnet.Message) {
+	if m, ok := payload.(*releaseMsg); ok {
+		for _, k := range a.coord.cfg.Kinds {
+			a.pendingReserve[k] -= m.Demand.Get(k)
+			if a.pendingReserve[k] < 0 {
+				a.pendingReserve[k] = 0
+			}
+		}
+	}
+}
+
+var _ pastry.App = (*Agent)(nil)
+
+// shedQuery is the load-balance query the shedder any-casts (§III.C step 1).
+type shedQuery struct {
+	VMID        cluster.VMID
+	Customer    string
+	Reservation cluster.Resources
+	Demand      cluster.Resources
+}
+
+// WireSize implements simnet.WireSizer.
+func (q shedQuery) WireSize() int { return 8 + len(q.Customer) + 2*3*8 }
+
+// releaseMsg tells a receiver to stop holding resources for a VM.
+type releaseMsg struct {
+	VMID   cluster.VMID
+	Demand cluster.Resources
+}
+
+// WireSize implements simnet.WireSizer.
+func (releaseMsg) WireSize() int { return 8 + 3*8 }

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"sort"
+	"time"
+
+	"vbundle/internal/metrics"
+)
+
+// FromScatter builds the Fig. 7/8-style placement chart: one dot series per
+// customer on rack/slot axes.
+func FromScatter(title string, sc *metrics.Scatter) *Chart {
+	c := &Chart{Title: title, XLabel: "racks in order within one datacenter", YLabel: "servers in order within one rack"}
+	by := sc.BySeries()
+	// Deterministic series order.
+	names := make([]string, 0, len(by))
+	for name := range by {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		pts := make([]Point, len(by[name]))
+		for i, p := range by[name] {
+			pts[i] = Point{X: p.X, Y: p.Y}
+		}
+		c.AddDots(name, pts)
+	}
+	return c
+}
+
+// FromUtilization builds the Fig. 9-style chart: per-server utilization
+// before and after rebalancing.
+func FromUtilization(title string, before, after []float64) *Chart {
+	c := &Chart{Title: title, XLabel: "servers in order", YLabel: "bandwidth utilization"}
+	mk := func(vals []float64) []Point {
+		pts := make([]Point, len(vals))
+		for i, v := range vals {
+			pts[i] = Point{X: float64(i), Y: v}
+		}
+		return pts
+	}
+	c.AddDots("before rebalancing", mk(before))
+	c.AddDots("after rebalancing", mk(after))
+	return c
+}
+
+// FromTimeSeries builds the Fig. 10/11-style chart from named time series,
+// with time on the X axis in minutes.
+func FromTimeSeries(title, ylabel string, named map[string]*metrics.TimeSeries) *Chart {
+	c := &Chart{Title: title, XLabel: "time in minutes", YLabel: ylabel}
+	names := make([]string, 0, len(named))
+	for name := range named {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		ts := named[name]
+		pts := make([]Point, 0, ts.N())
+		for _, p := range ts.Points() {
+			pts = append(pts, Point{X: p.T.Minutes(), Y: p.V})
+		}
+		c.AddLine(name, pts)
+	}
+	return c
+}
+
+// FromCDFs builds the Fig. 13/15-style chart from named CDFs.
+func FromCDFs(title, xlabel string, named map[string]*metrics.CDF) *Chart {
+	c := &Chart{Title: title, XLabel: xlabel, YLabel: "cumulative distribution function"}
+	c.FixY(0, 1)
+	names := make([]string, 0, len(named))
+	for name := range named {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		cdf := named[name]
+		pts := make([]Point, 0, cdf.N())
+		for _, p := range cdf.Points() {
+			pts = append(pts, Point{X: p.X, Y: p.Y})
+		}
+		c.AddStep(name, pts)
+	}
+	return c
+}
+
+// FromLatencySweep builds the Fig. 14-style chart: latency versus server
+// count, one line per variant.
+func FromLatencySweep(title string, servers []int, variants map[string][]time.Duration) *Chart {
+	c := &Chart{Title: title, XLabel: "number of servers", YLabel: "latency (ms)"}
+	names := make([]string, 0, len(variants))
+	for name := range variants {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		ds := variants[name]
+		pts := make([]Point, 0, len(ds))
+		for i, d := range ds {
+			if i < len(servers) {
+				pts = append(pts, Point{X: float64(servers[i]), Y: float64(d) / float64(time.Millisecond)})
+			}
+		}
+		c.AddLine(name, pts)
+	}
+	return c
+}
+
+func sortStrings(s []string) { sort.Strings(s) }

@@ -1,0 +1,273 @@
+// Package report renders experiment results as standalone SVG figures, so
+// the reproduction commands can emit images directly comparable with the
+// paper's plots (scatters for Figs. 7–9, time series for Figs. 10/11,
+// CDFs for Figs. 13/15, the latency sweep of Fig. 14).
+//
+// The implementation is a small chart builder over hand-written SVG: no
+// dependencies, deterministic output, readable in any browser.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Point is one (x, y) coordinate in data space.
+type Point struct{ X, Y float64 }
+
+// seriesKind selects the mark used for a series.
+type seriesKind int
+
+const (
+	kindDots seriesKind = iota + 1
+	kindLine
+	kindStep
+)
+
+type series struct {
+	name   string
+	kind   seriesKind
+	points []Point
+}
+
+// palette holds the paper-inspired series colors (Fig. 7's five customers
+// are black, red, green, pink, orange).
+var palette = []string{"#222222", "#d62728", "#2ca02c", "#e377c2", "#ff7f0e", "#1f77b4", "#9467bd", "#8c564b"}
+
+// Chart accumulates series and renders an SVG document.
+type Chart struct {
+	// Title, XLabel and YLabel annotate the figure.
+	Title, XLabel, YLabel string
+	// W and H are the pixel dimensions (defaults 640×420).
+	W, H int
+	// YMin / YMax force the Y range when non-nil.
+	YMin, YMax *float64
+
+	series []series
+}
+
+// AddDots adds a scatter series.
+func (c *Chart) AddDots(name string, pts []Point) {
+	c.series = append(c.series, series{name: name, kind: kindDots, points: pts})
+}
+
+// AddLine adds a polyline series.
+func (c *Chart) AddLine(name string, pts []Point) {
+	c.series = append(c.series, series{name: name, kind: kindLine, points: pts})
+}
+
+// AddStep adds a stairs-style series (natural for CDFs).
+func (c *Chart) AddStep(name string, pts []Point) {
+	c.series = append(c.series, series{name: name, kind: kindStep, points: pts})
+}
+
+// FixY pins the Y axis range.
+func (c *Chart) FixY(min, max float64) {
+	c.YMin, c.YMax = &min, &max
+}
+
+const (
+	marginLeft   = 64
+	marginRight  = 16
+	marginTop    = 36
+	marginBottom = 48
+)
+
+// Render produces the SVG document.
+func (c *Chart) Render() string {
+	w, h := c.W, c.H
+	if w == 0 {
+		w = 640
+	}
+	if h == 0 {
+		h = 420
+	}
+	plotW := float64(w - marginLeft - marginRight)
+	plotH := float64(h - marginTop - marginBottom)
+
+	xmin, xmax, ymin, ymax := c.bounds()
+	xticks := niceTicks(xmin, xmax, 6)
+	yticks := niceTicks(ymin, ymax, 6)
+	if len(xticks) >= 2 {
+		xmin, xmax = math.Min(xmin, xticks[0]), math.Max(xmax, xticks[len(xticks)-1])
+	}
+	if len(yticks) >= 2 {
+		ymin, ymax = math.Min(ymin, yticks[0]), math.Max(ymax, yticks[len(yticks)-1])
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	px := func(x float64) float64 { return marginLeft + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginTop + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", w, h)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	// Frame.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.0f" height="%.0f" fill="none" stroke="#888"/>`+"\n",
+		marginLeft, marginTop, plotW, plotH)
+	// Title and axis labels.
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="20" font-size="13" font-weight="bold">%s</text>`+"\n", marginLeft, esc(c.Title))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			marginLeft+plotW/2, h-10, esc(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.0f" text-anchor="middle" transform="rotate(-90 14 %.0f)">%s</text>`+"\n",
+			marginTop+plotH/2, marginTop+plotH/2, esc(c.YLabel))
+	}
+	// Grid and tick labels.
+	for _, t := range xticks {
+		x := px(t)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.0f" stroke="#eee"/>`+"\n",
+			x, marginTop, x, marginTop+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.0f" text-anchor="middle">%s</text>`+"\n",
+			x, marginTop+plotH+16, fmtTick(t))
+	}
+	for _, t := range yticks {
+		y := py(t)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.0f" y2="%.1f" stroke="#eee"/>`+"\n",
+			marginLeft, y, marginLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			marginLeft-6, y, fmtTick(t))
+	}
+	// Series.
+	for i, s := range c.series {
+		color := palette[i%len(palette)]
+		switch s.kind {
+		case kindDots:
+			for _, p := range s.points {
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.2" fill="%s" fill-opacity="0.75"/>`+"\n",
+					px(p.X), py(p.Y), color)
+			}
+		case kindLine, kindStep:
+			var path strings.Builder
+			for j, p := range s.points {
+				switch {
+				case j == 0:
+					fmt.Fprintf(&path, "M%.1f %.1f", px(p.X), py(p.Y))
+				case s.kind == kindStep:
+					fmt.Fprintf(&path, " H%.1f V%.1f", px(p.X), py(p.Y))
+				default:
+					fmt.Fprintf(&path, " L%.1f %.1f", px(p.X), py(p.Y))
+				}
+			}
+			fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.6"/>`+"\n", path.String(), color)
+		}
+	}
+	// Legend.
+	ly := marginTop + 8
+	for i, s := range c.series {
+		if s.name == "" {
+			continue
+		}
+		color := palette[i%len(palette)]
+		fmt.Fprintf(&b, `<rect x="%.0f" y="%d" width="10" height="10" fill="%s"/>`+"\n",
+			marginLeft+plotW-150, ly, color)
+		fmt.Fprintf(&b, `<text x="%.0f" y="%d">%s</text>`+"\n",
+			marginLeft+plotW-136, ly+9, esc(s.name))
+		ly += 16
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// bounds computes the data extents across all series.
+func (c *Chart) bounds() (xmin, xmax, ymin, ymax float64) {
+	xmin, ymin = math.Inf(1), math.Inf(1)
+	xmax, ymax = math.Inf(-1), math.Inf(-1)
+	for _, s := range c.series {
+		for _, p := range s.points {
+			xmin, xmax = math.Min(xmin, p.X), math.Max(xmax, p.X)
+			ymin, ymax = math.Min(ymin, p.Y), math.Max(ymax, p.Y)
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if c.YMin != nil {
+		ymin = *c.YMin
+	}
+	if c.YMax != nil {
+		ymax = *c.YMax
+	}
+	return xmin, xmax, ymin, ymax
+}
+
+// niceTicks returns human-friendly tick positions covering [lo, hi].
+func niceTicks(lo, hi float64, want int) []float64 {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	step := niceNum(span/float64(want-1), true)
+	start := math.Floor(lo/step) * step
+	var ticks []float64
+	for t, i := start, 0; i < 1000; t, i = t+step, i+1 {
+		// Avoid -0.
+		v := t
+		if math.Abs(v) < step*1e-9 {
+			v = 0
+		}
+		ticks = append(ticks, v)
+		// Close the range with a tick at or above hi, but always emit at
+		// least two ticks so degenerate ranges still get an axis.
+		if v >= hi && len(ticks) >= 2 {
+			break
+		}
+	}
+	return ticks
+}
+
+// niceNum rounds x to a "nice" value (1, 2, 5 × 10^k), following the
+// classic Graphics Gems heuristic.
+func niceNum(x float64, round bool) float64 {
+	exp := math.Floor(math.Log10(x))
+	f := x / math.Pow(10, exp)
+	var nf float64
+	if round {
+		switch {
+		case f < 1.5:
+			nf = 1
+		case f < 3:
+			nf = 2
+		case f < 7:
+			nf = 5
+		default:
+			nf = 10
+		}
+	} else {
+		switch {
+		case f <= 1:
+			nf = 1
+		case f <= 2:
+			nf = 2
+		case f <= 5:
+			nf = 5
+		default:
+			nf = 10
+		}
+	}
+	return nf * math.Pow(10, exp)
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

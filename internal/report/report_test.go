@@ -1,0 +1,162 @@
+package report
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"vbundle/internal/metrics"
+)
+
+// validSVG checks the document is well-formed XML with an svg root.
+func validSVG(t *testing.T, doc string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(doc))
+	rootSeen := false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok && !rootSeen {
+			if se.Name.Local != "svg" {
+				t.Fatalf("root element %q", se.Name.Local)
+			}
+			rootSeen = true
+		}
+	}
+	if !rootSeen {
+		t.Fatal("no svg root")
+	}
+}
+
+func TestChartRenderBasics(t *testing.T) {
+	c := &Chart{Title: "t <&>", XLabel: "x", YLabel: "y"}
+	c.AddDots("dots", []Point{{1, 2}, {3, 4}})
+	c.AddLine("line", []Point{{0, 0}, {5, 5}})
+	c.AddStep("step", []Point{{0, 0.1}, {2, 0.5}, {4, 1}})
+	doc := c.Render()
+	validSVG(t, doc)
+	for _, want := range []string{"circle", "path", "t &lt;&amp;&gt;", "dots", "line", "step"} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestEmptyChartRenders(t *testing.T) {
+	c := &Chart{Title: "empty"}
+	validSVG(t, c.Render())
+}
+
+func TestFixYRespected(t *testing.T) {
+	c := &Chart{}
+	c.AddLine("l", []Point{{0, 0.2}, {1, 0.4}})
+	c.FixY(0, 1)
+	doc := c.Render()
+	validSVG(t, doc)
+	// A tick at 1 must exist even though data tops out at 0.4.
+	if !strings.Contains(doc, ">1<") {
+		t.Error("fixed Y max tick missing")
+	}
+}
+
+func TestNiceTicksCoverRange(t *testing.T) {
+	for _, tc := range []struct{ lo, hi float64 }{
+		{0, 1}, {0.37, 0.91}, {-5, 17}, {100, 100000}, {3, 3},
+	} {
+		ticks := niceTicks(tc.lo, tc.hi, 6)
+		if len(ticks) < 2 {
+			t.Fatalf("[%g,%g]: %v", tc.lo, tc.hi, ticks)
+		}
+		if ticks[0] > tc.lo || ticks[len(ticks)-1] < tc.hi-1e-9 {
+			t.Errorf("[%g,%g] not covered by %v", tc.lo, tc.hi, ticks)
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				t.Errorf("ticks not increasing: %v", ticks)
+			}
+		}
+	}
+}
+
+func TestNiceNum(t *testing.T) {
+	cases := map[float64]float64{0.13: 0.1, 0.4: 0.5, 2.3: 2, 7.5: 10, 95: 100}
+	for in, want := range cases {
+		if got := niceNum(in, true); math.Abs(got-want) > 1e-12 {
+			t.Errorf("niceNum(%g) = %g, want %g", in, got, want)
+		}
+	}
+}
+
+func TestFromScatter(t *testing.T) {
+	var sc metrics.Scatter
+	sc.Add(1, 2, "Accolade")
+	sc.Add(3, 4, "Beenox")
+	sc.Add(5, 6, "Accolade")
+	doc := FromScatter("Fig 7", &sc).Render()
+	validSVG(t, doc)
+	if !strings.Contains(doc, "Accolade") || !strings.Contains(doc, "Beenox") {
+		t.Error("legend entries missing")
+	}
+	if strings.Count(doc, "<circle") != 3 {
+		t.Errorf("dot count %d", strings.Count(doc, "<circle"))
+	}
+}
+
+func TestFromUtilization(t *testing.T) {
+	doc := FromUtilization("Fig 9", []float64{0.2, 0.9}, []float64{0.5, 0.6}).Render()
+	validSVG(t, doc)
+	if !strings.Contains(doc, "before rebalancing") || !strings.Contains(doc, "after rebalancing") {
+		t.Error("legend missing")
+	}
+}
+
+func TestFromTimeSeries(t *testing.T) {
+	var ts metrics.TimeSeries
+	ts.Add(time.Minute, 0.25)
+	ts.Add(2*time.Minute, 0.20)
+	doc := FromTimeSeries("Fig 10", "SD", map[string]*metrics.TimeSeries{"3000 servers": &ts}).Render()
+	validSVG(t, doc)
+	if !strings.Contains(doc, "3000 servers") {
+		t.Error("legend missing")
+	}
+}
+
+func TestFromCDFs(t *testing.T) {
+	var c metrics.CDF
+	for _, v := range []float64{1, 5, 5, 50} {
+		c.Add(v)
+	}
+	doc := FromCDFs("Fig 13", "ms", map[string]*metrics.CDF{"before": &c}).Render()
+	validSVG(t, doc)
+	if !strings.Contains(doc, "before") {
+		t.Error("legend missing")
+	}
+}
+
+func TestFromLatencySweep(t *testing.T) {
+	doc := FromLatencySweep("Fig 14", []int{16, 64},
+		map[string][]time.Duration{"raw": {12 * time.Millisecond, 20 * time.Millisecond}}).Render()
+	validSVG(t, doc)
+	if !strings.Contains(doc, "raw") {
+		t.Error("legend missing")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	mk := func() string {
+		var sc metrics.Scatter
+		sc.Add(1, 1, "b")
+		sc.Add(2, 2, "a")
+		return FromScatter("t", &sc).Render()
+	}
+	if mk() != mk() {
+		t.Fatal("render not deterministic")
+	}
+}

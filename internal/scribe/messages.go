@@ -1,0 +1,134 @@
+package scribe
+
+import (
+	"vbundle/internal/ids"
+	"vbundle/internal/pastry"
+	"vbundle/internal/simnet"
+)
+
+const handleWireBytes = 20
+
+func payloadSize(p simnet.Message) int {
+	if ws, ok := p.(simnet.WireSizer); ok {
+		return ws.WireSize()
+	}
+	return simnet.DefaultWireSize
+}
+
+// joinMsg is routed toward the groupId and grafted at the first tree node.
+type joinMsg struct {
+	Group ids.Id
+	Child pastry.NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *joinMsg) WireSize() int { return ids.Bytes + handleWireBytes }
+
+// joinAck confirms a graft and tells the child its parent.
+type joinAck struct {
+	Group  ids.Id
+	Parent pastry.NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *joinAck) WireSize() int { return ids.Bytes + handleWireBytes }
+
+// leaveMsg prunes a childless, memberless node from the tree.
+type leaveMsg struct {
+	Group ids.Id
+	Child pastry.NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *leaveMsg) WireSize() int { return ids.Bytes + handleWireBytes }
+
+// multicastMsg travels from the publisher to the rendezvous point.
+type multicastMsg struct {
+	Group   ids.Id
+	Payload simnet.Message
+	From    pastry.NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *multicastMsg) WireSize() int { return ids.Bytes + handleWireBytes + payloadSize(m.Payload) }
+
+// multicastDown travels from the root down the tree to all members.
+type multicastDown struct {
+	Group   ids.Id
+	Payload simnet.Message
+	From    pastry.NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *multicastDown) WireSize() int { return ids.Bytes + handleWireBytes + payloadSize(m.Payload) }
+
+// parentData travels one tree edge upward (aggregation reduction).
+type parentData struct {
+	Group   ids.Id
+	Payload simnet.Message
+	From    pastry.NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *parentData) WireSize() int { return ids.Bytes + handleWireBytes + payloadSize(m.Payload) }
+
+// anycastMsg performs the depth-first search of the tree.
+type anycastMsg struct {
+	Group   ids.Id
+	Payload simnet.Message
+	Origin  pastry.NodeHandle
+	Seq     uint64
+	Visited []ids.Id
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *anycastMsg) WireSize() int {
+	return ids.Bytes*(1+len(m.Visited)) + handleWireBytes + 8 + payloadSize(m.Payload)
+}
+
+func (m *anycastMsg) visited(id ids.Id) bool {
+	for _, v := range m.Visited {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// anycastVerdict reports the search outcome to the originator.
+type anycastVerdict struct {
+	Seq      uint64
+	Accepted bool
+	By       pastry.NodeHandle
+	Visited  int
+}
+
+// WireSize implements simnet.WireSizer.
+func (m *anycastVerdict) WireSize() int { return 8 + 1 + handleWireBytes + 4 }
+
+// heartbeat keeps tree edges fresh; children re-join after missing several.
+type heartbeat struct {
+	Group ids.Id
+}
+
+// WireSize implements simnet.WireSizer.
+func (heartbeat) WireSize() int { return ids.Bytes }
+
+// rootProbe is routed by a rendezvous point toward its own group key each
+// maintenance round; if it lands on a different node, the sender is a
+// stale root (routing state has healed around it).
+type rootProbe struct {
+	Group ids.Id
+	From  pastry.NodeHandle
+}
+
+// WireSize implements simnet.WireSizer.
+func (rootProbe) WireSize() int { return ids.Bytes + handleWireBytes }
+
+// rootDemote tells a stale root to step down and re-join as a child.
+type rootDemote struct {
+	Group ids.Id
+}
+
+// WireSize implements simnet.WireSizer.
+func (rootDemote) WireSize() int { return ids.Bytes }

@@ -1,0 +1,569 @@
+// Package scribe implements the Scribe application-level group
+// communication system (Castro et al.) on top of the Pastry overlay, as
+// used by v-Bundle for its aggregation trees and its Less-Loaded any-cast
+// group (paper §III).
+//
+// A group is named by a pseudo-random Pastry key (groupId), typically the
+// hash of its textual name. The node whose identifier is numerically
+// closest to the groupId is the group's rendezvous point (root). Joins are
+// routed toward the groupId and grafted onto the first node already in the
+// tree, so the multicast tree inherits Pastry's proximity properties.
+//
+// Two primitives matter to v-Bundle:
+//
+//   - Multicast disseminates a message from the root to all members; the
+//     aggregation layer uses the tree in both directions.
+//   - Anycast performs a distributed depth-first search of the tree,
+//     delivering the message to one member willing to accept it —
+//     v-Bundle's decentralized resource discovery. Children are visited
+//     closest-to-the-origin first, which preserves the bandwidth-aware
+//     placement when shedding load.
+package scribe
+
+import (
+	"fmt"
+	"time"
+
+	"vbundle/internal/ids"
+	"vbundle/internal/pastry"
+	"vbundle/internal/simnet"
+)
+
+// AppName is the name under which Scribe registers with Pastry.
+const AppName = "scribe"
+
+// GroupKey derives a group identifier from its textual name, mirroring the
+// paper's hash(groupName) construction.
+func GroupKey(name string) ids.Id { return ids.HashString(name) }
+
+// Handlers holds the per-group callbacks of a member.
+type Handlers struct {
+	// OnMulticast is invoked for every multicast delivered to this member.
+	OnMulticast func(group ids.Id, payload simnet.Message, from pastry.NodeHandle)
+	// OnAnycast is asked whether this member accepts an any-cast message.
+	// Returning true ends the depth-first search. A nil handler rejects.
+	OnAnycast func(group ids.Id, payload simnet.Message, origin pastry.NodeHandle) bool
+}
+
+// AnycastResult reports the outcome of an Anycast call to its originator.
+type AnycastResult struct {
+	// Accepted is true if some member accepted the message.
+	Accepted bool
+	// By is the accepting member (NoHandle when Accepted is false).
+	By pastry.NodeHandle
+	// Visited is the number of tree nodes the search touched.
+	Visited int
+}
+
+// groupState is this node's view of one group's tree.
+type groupState struct {
+	group    ids.Id
+	member   bool
+	root     bool
+	parent   pastry.NodeHandle // NoHandle while unknown or at the root
+	children map[ids.Id]pastry.NodeHandle
+	handlers Handlers
+	// joining marks an in-flight join (parent not yet confirmed).
+	joining bool
+	// missedBeats counts maintenance rounds without a parent heartbeat.
+	missedBeats int
+	// onParentData receives payloads pushed upward with SendToParent.
+	onParentData func(payload simnet.Message, from pastry.NodeHandle)
+}
+
+// Scribe runs group communication for one Pastry node.
+type Scribe struct {
+	node   *pastry.Node
+	groups map[ids.Id]*groupState
+
+	anycastSeq     uint64
+	pendingAnycast map[uint64]func(AnycastResult)
+
+	// AnycastTimeout bounds how long an originator waits for an any-cast
+	// verdict before reporting failure. Defaults to 10 seconds.
+	AnycastTimeout time.Duration
+
+	maintenance *simTicker
+
+	// stats for the overhead experiments
+	joinsHandled      int
+	multicastsRelayed int
+	anycastsSeen      int
+}
+
+// simTicker is a tiny indirection so Scribe can stop its maintenance loop.
+type simTicker struct{ stop func() }
+
+// New creates the Scribe instance for node and registers it under AppName.
+func New(node *pastry.Node) *Scribe {
+	s := &Scribe{
+		node:           node,
+		groups:         make(map[ids.Id]*groupState),
+		pendingAnycast: make(map[uint64]func(AnycastResult)),
+		AnycastTimeout: 10 * time.Second,
+	}
+	node.Register(AppName, s)
+	node.OnNodeDead(s.handleNodeDead)
+	return s
+}
+
+// Node returns the underlying Pastry node.
+func (s *Scribe) Node() *pastry.Node { return s.node }
+
+// Member reports whether this node is a subscribed member of group.
+func (s *Scribe) Member(group ids.Id) bool {
+	g, ok := s.groups[group]
+	return ok && g.member
+}
+
+// InTree reports whether this node participates in the group's tree, as a
+// member or as a forwarder.
+func (s *Scribe) InTree(group ids.Id) bool {
+	_, ok := s.groups[group]
+	return ok
+}
+
+// Children returns the node's children in the group tree.
+func (s *Scribe) Children(group ids.Id) []pastry.NodeHandle {
+	g, ok := s.groups[group]
+	if !ok {
+		return nil
+	}
+	out := make([]pastry.NodeHandle, 0, len(g.children))
+	for _, h := range g.children {
+		out = append(out, h)
+	}
+	return out
+}
+
+// Parent returns the node's parent in the group tree (NoHandle at the root
+// or when unknown).
+func (s *Scribe) Parent(group ids.Id) pastry.NodeHandle {
+	if g, ok := s.groups[group]; ok {
+		return g.parent
+	}
+	return pastry.NoHandle
+}
+
+// IsRoot reports whether this node is the group's rendezvous point.
+func (s *Scribe) IsRoot(group ids.Id) bool {
+	g, ok := s.groups[group]
+	return ok && g.root
+}
+
+// Stats returns operation counters for overhead analysis: joins processed,
+// multicast relays and any-cast visits at this node.
+func (s *Scribe) Stats() (joins, multicasts, anycasts int) {
+	return s.joinsHandled, s.multicastsRelayed, s.anycastsSeen
+}
+
+// --- membership ------------------------------------------------------------
+
+// Join subscribes this node to group with the given handlers. Joining an
+// already joined group replaces the handlers. The tree is created on demand:
+// the first join establishes the rendezvous point.
+func (s *Scribe) Join(group ids.Id, h Handlers) {
+	g := s.stateFor(group)
+	g.member = true
+	g.handlers = h
+	if g.root || (!g.parent.IsNil() && !g.joining) {
+		return // already attached to the tree
+	}
+	s.sendJoin(g)
+}
+
+func (s *Scribe) stateFor(group ids.Id) *groupState {
+	g, ok := s.groups[group]
+	if !ok {
+		g = &groupState{group: group, parent: pastry.NoHandle, children: make(map[ids.Id]pastry.NodeHandle)}
+		s.groups[group] = g
+	}
+	return g
+}
+
+func (s *Scribe) sendJoin(g *groupState) {
+	g.joining = true
+	s.node.Route(g.group, AppName, &joinMsg{Group: g.group, Child: s.node.Handle()})
+}
+
+// Leave unsubscribes this node from group. The node remains a silent
+// forwarder while it still has children; once childless it prunes itself
+// from the tree.
+func (s *Scribe) Leave(group ids.Id) {
+	g, ok := s.groups[group]
+	if !ok {
+		return
+	}
+	g.member = false
+	g.handlers = Handlers{}
+	s.maybePrune(g)
+}
+
+// maybePrune detaches the node from the tree if it no longer serves any
+// purpose there (no local member, no children, not the root).
+func (s *Scribe) maybePrune(g *groupState) {
+	if g.member || g.root || len(g.children) > 0 {
+		return
+	}
+	if !g.parent.IsNil() {
+		s.node.SendDirect(g.parent, AppName, &leaveMsg{Group: g.group, Child: s.node.Handle()})
+	}
+	delete(s.groups, g.group)
+}
+
+// --- multicast ---------------------------------------------------------------
+
+// Multicast publishes payload to every member of group. The message is
+// routed to the rendezvous point and disseminated down the tree.
+func (s *Scribe) Multicast(group ids.Id, payload simnet.Message) {
+	s.node.Route(group, AppName, &multicastMsg{Group: group, Payload: payload, From: s.node.Handle()})
+}
+
+// disseminate delivers a multicast locally (if member) and relays it to all
+// children.
+func (s *Scribe) disseminate(g *groupState, m *multicastDown) {
+	s.multicastsRelayed++
+	if g.member && g.handlers.OnMulticast != nil {
+		g.handlers.OnMulticast(g.group, m.Payload, m.From)
+	}
+	for _, child := range g.children {
+		s.node.SendDirect(child, AppName, m)
+	}
+}
+
+// SendToChildren pushes payload directly to this node's children in the
+// group tree (the aggregation layer uses this for root-to-leaf
+// dissemination below the root).
+func (s *Scribe) SendToChildren(group ids.Id, payload simnet.Message) {
+	g, ok := s.groups[group]
+	if !ok {
+		return
+	}
+	m := &multicastDown{Group: group, Payload: payload, From: s.node.Handle()}
+	for _, child := range g.children {
+		s.node.SendDirect(child, AppName, m)
+	}
+}
+
+// SendToParent pushes payload directly to this node's parent in the group
+// tree; it reports false at the root or while the parent is unknown. The
+// aggregation layer uses this for leaf-to-root reduction.
+func (s *Scribe) SendToParent(group ids.Id, payload simnet.Message) bool {
+	g, ok := s.groups[group]
+	if !ok || g.parent.IsNil() {
+		return false
+	}
+	s.node.SendDirect(g.parent, AppName, &parentData{Group: group, Payload: payload, From: s.node.Handle()})
+	return true
+}
+
+// OnParentData registers a callback for payloads pushed upward with
+// SendToParent; the aggregation layer is the only consumer.
+func (s *Scribe) OnParentData(group ids.Id, fn func(payload simnet.Message, from pastry.NodeHandle)) {
+	s.stateFor(group).onParentData = fn
+}
+
+// --- anycast -----------------------------------------------------------------
+
+// Anycast starts a depth-first search of the group tree for a member that
+// accepts payload; onResult is invoked exactly once with the verdict.
+func (s *Scribe) Anycast(group ids.Id, payload simnet.Message, onResult func(AnycastResult)) {
+	s.anycastSeq++
+	seq := s.anycastSeq
+	if onResult != nil {
+		s.pendingAnycast[seq] = onResult
+		s.node.Engine().After(s.AnycastTimeout, func() {
+			if cb, ok := s.pendingAnycast[seq]; ok {
+				delete(s.pendingAnycast, seq)
+				cb(AnycastResult{})
+			}
+		})
+	}
+	m := &anycastMsg{Group: group, Payload: payload, Origin: s.node.Handle(), Seq: seq}
+	// Fast path: if we are already in the tree, start the DFS locally.
+	if _, ok := s.groups[group]; ok {
+		s.anycastStep(m)
+		return
+	}
+	s.node.Route(group, AppName, m)
+}
+
+// anycastStep runs the DFS decision at this node.
+func (s *Scribe) anycastStep(m *anycastMsg) {
+	s.anycastsSeen++
+	g, ok := s.groups[m.Group]
+	if !ok {
+		// Tree ended unexpectedly (stale pointer); report failure.
+		s.finishAnycast(m, false, pastry.NoHandle)
+		return
+	}
+	self := s.node.Handle().Id
+	if !m.visited(self) {
+		m.Visited = append(m.Visited, self)
+		if g.member && g.handlers.OnAnycast != nil && g.handlers.OnAnycast(m.Group, m.Payload, m.Origin) {
+			s.finishAnycast(m, true, s.node.Handle())
+			return
+		}
+	}
+	// Prefer the unvisited child topologically closest to the origin, so
+	// accepted work stays near the requester (paper §III.C step 2).
+	next := pastry.NoHandle
+	var bestLat time.Duration
+	for _, child := range g.children {
+		if m.visited(child.Id) {
+			continue
+		}
+		l := s.node.LatencyBetween(child.Addr, m.Origin.Addr)
+		if next.IsNil() || l < bestLat || (l == bestLat && ids.CloserTo(m.Origin.Id, child.Id, next.Id)) {
+			next, bestLat = child, l
+		}
+	}
+	if !next.IsNil() {
+		s.node.SendDirect(next, AppName, m)
+		return
+	}
+	// Backtrack: a visited parent is only a relay at this point — it will
+	// skip re-accepting (it is in Visited) and try its own next unvisited
+	// child, or climb further. The search therefore terminates at the root
+	// once the whole tree is exhausted.
+	if !g.parent.IsNil() {
+		s.node.SendDirect(g.parent, AppName, m)
+		return
+	}
+	// Exhausted the tree.
+	s.finishAnycast(m, false, pastry.NoHandle)
+}
+
+func (s *Scribe) finishAnycast(m *anycastMsg, accepted bool, by pastry.NodeHandle) {
+	verdict := &anycastVerdict{Seq: m.Seq, Accepted: accepted, By: by, Visited: len(m.Visited)}
+	if m.Origin.Addr == s.node.Addr() {
+		s.handleVerdict(verdict)
+		return
+	}
+	s.node.SendDirect(m.Origin, AppName, verdict)
+}
+
+func (s *Scribe) handleVerdict(v *anycastVerdict) {
+	cb, ok := s.pendingAnycast[v.Seq]
+	if !ok {
+		return // timed out already
+	}
+	delete(s.pendingAnycast, v.Seq)
+	cb(AnycastResult{Accepted: v.Accepted, By: v.By, Visited: v.Visited})
+}
+
+// --- pastry up-calls ---------------------------------------------------------
+
+// Deliver implements pastry.App: the message reached the node responsible
+// for the group key.
+func (s *Scribe) Deliver(key ids.Id, payload simnet.Message, info pastry.RouteInfo) {
+	switch m := payload.(type) {
+	case *joinMsg:
+		// We are the rendezvous point for this group.
+		g := s.stateFor(m.Group)
+		g.root = true
+		g.parent = pastry.NoHandle
+		g.joining = false
+		s.addChild(g, m.Child)
+	case *multicastMsg:
+		g := s.stateFor(m.Group)
+		g.root = true
+		s.disseminate(g, &multicastDown{Group: m.Group, Payload: m.Payload, From: m.From})
+	case *anycastMsg:
+		if _, ok := s.groups[m.Group]; !ok {
+			// No tree exists: nobody to accept.
+			s.finishAnycast(m, false, pastry.NoHandle)
+			return
+		}
+		s.anycastStep(m)
+	case *rootProbe:
+		if m.From.Id == s.node.ID() {
+			return // still the rendezvous point
+		}
+		// The probing node is a stale root: key ownership moved here.
+		g := s.stateFor(m.Group)
+		g.root = true
+		s.node.SendDirect(m.From, AppName, &rootDemote{Group: m.Group})
+	}
+}
+
+// Forward implements pastry.App: intercept tree-building and anycast
+// messages at nodes already in the tree.
+func (s *Scribe) Forward(key ids.Id, payload simnet.Message, next pastry.NodeHandle) bool {
+	switch m := payload.(type) {
+	case *joinMsg:
+		if m.Child.Id == s.node.ID() {
+			return true // our own join leaving the node; let it route
+		}
+		g, inTree := s.groups[m.Group]
+		if inTree && !g.joining {
+			s.addChild(g, m.Child)
+			return false // grafted; stop routing
+		}
+		// Not in the tree: become a forwarder, adopt the child, and send
+		// our own join onward (standard Scribe graft).
+		g = s.stateFor(m.Group)
+		s.addChild(g, m.Child)
+		if !g.joining {
+			s.sendJoin(g)
+		}
+		return false
+	case *anycastMsg:
+		if _, ok := s.groups[m.Group]; ok {
+			s.anycastStep(m)
+			return false
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// HandleDirect implements pastry.App.
+func (s *Scribe) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
+	switch m := payload.(type) {
+	case *joinAck:
+		g := s.stateFor(m.Group)
+		g.parent = m.Parent
+		g.joining = false
+		g.missedBeats = 0
+	case *leaveMsg:
+		if g, ok := s.groups[m.Group]; ok {
+			delete(g.children, m.Child.Id)
+			s.maybePrune(g)
+		}
+	case *multicastDown:
+		g, ok := s.groups[m.Group]
+		if !ok {
+			return
+		}
+		// Only the current parent's copies count: a stale edge left by a
+		// lossy re-graft would otherwise deliver duplicates. The sender is
+		// told to drop the edge.
+		if !g.parent.IsNil() && g.parent.Id != from.Id && !g.root {
+			s.node.SendDirect(from, AppName, &leaveMsg{Group: m.Group, Child: s.node.Handle()})
+			return
+		}
+		g.missedBeats = 0
+		s.disseminate(g, m)
+	case *parentData:
+		if g, ok := s.groups[m.Group]; ok && g.onParentData != nil {
+			g.onParentData(m.Payload, m.From)
+		}
+	case *anycastMsg:
+		s.anycastStep(m)
+	case *anycastVerdict:
+		s.handleVerdict(m)
+	case *rootDemote:
+		if g, ok := s.groups[m.Group]; ok && g.root {
+			g.root = false
+			g.parent = pastry.NoHandle
+			s.sendJoin(g)
+		}
+	case *heartbeat:
+		g, ok := s.groups[m.Group]
+		if !ok {
+			return
+		}
+		switch {
+		case g.root:
+			// The rendezvous point takes no parent; tell the sender to
+			// drop its stale edge.
+			s.node.SendDirect(from, AppName, &leaveMsg{Group: m.Group, Child: s.node.Handle()})
+		case g.parent.IsNil():
+			// A lost join ack left us detached while the sender adopted
+			// us. Adopting it back is safe only along the routing
+			// gradient (parents numerically closer to the group key than
+			// their children), which keeps the tree acyclic.
+			if ids.CloserTo(m.Group, from.Id, s.node.ID()) {
+				g.parent = from
+				g.joining = false
+				g.missedBeats = 0
+			}
+		case g.parent.Id == from.Id:
+			g.missedBeats = 0
+		default:
+			// Heartbeat from a stale former parent: prune its edge.
+			s.node.SendDirect(from, AppName, &leaveMsg{Group: m.Group, Child: s.node.Handle()})
+		}
+	}
+}
+
+func (s *Scribe) addChild(g *groupState, child pastry.NodeHandle) {
+	if child.Id == s.node.ID() {
+		return
+	}
+	s.joinsHandled++
+	g.children[child.Id] = child
+	s.node.SendDirect(child, AppName, &joinAck{Group: g.group, Parent: s.node.Handle()})
+}
+
+// --- failure handling --------------------------------------------------------
+
+// handleNodeDead repairs trees when Pastry declares a neighbor dead: if it
+// was a parent, rejoin the group; if a child, drop it.
+func (s *Scribe) handleNodeDead(h pastry.NodeHandle) {
+	for _, g := range s.groups {
+		if g.parent.Id == h.Id && !g.parent.IsNil() {
+			g.parent = pastry.NoHandle
+			if g.member || len(g.children) > 0 {
+				s.sendJoin(g)
+			}
+		}
+		if _, ok := g.children[h.Id]; ok {
+			delete(g.children, h.Id)
+			s.maybePrune(g)
+		}
+	}
+}
+
+// StartMaintenance begins the tree heartbeat protocol: parents beat to
+// children every interval; a child missing three beats re-joins through
+// routing, repairing stale tree edges that Pastry's failure detector missed.
+func (s *Scribe) StartMaintenance(interval time.Duration) {
+	if s.maintenance != nil {
+		return
+	}
+	t := s.node.Engine().Every(interval, func() {
+		for _, g := range s.groups {
+			for _, child := range g.children {
+				s.node.SendDirect(child, AppName, &heartbeat{Group: g.group})
+			}
+			switch {
+			case g.root:
+				// Verify key ownership: routing may have healed around a
+				// root promoted during a failure-detector mistake.
+				s.node.Route(g.group, AppName, &rootProbe{Group: g.group, From: s.node.Handle()})
+			case g.parent.IsNil():
+				// A join (or its ack) was lost in flight: retry so the
+				// node does not stay detached forever.
+				if g.member || len(g.children) > 0 {
+					s.sendJoin(g)
+				}
+			default:
+				g.missedBeats++
+				if g.missedBeats >= 3 {
+					g.missedBeats = 0
+					g.parent = pastry.NoHandle
+					s.sendJoin(g)
+				}
+			}
+		}
+	})
+	s.maintenance = &simTicker{stop: t.Stop}
+}
+
+// StopMaintenance halts the heartbeat protocol.
+func (s *Scribe) StopMaintenance() {
+	if s.maintenance != nil {
+		s.maintenance.stop()
+		s.maintenance = nil
+	}
+}
+
+var _ pastry.App = (*Scribe)(nil)
+
+// String identifies the instance in logs.
+func (s *Scribe) String() string {
+	return fmt.Sprintf("scribe[%s]", s.node.ID().Short())
+}

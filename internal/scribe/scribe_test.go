@@ -1,0 +1,531 @@
+package scribe
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vbundle/internal/ids"
+	"vbundle/internal/pastry"
+	"vbundle/internal/sim"
+	"vbundle/internal/simnet"
+	"vbundle/internal/topology"
+)
+
+// fixture builds a static ring with a Scribe instance per node.
+type fixture struct {
+	engine  *sim.Engine
+	ring    *pastry.Ring
+	scribes []*Scribe
+}
+
+func newFixture(t *testing.T, racks, perRack int) *fixture {
+	t.Helper()
+	tp, err := topology.New(topology.Spec{
+		Racks:            racks,
+		ServersPerRack:   perRack,
+		RacksPerPod:      2,
+		NICMbps:          1000,
+		Oversubscription: 8,
+		LANHop:           time.Millisecond,
+		LocalDelivery:    10 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("topology: %v", err)
+	}
+	engine := sim.NewEngine(11)
+	ring := pastry.NewRing(engine, tp, pastry.Config{}, pastry.HierarchyAssigner)
+	ring.BuildStatic()
+	f := &fixture{engine: engine, ring: ring, scribes: make([]*Scribe, ring.Size())}
+	for i, n := range ring.Nodes() {
+		f.scribes[i] = New(n)
+	}
+	return f
+}
+
+// treeCheck walks the group tree from the root; it returns the set of nodes
+// reached and fails on cycles.
+func (f *fixture) treeCheck(t *testing.T, group ids.Id) map[ids.Id]bool {
+	t.Helper()
+	var root *Scribe
+	for _, s := range f.scribes {
+		if s.IsRoot(group) {
+			if root != nil {
+				t.Fatalf("two roots for group %s", group.Short())
+			}
+			root = s
+		}
+	}
+	if root == nil {
+		t.Fatalf("no root for group %s", group.Short())
+	}
+	byID := make(map[ids.Id]*Scribe, len(f.scribes))
+	for _, s := range f.scribes {
+		byID[s.Node().ID()] = s
+	}
+	reached := make(map[ids.Id]bool)
+	var walk func(s *Scribe)
+	walk = func(s *Scribe) {
+		id := s.Node().ID()
+		if reached[id] {
+			t.Fatalf("cycle in tree at %s", id.Short())
+		}
+		reached[id] = true
+		for _, child := range s.Children(group) {
+			cs, ok := byID[child.Id]
+			if !ok {
+				t.Fatalf("child %s not a known node", child.Id.Short())
+			}
+			walk(cs)
+		}
+	}
+	walk(root)
+	return reached
+}
+
+func TestJoinBuildsConnectedTree(t *testing.T) {
+	f := newFixture(t, 4, 8) // 32 nodes
+	group := GroupKey("BW_Capacity")
+	for _, s := range f.scribes {
+		s.Join(group, Handlers{})
+	}
+	f.engine.Run()
+	reached := f.treeCheck(t, group)
+	for _, s := range f.scribes {
+		if !s.Member(group) {
+			t.Fatalf("node %s not a member", s.Node().ID().Short())
+		}
+		if !reached[s.Node().ID()] {
+			t.Errorf("member %s unreachable from root", s.Node().ID().Short())
+		}
+	}
+}
+
+func TestMulticastReachesAllMembersExactlyOnce(t *testing.T) {
+	f := newFixture(t, 4, 8)
+	group := GroupKey("news")
+	got := make(map[ids.Id]int)
+	// Half the nodes join.
+	for i, s := range f.scribes {
+		if i%2 == 0 {
+			id := s.Node().ID()
+			s.Join(group, Handlers{
+				OnMulticast: func(g ids.Id, payload simnet.Message, from pastry.NodeHandle) {
+					if payload != "flash" {
+						t.Errorf("payload = %v", payload)
+					}
+					got[id]++
+				},
+			})
+		}
+	}
+	f.engine.Run()
+	// Publish from a non-member.
+	f.scribes[1].Multicast(group, "flash")
+	f.engine.Run()
+	members := 0
+	for i, s := range f.scribes {
+		if i%2 != 0 {
+			continue
+		}
+		members++
+		if got[s.Node().ID()] != 1 {
+			t.Errorf("member %d received %d copies", i, got[s.Node().ID()])
+		}
+	}
+	if members == 0 {
+		t.Fatal("no members in test")
+	}
+}
+
+func TestMulticastFromMemberAlsoDeliversLocally(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	group := GroupKey("self-delivery")
+	counts := make([]int, len(f.scribes))
+	for i, s := range f.scribes {
+		i := i
+		s.Join(group, Handlers{
+			OnMulticast: func(ids.Id, simnet.Message, pastry.NodeHandle) { counts[i]++ },
+		})
+	}
+	f.engine.Run()
+	f.scribes[3].Multicast(group, "x")
+	f.engine.Run()
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("node %d received %d copies", i, c)
+		}
+	}
+}
+
+func TestAnycastAcceptedByExactlyOneMember(t *testing.T) {
+	f := newFixture(t, 4, 8)
+	group := GroupKey("less-loaded")
+	accepts := make(map[ids.Id]int)
+	for i, s := range f.scribes {
+		if i%4 == 0 {
+			id := s.Node().ID()
+			s.Join(group, Handlers{
+				OnAnycast: func(ids.Id, simnet.Message, pastry.NodeHandle) bool {
+					accepts[id]++
+					return true
+				},
+			})
+		}
+	}
+	f.engine.Run()
+	var result *AnycastResult
+	f.scribes[3].Anycast(group, "need 100 Mbps", func(r AnycastResult) { result = &r })
+	f.engine.Run()
+	if result == nil {
+		t.Fatal("anycast callback never fired")
+	}
+	if !result.Accepted {
+		t.Fatal("anycast not accepted despite willing members")
+	}
+	total := 0
+	for _, c := range accepts {
+		total += c
+	}
+	if total != 1 {
+		t.Fatalf("anycast accepted %d times, want 1", total)
+	}
+	if result.By.IsNil() {
+		t.Fatal("result.By is nil")
+	}
+	if accepts[result.By.Id] != 1 {
+		t.Fatal("result.By does not match the accepting node")
+	}
+}
+
+func TestAnycastVisitsUntilAcceptor(t *testing.T) {
+	// All members reject except one specific node; the DFS must find it.
+	f := newFixture(t, 4, 4)
+	group := GroupKey("needle")
+	var acceptorID ids.Id
+	for i, s := range f.scribes {
+		accept := i == 13
+		if accept {
+			acceptorID = s.Node().ID()
+		}
+		s.Join(group, Handlers{
+			OnAnycast: func(ids.Id, simnet.Message, pastry.NodeHandle) bool { return accept },
+		})
+	}
+	f.engine.Run()
+	var result *AnycastResult
+	f.scribes[0].Anycast(group, "q", func(r AnycastResult) { result = &r })
+	f.engine.Run()
+	if result == nil || !result.Accepted {
+		t.Fatalf("anycast failed: %+v", result)
+	}
+	if result.By.Id != acceptorID {
+		t.Fatalf("accepted by %s, want %s", result.By.Id.Short(), acceptorID.Short())
+	}
+	if result.Visited < 1 {
+		t.Fatalf("visited %d nodes", result.Visited)
+	}
+}
+
+func TestAnycastAllRejectReportsFailure(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	group := GroupKey("nobody-home")
+	for _, s := range f.scribes {
+		s.Join(group, Handlers{
+			OnAnycast: func(ids.Id, simnet.Message, pastry.NodeHandle) bool { return false },
+		})
+	}
+	f.engine.Run()
+	var result *AnycastResult
+	f.scribes[0].Anycast(group, "q", func(r AnycastResult) { result = &r })
+	f.engine.Run()
+	if result == nil {
+		t.Fatal("no verdict")
+	}
+	if result.Accepted {
+		t.Fatal("anycast accepted with all members rejecting")
+	}
+}
+
+func TestAnycastNoTreeReportsFailure(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	var result *AnycastResult
+	f.scribes[0].Anycast(GroupKey("ghost-group"), "q", func(r AnycastResult) { result = &r })
+	f.engine.Run()
+	if result == nil || result.Accepted {
+		t.Fatalf("want explicit failure, got %+v", result)
+	}
+}
+
+func TestAnycastPrefersTopologicallyCloseAcceptor(t *testing.T) {
+	// Members in every rack; the acceptor chosen for an origin should sit in
+	// the origin's rack when the tree offers a choice there.
+	f := newFixture(t, 4, 8)
+	group := GroupKey("close-pref")
+	for _, s := range f.scribes {
+		s.Join(group, Handlers{
+			OnAnycast: func(ids.Id, simnet.Message, pastry.NodeHandle) bool { return true },
+		})
+	}
+	f.engine.Run()
+	topo := f.ring.Topology()
+	sameRack := 0
+	const trials = 16
+	for i := 0; i < trials; i++ {
+		origin := i * 2
+		var res *AnycastResult
+		f.scribes[origin].Anycast(group, "q", func(r AnycastResult) { res = &r })
+		f.engine.Run()
+		if res == nil || !res.Accepted {
+			t.Fatalf("trial %d failed", i)
+		}
+		if topo.SameRack(origin, int(res.By.Addr)) {
+			sameRack++
+		}
+	}
+	// Self-acceptance counts as same-rack; with every node a member, the
+	// overwhelming majority of searches should resolve nearby.
+	if sameRack < trials*3/4 {
+		t.Errorf("only %d/%d anycasts resolved in-rack", sameRack, trials)
+	}
+}
+
+func TestAnycastVisitBound(t *testing.T) {
+	// A full-tree rejection visits every member at most once: Visited is
+	// bounded by the group size.
+	f := newFixture(t, 4, 4)
+	group := GroupKey("bounded")
+	members := 0
+	for i, s := range f.scribes {
+		if i%2 == 0 {
+			members++
+			s.Join(group, Handlers{
+				OnAnycast: func(ids.Id, simnet.Message, pastry.NodeHandle) bool { return false },
+			})
+		}
+	}
+	f.engine.Run()
+	var res *AnycastResult
+	f.scribes[1].Anycast(group, "q", func(r AnycastResult) { res = &r })
+	f.engine.Run()
+	if res == nil || res.Accepted {
+		t.Fatalf("want exhaustive rejection, got %+v", res)
+	}
+	// The DFS may pass through forwarder nodes too, but never more than
+	// the whole overlay.
+	if res.Visited > len(f.scribes) {
+		t.Fatalf("visited %d > overlay size %d", res.Visited, len(f.scribes))
+	}
+	if res.Visited < members {
+		t.Fatalf("visited %d < member count %d: rejection not exhaustive", res.Visited, members)
+	}
+}
+
+func TestLeavePrunesForwarders(t *testing.T) {
+	f := newFixture(t, 4, 8)
+	group := GroupKey("ephemeral")
+	for _, s := range f.scribes {
+		s.Join(group, Handlers{})
+	}
+	f.engine.Run()
+	for _, s := range f.scribes {
+		s.Leave(group)
+	}
+	f.engine.Run()
+	// After everyone leaves, only the root may remain in the tree state.
+	for i, s := range f.scribes {
+		if s.InTree(group) && !s.IsRoot(group) {
+			t.Errorf("node %d still in tree after global leave", i)
+		}
+		if s.Member(group) {
+			t.Errorf("node %d still member after leave", i)
+		}
+	}
+}
+
+func TestRejoinAfterLeave(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	group := GroupKey("flapper")
+	s := f.scribes[5]
+	s.Join(group, Handlers{})
+	f.engine.Run()
+	s.Leave(group)
+	f.engine.Run()
+	got := 0
+	s.Join(group, Handlers{
+		OnMulticast: func(ids.Id, simnet.Message, pastry.NodeHandle) { got++ },
+	})
+	f.engine.Run()
+	f.scribes[0].Multicast(group, "wb")
+	f.engine.Run()
+	if got != 1 {
+		t.Fatalf("rejoined member received %d multicasts", got)
+	}
+}
+
+func TestTreeRepairAfterNodeFailure(t *testing.T) {
+	f := newFixture(t, 4, 8)
+	group := GroupKey("resilient")
+	counts := make(map[ids.Id]int)
+	for _, s := range f.scribes {
+		id := s.Node().ID()
+		s.Join(group, Handlers{
+			OnMulticast: func(ids.Id, simnet.Message, pastry.NodeHandle) { counts[id]++ },
+		})
+	}
+	f.engine.Run()
+
+	// Kill an interior node of the tree (one with children, not the root).
+	var victim *Scribe
+	for _, s := range f.scribes {
+		if len(s.Children(group)) > 0 && !s.IsRoot(group) {
+			victim = s
+			break
+		}
+	}
+	if victim == nil {
+		t.Skip("tree has no interior non-root node")
+	}
+	f.ring.Network().Kill(victim.Node().Addr())
+
+	// Run heartbeat maintenance long enough for orphans to re-join.
+	for _, s := range f.scribes {
+		s.StartMaintenance(10 * time.Second)
+	}
+	f.engine.RunFor(2 * time.Minute)
+	for _, s := range f.scribes {
+		s.StopMaintenance()
+	}
+	f.engine.Run()
+
+	for k := range counts {
+		delete(counts, k)
+	}
+	f.scribes[0].Multicast(group, "after-failure")
+	f.engine.Run()
+
+	missing := 0
+	for _, s := range f.scribes {
+		if s == victim {
+			continue
+		}
+		if counts[s.Node().ID()] != 1 {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d live members missed the post-failure multicast", missing)
+	}
+}
+
+func TestSendToParentAndChildren(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	group := GroupKey("agg")
+	for _, s := range f.scribes {
+		s.Join(group, Handlers{})
+	}
+	f.engine.Run()
+
+	// Find a non-root member and its parent.
+	var child *Scribe
+	for _, s := range f.scribes {
+		if !s.IsRoot(group) && !s.Parent(group).IsNil() {
+			child = s
+			break
+		}
+	}
+	if child == nil {
+		t.Fatal("no non-root member")
+	}
+	parentHandle := child.Parent(group)
+	var parent *Scribe
+	for _, s := range f.scribes {
+		if s.Node().ID() == parentHandle.Id {
+			parent = s
+			break
+		}
+	}
+	if parent == nil {
+		t.Fatal("parent not found")
+	}
+
+	var upGot simnet.Message
+	parent.OnParentData(group, func(payload simnet.Message, from pastry.NodeHandle) {
+		upGot = payload
+		if from.Id != child.Node().ID() {
+			t.Errorf("parentData from %s, want %s", from.Id.Short(), child.Node().ID().Short())
+		}
+	})
+	if !child.SendToParent(group, "partial-sum") {
+		t.Fatal("SendToParent returned false for attached child")
+	}
+	f.engine.Run()
+	if upGot != "partial-sum" {
+		t.Fatalf("parent received %v", upGot)
+	}
+
+	// Root cannot send to parent.
+	for _, s := range f.scribes {
+		if s.IsRoot(group) {
+			if s.SendToParent(group, "x") {
+				t.Fatal("root SendToParent returned true")
+			}
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	f := newFixture(t, 2, 4)
+	group := GroupKey("stats")
+	for _, s := range f.scribes {
+		s.Join(group, Handlers{})
+	}
+	f.engine.Run()
+	f.scribes[0].Multicast(group, "m")
+	f.engine.Run()
+	var joins, multis int
+	for _, s := range f.scribes {
+		j, m, _ := s.Stats()
+		joins += j
+		multis += m
+	}
+	if joins < len(f.scribes)-1 {
+		t.Errorf("joins handled %d, want >= %d", joins, len(f.scribes)-1)
+	}
+	if multis < len(f.scribes) {
+		t.Errorf("multicast relays %d, want >= member count", multis)
+	}
+}
+
+func TestManyGroupsCoexist(t *testing.T) {
+	f := newFixture(t, 2, 8)
+	const groups = 10
+	counts := make([]int, groups)
+	for gi := 0; gi < groups; gi++ {
+		gi := gi
+		group := GroupKey(fmt.Sprintf("topic-%d", gi))
+		for i, s := range f.scribes {
+			if i%(gi+2) == 0 {
+				s.Join(group, Handlers{
+					OnMulticast: func(ids.Id, simnet.Message, pastry.NodeHandle) { counts[gi]++ },
+				})
+			}
+		}
+	}
+	f.engine.Run()
+	for gi := 0; gi < groups; gi++ {
+		f.scribes[1].Multicast(GroupKey(fmt.Sprintf("topic-%d", gi)), gi)
+	}
+	f.engine.Run()
+	for gi := 0; gi < groups; gi++ {
+		members := 0
+		for i := range f.scribes {
+			if i%(gi+2) == 0 {
+				members++
+			}
+		}
+		if counts[gi] != members {
+			t.Errorf("group %d: %d deliveries, want %d", gi, counts[gi], members)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All v-Bundle experiments run on virtual time: the paper's 60-minute
+// rebalancing runs (update interval 5 min, rebalance interval 25 min) execute
+// in milliseconds of wall time, and identical seeds replay identical event
+// orders, which the test suite relies on.
+//
+// The engine is single-goroutine: callbacks run sequentially in timestamp
+// order (ties broken by scheduling order), so simulation code needs no
+// locking of its own.
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Engine is a discrete-event scheduler over a virtual clock. The zero value
+// is not usable; construct engines with NewEngine.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose random
+// source is seeded with seed, making runs reproducible.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}
+
+// At schedules fn to run at absolute virtual time t. Times in the past run
+// at the current instant (they are clamped to Now).
+func (e *Engine) At(t time.Duration, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run delay after the current virtual time. Negative
+// delays are treated as zero.
+func (e *Engine) After(delay time.Duration, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// Ticker repeatedly invokes a callback at a fixed virtual-time interval
+// until stopped.
+type Ticker struct {
+	stopped bool
+}
+
+// Stop cancels future ticks. It is safe to call multiple times and from
+// within the tick callback.
+func (t *Ticker) Stop() { t.stopped = true }
+
+// Every schedules fn to run every interval, with the first invocation after
+// one full interval. It panics if interval is not positive.
+func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+	if interval <= 0 {
+		panic("sim: Every with non-positive interval")
+	}
+	t := &Ticker{}
+	var tick func()
+	tick = func() {
+		if t.stopped {
+			return
+		}
+		fn()
+		if !t.stopped {
+			e.After(interval, tick)
+		}
+	}
+	e.After(interval, tick)
+	return t
+}
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain. Periodic tickers must be stopped
+// for Run to terminate.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps at or before deadline, then
+// advances the clock to exactly the deadline. Events scheduled later remain
+// pending.
+func (e *Engine) RunUntil(deadline time.Duration) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor executes events for d of virtual time from the current instant.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
+
+// Pending returns the number of events waiting to run.
+func (e *Engine) Pending() int { return len(e.events) }

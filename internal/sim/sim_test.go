@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsRunInTimestampOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.At(30*time.Millisecond, func() { got = append(got, 3) })
+	e.At(10*time.Millisecond, func() { got = append(got, 1) })
+	e.At(20*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(time.Second, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order = %v", got)
+		}
+	}
+}
+
+func TestAfterIsRelative(t *testing.T) {
+	e := NewEngine(1)
+	var fired time.Duration
+	e.At(time.Second, func() {
+		e.After(500*time.Millisecond, func() { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 1500*time.Millisecond {
+		t.Fatalf("fired at %v, want 1.5s", fired)
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.At(time.Second, func() {
+		e.At(0, func() { ran = true }) // in the past; must still run
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("past-scheduled event never ran")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	e := NewEngine(1)
+	var ticks []time.Duration
+	tk := e.Every(10*time.Millisecond, func() {
+		ticks = append(ticks, e.Now())
+	})
+	e.RunUntil(35 * time.Millisecond)
+	tk.Stop()
+	e.Run()
+	if len(ticks) != 3 {
+		t.Fatalf("got %d ticks, want 3 (%v)", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		if want := time.Duration(i+1) * 10 * time.Millisecond; at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tk *Ticker
+	tk = e.Every(time.Millisecond, func() {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 2 {
+		t.Fatalf("ticks = %d, want 2", n)
+	}
+}
+
+func TestEveryPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewEngine(1).Every(0, func() {})
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine(1)
+	e.At(time.Hour, func() {})
+	e.RunUntil(time.Minute)
+	if e.Now() != time.Minute {
+		t.Fatalf("Now = %v, want 1m", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunFor(59 * time.Minute)
+	if e.Pending() != 0 {
+		t.Fatal("hour event did not run")
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := NewEngine(42), NewEngine(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("engines with equal seeds diverge")
+		}
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := NewEngine(1)
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}

@@ -1,0 +1,209 @@
+// Package simnet is the in-process message transport that connects the
+// Pastry nodes of a simulated datacenter. Delivery latency follows the
+// physical topology (same rack is faster than cross-pod), messages arrive
+// asynchronously through the discrete-event engine, and per-node traffic
+// counters feed the paper's overhead experiments (Table I, Fig. 15).
+//
+// The transport also supports failure injection (killed nodes silently drop
+// traffic, like a crashed server) and probabilistic message loss, which the
+// overlay's self-repair tests exercise.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"vbundle/internal/sim"
+)
+
+// Addr identifies an endpoint on the network. In v-Bundle simulations the
+// address of a node equals its server index in the topology.
+type Addr int
+
+// Nowhere is an invalid address, usable as a sentinel.
+const Nowhere Addr = -1
+
+// Message is any value carried by the network (an alias, so handlers may
+// be written with plain any). Concrete message types may implement
+// WireSizer to report realistic sizes for the overhead counters; otherwise
+// DefaultWireSize is assumed.
+type Message = any
+
+// WireSizer lets a message type report its approximate serialized size in
+// bytes for traffic accounting.
+type WireSizer interface {
+	WireSize() int
+}
+
+// DefaultWireSize is the byte size charged for messages that do not
+// implement WireSizer.
+const DefaultWireSize = 64
+
+// Handler receives messages delivered to a node.
+type Handler interface {
+	HandleMessage(from Addr, msg Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from Addr, msg Message)
+
+// HandleMessage calls f.
+func (f HandlerFunc) HandleMessage(from Addr, msg Message) { f(from, msg) }
+
+var _ Handler = HandlerFunc(nil)
+
+// LatencyFunc returns the one-way delivery latency between two addresses.
+type LatencyFunc func(a, b Addr) time.Duration
+
+// Counters accumulates per-node traffic statistics. Counts are cumulative
+// until ResetCounters.
+type Counters struct {
+	// MsgsSent and MsgsReceived count delivered messages (drops excluded
+	// from MsgsReceived, included in MsgsSent).
+	MsgsSent, MsgsReceived int
+	// BytesSent and BytesReceived use WireSizer sizes when available.
+	BytesSent, BytesReceived int
+}
+
+// Network is a simulated datagram network. It must be driven by exactly one
+// sim.Engine; all handlers run on the engine's event loop.
+type Network struct {
+	engine   *sim.Engine
+	latency  LatencyFunc
+	nodes    []slot
+	counters []Counters
+	dropRate float64
+}
+
+type slot struct {
+	handler Handler
+	alive   bool
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithDropRate makes the network drop each message independently with
+// probability p (0 <= p < 1), drawn from the engine's random source.
+func WithDropRate(p float64) Option {
+	return func(n *Network) { n.dropRate = p }
+}
+
+// New creates a network of size nodes whose pairwise latency is given by
+// latency. Nodes are created dead; Attach brings them online.
+func New(engine *sim.Engine, size int, latency LatencyFunc, opts ...Option) *Network {
+	if size < 0 {
+		panic("simnet: negative size")
+	}
+	n := &Network{
+		engine:   engine,
+		latency:  latency,
+		nodes:    make([]slot, size),
+		counters: make([]Counters, size),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	return n
+}
+
+// Engine returns the event engine driving the network.
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Size returns the number of addressable endpoints.
+func (n *Network) Size() int { return len(n.nodes) }
+
+// Attach registers handler at addr and marks the node alive. Attaching over
+// a live node replaces its handler.
+func (n *Network) Attach(addr Addr, handler Handler) {
+	n.check(addr)
+	if handler == nil {
+		panic("simnet: Attach with nil handler")
+	}
+	n.nodes[addr] = slot{handler: handler, alive: true}
+}
+
+// Kill marks the node dead: all traffic to or from it is dropped until
+// Revive. Killing a dead node is a no-op.
+func (n *Network) Kill(addr Addr) {
+	n.check(addr)
+	n.nodes[addr].alive = false
+}
+
+// Revive brings a previously killed node back online with its old handler.
+// It panics if the node was never attached.
+func (n *Network) Revive(addr Addr) {
+	n.check(addr)
+	if n.nodes[addr].handler == nil {
+		panic(fmt.Sprintf("simnet: Revive(%d) before Attach", addr))
+	}
+	n.nodes[addr].alive = true
+}
+
+// Alive reports whether the node is attached and not killed.
+func (n *Network) Alive(addr Addr) bool {
+	return addr >= 0 && int(addr) < len(n.nodes) && n.nodes[addr].alive
+}
+
+// Send delivers msg from src to dst after the topology latency. Sends from
+// or to dead nodes are silently dropped, as are a dropRate fraction of all
+// messages. Send is charged to the sender's counters even if the message is
+// later dropped (the bytes left the NIC).
+func (n *Network) Send(src, dst Addr, msg Message) {
+	n.check(src)
+	n.check(dst)
+	size := wireSize(msg)
+	if n.nodes[src].alive {
+		n.counters[src].MsgsSent++
+		n.counters[src].BytesSent += size
+	} else {
+		return
+	}
+	if n.dropRate > 0 && n.engine.Rand().Float64() < n.dropRate {
+		return
+	}
+	delay := n.latency(src, dst)
+	n.engine.After(delay, func() {
+		s := n.nodes[dst]
+		if !s.alive {
+			return
+		}
+		n.counters[dst].MsgsReceived++
+		n.counters[dst].BytesReceived += size
+		s.handler.HandleMessage(src, msg)
+	})
+}
+
+func wireSize(msg Message) int {
+	if ws, ok := msg.(WireSizer); ok {
+		return ws.WireSize()
+	}
+	return DefaultWireSize
+}
+
+// CountersOf returns a copy of the traffic counters for addr.
+func (n *Network) CountersOf(addr Addr) Counters {
+	n.check(addr)
+	return n.counters[addr]
+}
+
+// AllCounters returns a copy of every node's counters, indexed by address.
+func (n *Network) AllCounters() []Counters {
+	out := make([]Counters, len(n.counters))
+	copy(out, n.counters)
+	return out
+}
+
+// ResetCounters zeroes all traffic counters; the overhead experiments call
+// this at round boundaries to measure per-round cost.
+func (n *Network) ResetCounters() {
+	for i := range n.counters {
+		n.counters[i] = Counters{}
+	}
+}
+
+func (n *Network) check(addr Addr) {
+	if addr < 0 || int(addr) >= len(n.nodes) {
+		panic(fmt.Sprintf("simnet: address %d out of range [0,%d)", addr, len(n.nodes)))
+	}
+}

@@ -1,0 +1,201 @@
+// Package tcshape models the hypervisor-based bandwidth controller of
+// v-Bundle (§III.D): Linux traffic control (tc) with HTB-style classes, one
+// per VM, each configured with a rate (guaranteed bandwidth, the VM's
+// reservation) and a ceil (the maximum it may borrow up to, the VM's
+// limit).
+//
+// Allocate distributes a NIC's capacity across competing VM classes with
+// progressive filling:
+//
+//  1. every class is guaranteed min(rate, demand);
+//  2. leftover capacity is shared among still-hungry classes by equal
+//     increments (water filling), never exceeding min(ceil, demand);
+//  3. the allocator is work-conserving: capacity is left idle only when
+//     every class is satisfied or capped.
+package tcshape
+
+import "sort"
+
+// Class describes one VM's shaping configuration and current offered load.
+type Class struct {
+	// Rate is the guaranteed bandwidth (reservation), in Mbps.
+	Rate float64
+	// Ceil is the borrowing ceiling (limit), in Mbps; Ceil >= Rate.
+	Ceil float64
+	// Demand is the offered load, in Mbps.
+	Demand float64
+}
+
+// target is the most a class may receive: its demand capped by its ceiling.
+func (c Class) target() float64 {
+	if c.Demand < c.Ceil {
+		return c.Demand
+	}
+	return c.Ceil
+}
+
+// guaranteed is what admission control promised: rate capped by demand (an
+// idle class does not consume its guarantee).
+func (c Class) guaranteed() float64 {
+	if c.Demand < c.Rate {
+		return c.Demand
+	}
+	return c.Rate
+}
+
+// Allocate returns the per-class bandwidth shares for a NIC of the given
+// capacity. The result has the same length and order as classes.
+//
+// Invariants (verified by the test suite):
+//
+//   - alloc[i] >= min(Rate, Demand) whenever the sum of guarantees fits
+//     capacity (admission control ensures it does);
+//   - alloc[i] <= min(Ceil, Demand);
+//   - sum(alloc) <= capacity;
+//   - work conservation: if sum(alloc) < capacity then every class has
+//     alloc[i] == min(Ceil, Demand).
+//
+// If the guarantees alone exceed capacity (an over-committed server that
+// admission control would not produce), guarantees are scaled down
+// proportionally, mirroring how HTB degrades.
+func Allocate(capacity float64, classes []Class) []float64 {
+	alloc := make([]float64, len(classes))
+	if capacity <= 0 || len(classes) == 0 {
+		return alloc
+	}
+
+	// Phase 1: guarantees.
+	var guaranteedSum float64
+	for _, c := range classes {
+		guaranteedSum += c.guaranteed()
+	}
+	if guaranteedSum > capacity {
+		scale := capacity / guaranteedSum
+		for i, c := range classes {
+			alloc[i] = c.guaranteed() * scale
+		}
+		return alloc
+	}
+	for i, c := range classes {
+		alloc[i] = c.guaranteed()
+	}
+	remaining := capacity - guaranteedSum
+
+	// Phase 2: water-fill the surplus among hungry classes. Sorting by
+	// headroom lets a single pass compute the equal-increment fill level.
+	type hungry struct {
+		idx      int
+		headroom float64 // target - guaranteed
+	}
+	var hs []hungry
+	for i, c := range classes {
+		if h := c.target() - alloc[i]; h > 0 {
+			hs = append(hs, hungry{idx: i, headroom: h})
+		}
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i].headroom < hs[j].headroom })
+
+	for k := 0; k < len(hs) && remaining > 0; k++ {
+		share := remaining / float64(len(hs)-k)
+		give := hs[k].headroom
+		if give > share {
+			give = share
+		}
+		alloc[hs[k].idx] += give
+		remaining -= give
+	}
+	return alloc
+}
+
+// AllocateWeighted distributes like Allocate but shares the surplus in
+// proportion to each class's rate instead of equally — Linux HTB's actual
+// behaviour, where a class's quantum derives from its configured rate.
+// Classes with zero rate share a minimal weight so they are not starved.
+//
+// It preserves the same invariants as Allocate (guarantees met, ceil and
+// demand respected, capacity respected, work conservation).
+func AllocateWeighted(capacity float64, classes []Class) []float64 {
+	alloc := make([]float64, len(classes))
+	if capacity <= 0 || len(classes) == 0 {
+		return alloc
+	}
+	var guaranteedSum float64
+	for _, c := range classes {
+		guaranteedSum += c.guaranteed()
+	}
+	if guaranteedSum > capacity {
+		scale := capacity / guaranteedSum
+		for i, c := range classes {
+			alloc[i] = c.guaranteed() * scale
+		}
+		return alloc
+	}
+	for i, c := range classes {
+		alloc[i] = c.guaranteed()
+	}
+	remaining := capacity - guaranteedSum
+
+	// Minimum weight: a tenth of the smallest positive rate (or 1 when no
+	// class has a rate), so zero-rate classes still progress.
+	minRate := 0.0
+	for _, c := range classes {
+		if c.Rate > 0 && (minRate == 0 || c.Rate < minRate) {
+			minRate = c.Rate
+		}
+	}
+	floor := 1.0
+	if minRate > 0 {
+		floor = minRate / 10
+	}
+	weight := func(c Class) float64 {
+		if c.Rate > floor {
+			return c.Rate
+		}
+		return floor
+	}
+
+	type hungry struct {
+		idx      int
+		headroom float64
+		w        float64
+	}
+	var hs []hungry
+	var wsum float64
+	for i, c := range classes {
+		if h := c.target() - alloc[i]; h > 0 {
+			w := weight(c)
+			hs = append(hs, hungry{idx: i, headroom: h, w: w})
+			wsum += w
+		}
+	}
+	// Sort by headroom per unit weight: the class that saturates first
+	// under proportional filling comes first, enabling a single pass.
+	sort.Slice(hs, func(i, j int) bool { return hs[i].headroom/hs[i].w < hs[j].headroom/hs[j].w })
+
+	for _, h := range hs {
+		if remaining <= 0 || wsum <= 0 {
+			break
+		}
+		give := remaining * h.w / wsum
+		if give > h.headroom {
+			give = h.headroom
+		}
+		alloc[h.idx] += give
+		remaining -= give
+		wsum -= h.w
+	}
+	return alloc
+}
+
+// Satisfied returns the total allocated bandwidth and the total target
+// (demand capped by ceil) for a set of classes under the given capacity —
+// the per-server contribution to the paper's Fig. 11 "actual satisfied
+// resource" versus "resource demand" curves.
+func Satisfied(capacity float64, classes []Class) (allocated, wanted float64) {
+	alloc := Allocate(capacity, classes)
+	for i, c := range classes {
+		allocated += alloc[i]
+		wanted += c.target()
+	}
+	return allocated, wanted
+}

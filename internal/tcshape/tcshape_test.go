@@ -1,0 +1,303 @@
+package tcshape
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestGuaranteesMet(t *testing.T) {
+	classes := []Class{
+		{Rate: 100, Ceil: 200, Demand: 500},
+		{Rate: 100, Ceil: 100, Demand: 50},
+		{Rate: 200, Ceil: 400, Demand: 400},
+	}
+	alloc := Allocate(400, classes)
+	for i, c := range classes {
+		if g := math.Min(c.Rate, c.Demand); alloc[i] < g-1e-9 {
+			t.Errorf("class %d alloc %g below guarantee %g", i, alloc[i], g)
+		}
+	}
+}
+
+func TestIdleClassDoesNotHoard(t *testing.T) {
+	// Paper motivation: an idle high-I/O VM should not pin its 200 Mbps
+	// while a busy neighbour starves.
+	classes := []Class{
+		{Rate: 200, Ceil: 200, Demand: 10},  // idle high-I/O VM
+		{Rate: 100, Ceil: 400, Demand: 390}, // busy standard VM
+	}
+	alloc := Allocate(400, classes)
+	if !almostEq(alloc[0], 10) {
+		t.Errorf("idle class got %g, want 10", alloc[0])
+	}
+	if !almostEq(alloc[1], 390) {
+		t.Errorf("busy class got %g, want 390 (borrowing idle guarantee)", alloc[1])
+	}
+}
+
+func TestCeilCapsBorrowing(t *testing.T) {
+	classes := []Class{
+		{Rate: 100, Ceil: 150, Demand: 1000},
+		{Rate: 100, Ceil: 1000, Demand: 1000},
+	}
+	alloc := Allocate(1000, classes)
+	if !almostEq(alloc[0], 150) {
+		t.Errorf("capped class got %g, want 150", alloc[0])
+	}
+	if !almostEq(alloc[1], 850) {
+		t.Errorf("uncapped class got %g, want 850", alloc[1])
+	}
+}
+
+func TestEqualSharingOfSurplus(t *testing.T) {
+	classes := []Class{
+		{Rate: 0, Ceil: 1000, Demand: 1000},
+		{Rate: 0, Ceil: 1000, Demand: 1000},
+		{Rate: 0, Ceil: 1000, Demand: 1000},
+		{Rate: 0, Ceil: 1000, Demand: 1000},
+	}
+	alloc := Allocate(400, classes)
+	for i, a := range alloc {
+		if !almostEq(a, 100) {
+			t.Errorf("class %d got %g, want 100", i, a)
+		}
+	}
+}
+
+func TestExampleFromPaperFigure1(t *testing.T) {
+	// Fig. 1(b): a 400 Mbps host with one standard VM (100) and one
+	// high-I/O VM (200). Demands spike to 300 each. Traditional fixed-size
+	// allocation caps them at 100+200; v-Bundle's rate/ceil classes let
+	// them use the whole NIC.
+	classes := []Class{
+		{Rate: 100, Ceil: 400, Demand: 300},
+		{Rate: 200, Ceil: 400, Demand: 300},
+	}
+	alloc := Allocate(400, classes)
+	if got := alloc[0] + alloc[1]; !almostEq(got, 400) {
+		t.Errorf("total allocation %g, want full NIC 400", got)
+	}
+	if alloc[0] < 100-1e-9 || alloc[1] < 200-1e-9 {
+		t.Errorf("guarantees violated: %v", alloc)
+	}
+}
+
+func TestOvercommittedGuaranteesScale(t *testing.T) {
+	classes := []Class{
+		{Rate: 300, Ceil: 300, Demand: 300},
+		{Rate: 300, Ceil: 300, Demand: 300},
+	}
+	alloc := Allocate(300, classes)
+	if !almostEq(alloc[0], 150) || !almostEq(alloc[1], 150) {
+		t.Errorf("overcommit scaling: %v", alloc)
+	}
+}
+
+func TestEmptyAndDegenerate(t *testing.T) {
+	if got := Allocate(100, nil); len(got) != 0 {
+		t.Errorf("nil classes: %v", got)
+	}
+	alloc := Allocate(0, []Class{{Rate: 10, Ceil: 20, Demand: 20}})
+	if alloc[0] != 0 {
+		t.Errorf("zero capacity: %v", alloc)
+	}
+	alloc = Allocate(-5, []Class{{Rate: 10, Ceil: 20, Demand: 20}})
+	if alloc[0] != 0 {
+		t.Errorf("negative capacity: %v", alloc)
+	}
+	alloc = Allocate(100, []Class{{Rate: 10, Ceil: 20, Demand: 0}})
+	if alloc[0] != 0 {
+		t.Errorf("zero demand: %v", alloc)
+	}
+}
+
+// genClasses builds a random admissible class set: guarantees fit capacity.
+func genClasses(rng *rand.Rand, capacity float64) []Class {
+	n := 1 + rng.Intn(12)
+	classes := make([]Class, n)
+	budget := capacity
+	for i := range classes {
+		rate := rng.Float64() * budget / float64(n)
+		budget -= rate
+		ceil := rate + rng.Float64()*capacity
+		classes[i] = Class{Rate: rate, Ceil: ceil, Demand: rng.Float64() * capacity * 1.5}
+	}
+	return classes
+}
+
+func TestAllocateInvariantsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 100 + rng.Float64()*10000
+		classes := genClasses(rng, capacity)
+		alloc := Allocate(capacity, classes)
+
+		var total float64
+		allSatisfied := true
+		for i, c := range classes {
+			g := math.Min(c.Rate, c.Demand)
+			tgt := math.Min(c.Ceil, c.Demand)
+			if alloc[i] < g-1e-6 {
+				return false // guarantee violated
+			}
+			if alloc[i] > tgt+1e-6 {
+				return false // exceeded ceil or demand
+			}
+			if alloc[i] < tgt-1e-6 {
+				allSatisfied = false
+			}
+			total += alloc[i]
+		}
+		if total > capacity+1e-6 {
+			return false // capacity violated
+		}
+		if total < capacity-1e-6 && !allSatisfied {
+			return false // not work-conserving
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSatisfied(t *testing.T) {
+	classes := []Class{
+		{Rate: 100, Ceil: 200, Demand: 300},
+		{Rate: 100, Ceil: 300, Demand: 50},
+	}
+	allocated, wanted := Satisfied(400, classes)
+	if !almostEq(wanted, 250) { // min(200,300) + min(300,50)
+		t.Errorf("wanted = %g, want 250", wanted)
+	}
+	if !almostEq(allocated, 250) { // fits entirely
+		t.Errorf("allocated = %g, want 250", allocated)
+	}
+	allocated, wanted = Satisfied(100, classes)
+	if allocated > 100+1e-9 {
+		t.Errorf("allocated %g exceeds capacity", allocated)
+	}
+	if !almostEq(wanted, 250) {
+		t.Errorf("wanted changed with capacity: %g", wanted)
+	}
+}
+
+func TestWeightedSurplusFollowsRates(t *testing.T) {
+	// Two always-hungry classes with rates 100 and 300: HTB hands the
+	// surplus out 1:3.
+	classes := []Class{
+		{Rate: 100, Ceil: 1000, Demand: 1000},
+		{Rate: 300, Ceil: 1000, Demand: 1000},
+	}
+	alloc := AllocateWeighted(800, classes)
+	// Guarantees 100+300, surplus 400 split 100/300.
+	if !almostEq(alloc[0], 200) || !almostEq(alloc[1], 600) {
+		t.Fatalf("weighted split: %v", alloc)
+	}
+	// Equal-share mode differs: surplus 400 split 200/200.
+	eq := Allocate(800, classes)
+	if !almostEq(eq[0], 300) || !almostEq(eq[1], 500) {
+		t.Fatalf("equal split: %v", eq)
+	}
+}
+
+func TestWeightedZeroRateNotStarved(t *testing.T) {
+	classes := []Class{
+		{Rate: 0, Ceil: 1000, Demand: 1000},
+		{Rate: 500, Ceil: 1000, Demand: 1000},
+	}
+	alloc := AllocateWeighted(600, classes)
+	if alloc[0] <= 0 {
+		t.Fatalf("zero-rate class starved: %v", alloc)
+	}
+	if alloc[1] <= alloc[0] {
+		t.Fatalf("rate ordering not respected: %v", alloc)
+	}
+}
+
+func TestWeightedSaturationRedistributes(t *testing.T) {
+	// The heavy class caps at its ceiling; the leftovers go to the other.
+	classes := []Class{
+		{Rate: 300, Ceil: 350, Demand: 1000},
+		{Rate: 100, Ceil: 1000, Demand: 1000},
+	}
+	alloc := AllocateWeighted(1000, classes)
+	if !almostEq(alloc[0], 350) {
+		t.Fatalf("capped class: %v", alloc)
+	}
+	if !almostEq(alloc[1], 650) {
+		t.Fatalf("redistribution: %v", alloc)
+	}
+}
+
+func TestWeightedInvariantsProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 100 + rng.Float64()*10000
+		classes := genClasses(rng, capacity)
+		alloc := AllocateWeighted(capacity, classes)
+		var total float64
+		allSatisfied := true
+		for i, c := range classes {
+			g := math.Min(c.Rate, c.Demand)
+			tgt := math.Min(c.Ceil, c.Demand)
+			if alloc[i] < g-1e-6 || alloc[i] > tgt+1e-6 {
+				return false
+			}
+			if alloc[i] < tgt-1e-6 {
+				allSatisfied = false
+			}
+			total += alloc[i]
+		}
+		if total > capacity+1e-6 {
+			return false
+		}
+		if total < capacity-1e-6 && !allSatisfied {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedDegenerate(t *testing.T) {
+	if got := AllocateWeighted(100, nil); len(got) != 0 {
+		t.Fatal("nil classes")
+	}
+	if got := AllocateWeighted(0, []Class{{Rate: 1, Ceil: 2, Demand: 2}}); got[0] != 0 {
+		t.Fatal("zero capacity")
+	}
+	// Overcommitted guarantees scale, as in Allocate.
+	got := AllocateWeighted(100, []Class{
+		{Rate: 100, Ceil: 100, Demand: 100},
+		{Rate: 100, Ceil: 100, Demand: 100},
+	})
+	if !almostEq(got[0], 50) || !almostEq(got[1], 50) {
+		t.Fatalf("overcommit: %v", got)
+	}
+}
+
+func TestDeterministicForEqualInput(t *testing.T) {
+	classes := []Class{
+		{Rate: 50, Ceil: 500, Demand: 400},
+		{Rate: 50, Ceil: 500, Demand: 400},
+		{Rate: 50, Ceil: 500, Demand: 100},
+	}
+	a := Allocate(600, classes)
+	b := Allocate(600, classes)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic allocation: %v vs %v", a, b)
+		}
+	}
+	// Symmetric classes receive symmetric shares.
+	if !almostEq(a[0], a[1]) {
+		t.Fatalf("symmetric classes got %g and %g", a[0], a[1])
+	}
+}

@@ -1,0 +1,228 @@
+package topology
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func small(t *testing.T) *Topology {
+	t.Helper()
+	tp, err := New(Spec{
+		Racks:            6,
+		ServersPerRack:   4,
+		RacksPerPod:      2,
+		NICMbps:          1000,
+		Oversubscription: 8,
+		LANHop:           10 * time.Millisecond,
+		LocalDelivery:    50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return tp
+}
+
+func TestValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		ok   bool
+	}{
+		{"default", DefaultSpec(), true},
+		{"zero racks", Spec{ServersPerRack: 1, NICMbps: 1}, false},
+		{"zero servers", Spec{Racks: 1, NICMbps: 1}, false},
+		{"zero nic", Spec{Racks: 1, ServersPerRack: 1}, false},
+		{"negative pod", Spec{Racks: 1, ServersPerRack: 1, NICMbps: 1, RacksPerPod: -1}, false},
+		{"minimal", Spec{Racks: 1, ServersPerRack: 1, NICMbps: 1}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(tc.spec)
+			if (err == nil) != tc.ok {
+				t.Errorf("New(%+v) err = %v, want ok=%v", tc.spec, err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestEnumeration(t *testing.T) {
+	tp := small(t)
+	if tp.Servers() != 24 {
+		t.Fatalf("Servers = %d, want 24", tp.Servers())
+	}
+	if tp.Pods() != 3 {
+		t.Fatalf("Pods = %d, want 3", tp.Pods())
+	}
+	// Server 0..3 rack 0; 4..7 rack 1; etc.
+	for i := 0; i < tp.Servers(); i++ {
+		if got, want := tp.RackOf(i), i/4; got != want {
+			t.Fatalf("RackOf(%d) = %d, want %d", i, got, want)
+		}
+		if got, want := tp.SlotOf(i), i%4; got != want {
+			t.Fatalf("SlotOf(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if tp.PodOf(0) != 0 || tp.PodOf(1) != 0 || tp.PodOf(2) != 1 || tp.PodOf(5) != 2 {
+		t.Fatal("PodOf grouping wrong")
+	}
+}
+
+func TestTiers(t *testing.T) {
+	tp := small(t)
+	tests := []struct {
+		a, b int
+		want Tier
+		hops int
+	}{
+		{0, 0, TierLocal, 0},
+		{0, 3, TierRack, 1},
+		{0, 4, TierPod, 3},  // racks 0 and 1, same pod
+		{0, 8, TierCore, 5}, // racks 0 and 2, different pods
+		{8, 11, TierRack, 1},
+		{8, 15, TierPod, 3},
+		{23, 0, TierCore, 5},
+	}
+	for _, tc := range tests {
+		if got := tp.TierBetween(tc.a, tc.b); got != tc.want {
+			t.Errorf("TierBetween(%d,%d) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+		if got := tp.HopCount(tc.a, tc.b); got != tc.hops {
+			t.Errorf("HopCount(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.hops)
+		}
+	}
+}
+
+func TestTierString(t *testing.T) {
+	for tier, want := range map[Tier]string{
+		TierLocal: "local", TierRack: "rack", TierPod: "pod", TierCore: "core", Tier(99): "Tier(99)",
+	} {
+		if got := tier.String(); got != want {
+			t.Errorf("Tier(%d).String() = %q, want %q", int(tier), got, want)
+		}
+	}
+}
+
+func TestLatencyMonotoneInTier(t *testing.T) {
+	tp := small(t)
+	l0 := tp.Latency(0, 0)
+	l1 := tp.Latency(0, 1)
+	l2 := tp.Latency(0, 4)
+	l3 := tp.Latency(0, 8)
+	if !(l0 < l1 && l1 < l2 && l2 < l3) {
+		t.Fatalf("latency not monotone: %v %v %v %v", l0, l1, l2, l3)
+	}
+	if l1 != 10*time.Millisecond || l3 != 30*time.Millisecond {
+		t.Fatalf("latency model: rack=%v core=%v", l1, l3)
+	}
+}
+
+func TestLatencySymmetric(t *testing.T) {
+	tp := small(t)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%tp.Servers(), int(b)%tp.Servers()
+		return tp.Latency(x, y) == tp.Latency(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToRUplink(t *testing.T) {
+	tp := small(t)
+	// 4 servers × 1000 Mbps / 8 = 500 Mbps.
+	if got := tp.ToRUplinkMbps(); got != 500 {
+		t.Fatalf("ToRUplinkMbps = %g, want 500", got)
+	}
+}
+
+func TestLoadClassification(t *testing.T) {
+	tp := small(t)
+	flows := []Flow{
+		{Src: 0, Dst: 0, Mbps: 10},  // local
+		{Src: 0, Dst: 1, Mbps: 20},  // rack
+		{Src: 0, Dst: 5, Mbps: 40},  // pod
+		{Src: 0, Dst: 20, Mbps: 80}, // core
+	}
+	rep := tp.Load(flows)
+	if rep.IntraServerMbps != 10 || rep.IntraRackMbps != 20 ||
+		rep.IntraPodMbps != 40 || rep.BisectionMbps != 80 {
+		t.Fatalf("classification wrong: %+v", rep)
+	}
+	if rep.CrossRackMbps() != 120 {
+		t.Fatalf("CrossRackMbps = %g, want 120", rep.CrossRackMbps())
+	}
+	if rep.TotalMbps() != 150 {
+		t.Fatalf("TotalMbps = %g, want 150", rep.TotalMbps())
+	}
+	// Rack 0 uplink carries the pod flow (40) and core flow (80).
+	if rep.RackUplinkMbps[0] != 120 {
+		t.Fatalf("rack 0 uplink = %g, want 120", rep.RackUplinkMbps[0])
+	}
+	if rep.RackUplinkMbps[1] != 40 || rep.RackUplinkMbps[5] != 80 {
+		t.Fatalf("uplinks: %v", rep.RackUplinkMbps)
+	}
+	if want := 120.0 / 500.0; rep.MaxUplinkUtilization != want {
+		t.Fatalf("MaxUplinkUtilization = %g, want %g", rep.MaxUplinkUtilization, want)
+	}
+}
+
+func TestLoadConservation(t *testing.T) {
+	tp := small(t)
+	f := func(pairs []struct{ A, B uint8 }) bool {
+		var flows []Flow
+		var total float64
+		for _, p := range pairs {
+			fl := Flow{Src: int(p.A) % tp.Servers(), Dst: int(p.B) % tp.Servers(), Mbps: 1}
+			flows = append(flows, fl)
+			total++
+		}
+		rep := tp.Load(flows)
+		return rep.TotalMbps() == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSinglePodWhenRacksPerPodZero(t *testing.T) {
+	tp, err := New(Spec{Racks: 5, ServersPerRack: 2, NICMbps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Pods() != 1 {
+		t.Fatalf("Pods = %d, want 1", tp.Pods())
+	}
+	// With one pod there is no core traffic.
+	if tier := tp.TierBetween(0, tp.Servers()-1); tier != TierPod {
+		t.Fatalf("TierBetween ends = %v, want pod", tier)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	tp := small(t)
+	for _, fn := range []func(){
+		func() { tp.RackOf(-1) },
+		func() { tp.RackOf(tp.Servers()) },
+		func() { tp.PodOf(99) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDefaultSpecSize(t *testing.T) {
+	tp, err := New(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.Servers() != 3010 {
+		t.Fatalf("default servers = %d, want 3010 (≈ paper's 3000)", tp.Servers())
+	}
+}

@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// TraceFromCSV builds a Trace generator from CSV data: one demand sample
+// (Mbps) per row, taken from the given zero-based column; rows starting
+// with '#' in the first field and a non-numeric header row are skipped.
+// step is the interval between consecutive samples.
+func TraceFromCSV(r io.Reader, column int, step time.Duration) (Generator, error) {
+	if column < 0 {
+		return nil, fmt.Errorf("workload: negative column %d", column)
+	}
+	if step <= 0 {
+		return nil, fmt.Errorf("workload: non-positive step %v", step)
+	}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // allow ragged rows
+	cr.Comment = '#'
+	var values []float64
+	row := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: csv row %d: %w", row, err)
+		}
+		row++
+		if column >= len(rec) {
+			return nil, fmt.Errorf("workload: csv row %d has %d fields, need column %d", row, len(rec), column)
+		}
+		v, err := strconv.ParseFloat(rec[column], 64)
+		if err != nil {
+			if row == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("workload: csv row %d column %d: %w", row, column, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("workload: csv row %d: negative demand %g", row, v)
+		}
+		values = append(values, v)
+	}
+	if len(values) == 0 {
+		return nil, fmt.Errorf("workload: csv contained no samples")
+	}
+	return Trace(values, step), nil
+}

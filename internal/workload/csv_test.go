@@ -1,0 +1,61 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceFromCSV(t *testing.T) {
+	src := strings.NewReader("time,mbps\n# comment line\n0,10\n1,20\n2,35.5\n")
+	g, err := TraceFromCSV(src, 1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[time.Duration]float64{
+		0:               10,
+		time.Minute:     20,
+		2 * time.Minute: 35.5,
+		time.Hour:       35.5, // holds last value
+	}
+	for at, want := range cases {
+		if got := g.DemandAt(at); got != want {
+			t.Errorf("at %v = %g, want %g", at, got, want)
+		}
+	}
+}
+
+func TestTraceFromCSVErrors(t *testing.T) {
+	cases := map[string]struct {
+		data   string
+		column int
+		step   time.Duration
+	}{
+		"empty":             {"", 0, time.Second},
+		"header only":       {"mbps\n", 0, time.Second},
+		"negative value":    {"10\n-5\n", 0, time.Second},
+		"bad number midway": {"10\nxyz\n", 0, time.Second},
+		"missing column":    {"10\n", 3, time.Second},
+		"negative column":   {"10\n", -1, time.Second},
+		"zero step":         {"10\n", 0, 0},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := TraceFromCSV(strings.NewReader(tc.data), tc.column, tc.step); err == nil {
+				t.Error("want error")
+			}
+		})
+	}
+}
+
+func TestTraceFromCSVRaggedRows(t *testing.T) {
+	// Extra fields in some rows are fine as long as the column exists.
+	src := strings.NewReader("5,extra,fields\n7\n")
+	g, err := TraceFromCSV(src, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DemandAt(0) != 5 || g.DemandAt(time.Second) != 7 {
+		t.Fatal("ragged parse wrong")
+	}
+}

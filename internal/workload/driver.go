@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"time"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/sim"
+)
+
+// Driver binds generators to VMs and refreshes their bandwidth demands on a
+// fixed virtual-time cadence, modelling the hosted applications' changing
+// load.
+type Driver struct {
+	engine *sim.Engine
+	cl     *cluster.Cluster
+	gens   map[cluster.VMID]Generator
+	ticker *sim.Ticker
+	onTick []func(t time.Duration)
+}
+
+// NewDriver creates a driver over the given cluster.
+func NewDriver(engine *sim.Engine, cl *cluster.Cluster) *Driver {
+	return &Driver{engine: engine, cl: cl, gens: make(map[cluster.VMID]Generator)}
+}
+
+// Attach binds a generator to a VM, replacing any previous binding.
+func (d *Driver) Attach(id cluster.VMID, gen Generator) {
+	d.gens[id] = gen
+}
+
+// OnTick registers fn to run after each demand refresh.
+func (d *Driver) OnTick(fn func(t time.Duration)) {
+	d.onTick = append(d.onTick, fn)
+}
+
+// Refresh sets every attached VM's bandwidth demand to its generator value
+// at the current virtual time.
+func (d *Driver) Refresh() {
+	now := d.engine.Now()
+	for id, gen := range d.gens {
+		if vm := d.cl.VM(id); vm != nil {
+			vm.Demand.BandwidthMbps = gen.DemandAt(now)
+		}
+	}
+	for _, fn := range d.onTick {
+		fn(now)
+	}
+}
+
+// Start refreshes immediately and then every interval. It is idempotent.
+func (d *Driver) Start(interval time.Duration) {
+	if d.ticker != nil {
+		return
+	}
+	d.Refresh()
+	d.ticker = d.engine.Every(interval, d.Refresh)
+}
+
+// Stop halts periodic refreshes.
+func (d *Driver) Stop() {
+	if d.ticker != nil {
+		d.ticker.Stop()
+		d.ticker = nil
+	}
+}
