@@ -312,6 +312,32 @@ func BenchmarkFig15MessageOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepParallelism runs the same Fig. 14 sweep sequentially and
+// with one worker per core. The sweep points are independent trials, so the
+// parallel wall-clock time should approach sequential/cores with identical
+// per-seed outputs (asserted in internal/experiments's parallel tests).
+func BenchmarkSweepParallelism(b *testing.B) {
+	params := func(workers int) experiments.AggLatencyParams {
+		return experiments.AggLatencyParams{
+			Sizes:       []int{16, 32, 64, 128, 256, 512},
+			Seed:        1,
+			Parallelism: workers,
+		}
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"sequential", 1}, {"allCores", 0}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.RunAggLatency(params(bc.workers)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- Ablations (DESIGN.md) -----------------------------------------------------
 
 // BenchmarkAblationLeafSetSize measures routing cost as the leaf set grows.

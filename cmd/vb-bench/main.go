@@ -1,0 +1,166 @@
+// Command vb-bench runs the repository's benchmark suite, parses the
+// output (ns/op, allocs/op and every b.ReportMetric custom unit) and writes
+// it as BENCH_<date>.json, so successive runs can be diffed mechanically.
+//
+// Usage:
+//
+//	vb-bench [-bench regex] [-pkg pattern] [-benchtime 1x] [-out file]
+//	vb-bench -compare old.json [-tolerance 0.10] ...
+//	vb-bench -parse bench-output.txt [-out file]
+//
+// With -compare, the freshly measured suite is checked against an earlier
+// JSON file and any benchmark whose ns/op or allocs/op grew by more than
+// the tolerance (default 10%) is reported; the exit status is 1 when
+// regressions are found. With -parse, existing `go test -bench` output is
+// converted instead of running the suite (useful for archiving a run made
+// by hand or on another machine).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/exec"
+	"runtime"
+	"time"
+
+	"vbundle/internal/benchparse"
+)
+
+// Suite is the JSON document vb-bench reads and writes.
+type Suite struct {
+	Date      string              `json:"date"`
+	GoVersion string              `json:"go_version"`
+	Procs     int                 `json:"procs"`
+	Bench     string              `json:"bench"`
+	Results   []benchparse.Result `json:"results"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vb-bench: ")
+	var (
+		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		pkg       = flag.String("pkg", "./...", "package pattern to benchmark")
+		benchtime = flag.String("benchtime", "", "value for go test -benchtime (empty = go's default)")
+		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		parseIn   = flag.String("parse", "", "parse an existing go test -bench output file instead of running")
+		compare   = flag.String("compare", "", "baseline JSON to compare against")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional growth before a regression is flagged")
+		quiet     = flag.Bool("q", false, "suppress the go test output echo")
+	)
+	flag.Parse()
+
+	var raw []byte
+	var err error
+	if *parseIn != "" {
+		raw, err = os.ReadFile(*parseIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		raw, err = runBenchmarks(*pkg, *bench, *benchtime, *quiet)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	results, err := benchparse.Parse(bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatalf("no benchmark lines found (bench regex %q, packages %q)", *bench, *pkg)
+	}
+
+	suite := Suite{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		Procs:     runtime.GOMAXPROCS(0),
+		Bench:     *bench,
+		Results:   results,
+	}
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", suite.Date)
+	}
+	if err := writeJSON(path, suite); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(results), path)
+
+	if *compare == "" {
+		return
+	}
+	var baseline Suite
+	if err := readJSON(*compare, &baseline); err != nil {
+		log.Fatal(err)
+	}
+	regs := benchparse.Compare(baseline.Results, results, *tolerance)
+	if len(regs) == 0 {
+		fmt.Printf("no regressions beyond %.0f%% versus %s (%d shared benchmarks checked)\n",
+			*tolerance*100, *compare, len(shared(baseline.Results, results)))
+		return
+	}
+	fmt.Printf("%d regression(s) beyond %.0f%% versus %s:\n", len(regs), *tolerance*100, *compare)
+	for _, r := range regs {
+		fmt.Printf("  %s\n", r)
+	}
+	os.Exit(1)
+}
+
+// runBenchmarks shells out to go test and returns its combined output.
+// Benchmarks are run with -benchmem so allocation regressions are visible.
+func runBenchmarks(pkg, bench, benchtime string, quiet bool) ([]byte, error) {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	if quiet {
+		cmd.Stdout = &buf
+	} else {
+		cmd.Stdout = io.MultiWriter(&buf, os.Stdout)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %v: %w", args, err)
+	}
+	return buf.Bytes(), nil
+}
+
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readJSON(path string, v any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}
+
+// shared counts benchmarks present in both suites, for the success message.
+func shared(old, cur []benchparse.Result) []string {
+	prev := make(map[string]bool, len(old))
+	for _, r := range old {
+		prev[r.Name] = true
+	}
+	var names []string
+	for _, r := range cur {
+		if prev[r.Name] {
+			names = append(names, r.Name)
+		}
+	}
+	return names
+}

@@ -12,6 +12,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"time"
@@ -30,6 +31,8 @@ func main() {
 		arrivals = flag.Float64("arrivals-per-min", 2, "mean VM arrivals per minute per customer")
 		lifetime = flag.Float64("lifetime-min", 30, "mean VM lifetime in minutes")
 		seed     = flag.Int64("seed", 1, "random seed")
+		trials   = flag.Int("trials", 1, "independent trials at seeds seed..seed+trials-1")
+		workers  = flag.Int("workers", 0, "concurrent trials (0 = all cores, 1 = sequential)")
 		jsonOut  = flag.String("json", "", "file to write the outcome as JSON")
 	)
 	flag.Parse()
@@ -40,20 +43,36 @@ func main() {
 	if kind == 0 {
 		log.Fatalf("unknown engine %q", *engine)
 	}
-	out, err := experiments.RunChurn(experiments.ChurnParams{
+	p := experiments.ChurnParams{
 		Spec:              experiments.ScaledSpec(*servers),
 		ArrivalsPerMinute: *arrivals,
 		MeanLifetime:      time.Duration(*lifetime * float64(time.Minute)),
 		Duration:          time.Duration(*hours * float64(time.Hour)),
 		Engine:            kind,
 		Seed:              *seed,
-	})
+	}
+	seeds := make([]int64, *trials)
+	for i := range seeds {
+		seeds[i] = *seed + int64(i)
+	}
+	outs, err := experiments.RunChurnTrials(p, seeds, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	out.Report(os.Stdout)
+	var meanLoc float64
+	for _, out := range outs {
+		out.Report(os.Stdout)
+		meanLoc += out.MeanLocality
+	}
+	if len(outs) > 1 {
+		fmt.Printf("mean same-rack fraction over %d trials: %.3f\n", len(outs), meanLoc/float64(len(outs)))
+	}
 	if *jsonOut != "" {
-		if err := experiments.WriteJSON(*jsonOut, out); err != nil {
+		var payload any = outs[0]
+		if len(outs) > 1 {
+			payload = outs
+		}
+		if err := experiments.WriteJSON(*jsonOut, payload); err != nil {
 			log.Fatal(err)
 		}
 	}

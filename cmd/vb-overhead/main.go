@@ -24,11 +24,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vb-overhead: ")
 	var (
-		fig    = flag.Int("fig", 0, "what to print: 14, 15, 1 (Table I), or 0 for all")
-		maxN   = flag.Int("max-servers", 1024, "largest ring size to sweep")
-		iters  = flag.Int("iterations", 1000, "Table I iterations per operation")
-		seed   = flag.Int64("seed", 1, "random seed")
-		svgDir = flag.String("svg", "", "directory to write SVG figures into")
+		fig     = flag.Int("fig", 0, "what to print: 14, 15, 1 (Table I), or 0 for all")
+		maxN    = flag.Int("max-servers", 1024, "largest ring size to sweep")
+		iters   = flag.Int("iterations", 1000, "Table I iterations per operation")
+		seed    = flag.Int64("seed", 1, "random seed")
+		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
+		workers = flag.Int("workers", 0, "concurrent sweep points (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 	charts := map[string]*report.Chart{}
@@ -50,7 +51,7 @@ func main() {
 		out.Report(os.Stdout)
 	}
 	if *fig == 0 || *fig == 14 {
-		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{Sizes: sizes, Seed: *seed})
+		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{Sizes: sizes, Seed: *seed, Parallelism: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func main() {
 		if len(big) == 0 {
 			big = sizes
 		}
-		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{Sizes: big, Seed: *seed})
+		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{Sizes: big, Seed: *seed, Parallelism: *workers})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -31,6 +31,8 @@ func main() {
 		vms     = flag.Int("vms", 1000, "VMs per customer per wave")
 		servers = flag.Int("servers", 3000, "approximate server count")
 		seed    = flag.Int64("seed", 1, "random seed")
+		trials  = flag.Int("trials", 1, "independent trials at seeds seed..seed+trials-1")
+		workers = flag.Int("workers", 0, "concurrent trials (0 = all cores, 1 = sequential)")
 		dots    = flag.Bool("dots", false, "print the raw scatter points")
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
 		jsonOut = flag.String("json", "", "file to write the outcome as JSON")
@@ -48,19 +50,31 @@ func main() {
 		log.Fatalf("unknown engine %q", *engine)
 	}
 
-	out, err := experiments.RunPlacement(experiments.PlacementParams{
+	p := experiments.PlacementParams{
 		Spec:                  experiments.ScaledSpec(*servers),
 		VMsPerWavePerCustomer: *vms,
 		Waves:                 *waves,
 		Engine:                kind,
 		Seed:                  *seed,
-	})
+	}
+	seeds := make([]int64, *trials)
+	for i := range seeds {
+		seeds[i] = *seed + int64(i)
+	}
+	outs, err := experiments.RunPlacementTrials(p, seeds, *workers)
 	if err != nil {
 		log.Fatal(err)
 	}
-	out.Report(os.Stdout)
+	for _, o := range outs {
+		o.Report(os.Stdout)
+	}
+	out := outs[len(outs)-1]
 	if *jsonOut != "" {
-		if err := experiments.WriteJSON(*jsonOut, out); err != nil {
+		var payload any = out
+		if len(outs) > 1 {
+			payload = outs
+		}
+		if err := experiments.WriteJSON(*jsonOut, payload); err != nil {
 			log.Fatal(err)
 		}
 	}

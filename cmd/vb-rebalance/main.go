@@ -32,6 +32,7 @@ func main() {
 		duration  = flag.Int("duration", 75, "virtual experiment length in minutes")
 		seed      = flag.Int64("seed", 1, "random seed")
 		svgDir    = flag.String("svg", "", "directory to write SVG figures into")
+		workers   = flag.Int("workers", 0, "concurrent sweep variants (0 = all cores, 1 = sequential)")
 	)
 	flag.Parse()
 	charts := map[string]*report.Chart{}
@@ -51,36 +52,43 @@ func main() {
 
 	switch *fig {
 	case 9:
-		// The paper shows two threshold settings side by side.
+		// The paper shows two threshold settings side by side; the variants
+		// are independent trials, so they run concurrently.
 		thresholds := []float64{0.3, 0.1}
 		if *threshold != 0 {
 			thresholds = []float64{*threshold}
 		}
-		for _, thr := range thresholds {
-			p := base
-			p.Threshold = thr
-			out, err := experiments.RunRebalance(p)
-			if err != nil {
-				log.Fatal(err)
-			}
+		variants := make([]experiments.RebalanceParams, len(thresholds))
+		for i, thr := range thresholds {
+			variants[i] = base
+			variants[i].Threshold = thr
+		}
+		outs, err := experiments.RunRebalanceSweep(variants, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, out := range outs {
 			out.WriteFig9(os.Stdout)
-			collect(fmt.Sprintf("-thr%g", thr), out)
+			collect(fmt.Sprintf("-thr%g", thresholds[i]), out)
 		}
 	case 10:
 		// Two scales, same threshold: convergence time is scale-free.
 		scales := []int{30, *servers}
-		for _, n := range scales {
-			p := base
-			p.Spec = experiments.ScaledSpec(n)
-			if p.Threshold == 0 {
-				p.Threshold = 0.183
+		variants := make([]experiments.RebalanceParams, len(scales))
+		for i, n := range scales {
+			variants[i] = base
+			variants[i].Spec = experiments.ScaledSpec(n)
+			if variants[i].Threshold == 0 {
+				variants[i].Threshold = 0.183
 			}
-			out, err := experiments.RunRebalance(p)
-			if err != nil {
-				log.Fatal(err)
-			}
+		}
+		outs, err := experiments.RunRebalanceSweep(variants, *workers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, out := range outs {
 			out.WriteFig10(os.Stdout)
-			collect(fmt.Sprintf("-n%d", n), out)
+			collect(fmt.Sprintf("-n%d", scales[i]), out)
 		}
 	case 11:
 		out, err := experiments.RunRebalance(base)

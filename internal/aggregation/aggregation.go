@@ -18,6 +18,7 @@
 package aggregation
 
 import (
+	"sort"
 	"time"
 
 	"vbundle/internal/ids"
@@ -111,13 +112,23 @@ func (m attrMap) equal(o attrMap) bool {
 	return true
 }
 
+// childAggregates is one child's contribution to the info base.
+type childAggregates struct {
+	id   ids.Id
+	vals attrMap
+}
+
 // topicState is this node's view of one aggregation topic.
 type topicState struct {
 	key   ids.Id
 	name  string
 	local attrMap
-	// children is the (ChildNodehandle, attribute, value) info base.
-	children map[ids.Id]attrMap
+	// children is the (ChildNodehandle, attribute, value) info base, kept
+	// sorted by child identifier so the upward fold always accumulates
+	// floats in the same order (float addition is not associative, and a
+	// map-ordered fold would leak randomized iteration order into the
+	// aggregates, breaking run-to-run reproducibility).
+	children []childAggregates
 	lastSent attrMap
 	sentOnce bool
 	flushing bool
@@ -142,6 +153,11 @@ type Manager struct {
 
 	topics map[ids.Id]*topicState
 	ticker *tickerHandle
+
+	// keyScratch backs tick's sorted topic walk: message-sending paths
+	// must visit topics in identifier order, not randomized map order, or
+	// identically-seeded runs diverge.
+	keyScratch []ids.Id
 
 	// rootLatencies collects leaf-to-root latencies observed while this
 	// node is a topic root (Fig. 14's raw line).
@@ -178,7 +194,6 @@ func (m *Manager) SubscribeAttr(name, attr string, onGlobal func(Global)) {
 			key:      key,
 			name:     name,
 			local:    make(attrMap),
-			children: make(map[ids.Id]attrMap),
 			global:   make(map[string]Global),
 			onGlobal: make(map[string][]func(Global)),
 		}
@@ -264,7 +279,14 @@ func (m *Manager) Stop() {
 }
 
 func (m *Manager) tick() {
-	for _, st := range m.topics {
+	keys := m.keyScratch[:0]
+	for k := range m.topics {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
+	m.keyScratch = keys
+	for _, k := range keys {
+		st := m.topics[k]
 		if m.sc.IsRoot(st.key) {
 			m.publish(st)
 		}
@@ -289,23 +311,23 @@ func (m *Manager) PublishNow(name string) {
 // subtreeAggregates folds the local tuples with the info base, dropping
 // entries for children no longer in the tree.
 func (m *Manager) subtreeAggregates(st *topicState) attrMap {
-	live := make(map[ids.Id]bool)
-	for _, c := range m.sc.Children(st.key) {
-		live[c.Id] = true
-	}
 	agg := make(attrMap, len(st.local))
 	for attr, a := range st.local {
 		agg[attr] = a
 	}
-	for id, vals := range st.children {
-		if !live[id] {
-			delete(st.children, id)
+	// The info base is already sorted by child identifier, so the fold
+	// order is fixed; departed children are compacted out in place.
+	kept := st.children[:0]
+	for _, c := range st.children {
+		if !m.sc.HasChild(st.key, c.id) {
 			continue
 		}
-		for attr, a := range vals {
+		kept = append(kept, c)
+		for attr, a := range c.vals {
 			agg[attr] = agg[attr].Fold(a)
 		}
 	}
+	st.children = kept
 	return agg
 }
 
@@ -362,7 +384,14 @@ func (m *Manager) onChildUpdate(st *topicState, payload simnet.Message, from pas
 	if !ok {
 		return
 	}
-	st.children[from.Id] = up.Values
+	i := sort.Search(len(st.children), func(i int) bool { return !st.children[i].id.Less(from.Id) })
+	if i < len(st.children) && st.children[i].id == from.Id {
+		st.children[i].vals = up.Values
+	} else {
+		st.children = append(st.children, childAggregates{})
+		copy(st.children[i+1:], st.children[i:])
+		st.children[i] = childAggregates{id: from.Id, vals: up.Values}
+	}
 	m.markDirty(st, up.LeafSentAt)
 }
 

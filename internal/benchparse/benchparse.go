@@ -1,0 +1,147 @@
+// Package benchparse parses the text output of `go test -bench` — the
+// standard ns/op, B/op and allocs/op columns plus any custom units emitted
+// through b.ReportMetric — into a structured form the vb-bench command can
+// store as JSON and diff across runs.
+//
+// A benchmark line looks like
+//
+//	BenchmarkFig7Placement-8   12   98765432 ns/op   1234 B/op   56 allocs/op   0.731 sameRackFrac
+//
+// i.e. a name (with an optional -GOMAXPROCS suffix), an iteration count,
+// and then (value, unit) pairs.
+package benchparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (sub-benchmarks keep their /sub path).
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS suffix, or 1 when absent.
+	Procs int `json:"procs"`
+	// Iterations is the measured b.N.
+	Iterations int `json:"iterations"`
+	// NsPerOp is the ns/op column.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are the -benchmem columns; HasMem tells
+	// whether they were present.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	HasMem      bool    `json:"has_mem"`
+	// Metrics holds every other (value, unit) pair, keyed by unit — the
+	// b.ReportMetric custom units.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Parse reads `go test -bench` output and returns one Result per benchmark
+// line, in input order. Non-benchmark lines (headers, PASS, ok ...) are
+// ignored. A benchmark that ran under multiple GOMAXPROCS values yields
+// multiple results.
+func Parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Need at least: name, iterations, one (value, unit) pair.
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue // e.g. "Benchmark...: some note"
+		}
+		res := Result{Iterations: iters, Procs: 1}
+		res.Name, res.Procs = splitProcs(fields[0])
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchparse: bad value %q in line %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+				res.HasMem = true
+			case "allocs/op":
+				res.AllocsPerOp = v
+				res.HasMem = true
+			default:
+				if res.Metrics == nil {
+					res.Metrics = make(map[string]float64)
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+// splitProcs strips the trailing -GOMAXPROCS suffix from a benchmark name.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	p, err := strconv.Atoi(name[i+1:])
+	if err != nil || p <= 0 {
+		return name, 1
+	}
+	return name[:i], p
+}
+
+// Regression is one benchmark whose cost grew beyond the tolerance between
+// two suites.
+type Regression struct {
+	Name string `json:"name"`
+	// Unit is the regressed quantity: "ns/op" or "allocs/op".
+	Unit string  `json:"unit"`
+	Old  float64 `json:"old"`
+	New  float64 `json:"new"`
+	// Ratio is New/Old (always > 1 for a reported regression).
+	Ratio float64 `json:"ratio"`
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", r.Name, r.Unit, r.Old, r.New, 100*(r.Ratio-1))
+}
+
+// Compare flags benchmarks present in both suites whose ns/op or allocs/op
+// grew by more than tolerance (0.10 = 10%). Benchmarks only in one suite
+// are skipped: adding or retiring a benchmark is not a regression.
+// Regressions come back sorted worst-first.
+func Compare(old, cur []Result, tolerance float64) []Regression {
+	prev := make(map[string]Result, len(old))
+	for _, r := range old {
+		prev[r.Name] = r
+	}
+	var regs []Regression
+	for _, r := range cur {
+		o, ok := prev[r.Name]
+		if !ok {
+			continue
+		}
+		if o.NsPerOp > 0 && r.NsPerOp/o.NsPerOp > 1+tolerance {
+			regs = append(regs, Regression{Name: r.Name, Unit: "ns/op", Old: o.NsPerOp, New: r.NsPerOp, Ratio: r.NsPerOp / o.NsPerOp})
+		}
+		if o.HasMem && r.HasMem && o.AllocsPerOp > 0 && r.AllocsPerOp/o.AllocsPerOp > 1+tolerance {
+			regs = append(regs, Regression{Name: r.Name, Unit: "allocs/op", Old: o.AllocsPerOp, New: r.AllocsPerOp, Ratio: r.AllocsPerOp / o.AllocsPerOp})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs
+}

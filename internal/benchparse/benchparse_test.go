@@ -1,0 +1,91 @@
+package benchparse
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: vbundle
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig7Placement-8   	      12	  98765432 ns/op	         0.731 sameRackFrac	         2.10 queryHops	 1234567 B/op	   45678 allocs/op
+BenchmarkEngineSchedule-8  	10508041	       115.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNextHop           	26322802	        43.09 ns/op
+BenchmarkSweepParallelism/sequential-8         	       3	  30651567 ns/op
+--- BENCH: BenchmarkSomething
+    bench_test.go:42: note line that must be ignored
+PASS
+ok  	vbundle	12.345s
+`
+
+func TestParse(t *testing.T) {
+	results, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4: %+v", len(results), results)
+	}
+
+	fig7 := results[0]
+	if fig7.Name != "BenchmarkFig7Placement" || fig7.Procs != 8 {
+		t.Errorf("fig7 name/procs = %q/%d", fig7.Name, fig7.Procs)
+	}
+	if fig7.Iterations != 12 || fig7.NsPerOp != 98765432 {
+		t.Errorf("fig7 iters/ns = %d/%g", fig7.Iterations, fig7.NsPerOp)
+	}
+	if !fig7.HasMem || fig7.BytesPerOp != 1234567 || fig7.AllocsPerOp != 45678 {
+		t.Errorf("fig7 mem columns = %v/%g/%g", fig7.HasMem, fig7.BytesPerOp, fig7.AllocsPerOp)
+	}
+	if fig7.Metrics["sameRackFrac"] != 0.731 || fig7.Metrics["queryHops"] != 2.10 {
+		t.Errorf("fig7 custom metrics = %+v", fig7.Metrics)
+	}
+
+	sched := results[1]
+	if sched.NsPerOp != 115.2 || sched.AllocsPerOp != 0 || !sched.HasMem {
+		t.Errorf("schedule = %+v", sched)
+	}
+
+	hop := results[2]
+	if hop.Name != "BenchmarkNextHop" || hop.Procs != 1 || hop.HasMem {
+		t.Errorf("no-suffix benchmark = %+v", hop)
+	}
+
+	sub := results[3]
+	if sub.Name != "BenchmarkSweepParallelism/sequential" || sub.Procs != 8 {
+		t.Errorf("sub-benchmark = %+v", sub)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := []Result{
+		{Name: "A", NsPerOp: 100, AllocsPerOp: 10, HasMem: true},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Gone", NsPerOp: 100},
+	}
+	cur := []Result{
+		{Name: "A", NsPerOp: 105, AllocsPerOp: 20, HasMem: true}, // allocs doubled
+		{Name: "B", NsPerOp: 140},                                // 40% slower
+		{Name: "New", NsPerOp: 1e9},                              // no baseline
+	}
+	regs := Compare(old, cur, 0.10)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2: %+v", len(regs), regs)
+	}
+	// Worst first: allocs ratio 2.0 beats ns ratio 1.4.
+	if regs[0].Name != "A" || regs[0].Unit != "allocs/op" || regs[0].Ratio != 2 {
+		t.Errorf("regs[0] = %+v", regs[0])
+	}
+	if regs[1].Name != "B" || regs[1].Unit != "ns/op" {
+		t.Errorf("regs[1] = %+v", regs[1])
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := []Result{{Name: "A", NsPerOp: 100, AllocsPerOp: 10, HasMem: true}}
+	cur := []Result{{Name: "A", NsPerOp: 109, AllocsPerOp: 11, HasMem: true}}
+	if regs := Compare(old, cur, 0.10); len(regs) != 0 {
+		t.Errorf("9%% drift flagged as regression: %+v", regs)
+	}
+}

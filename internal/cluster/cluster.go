@@ -84,7 +84,10 @@ func (v *VM) EffectiveDemandBW() float64 {
 type Server struct {
 	Index    int
 	Capacity Resources
-	vms      map[VMID]*VM
+	// vms holds the hosted VMs sorted by ID. Keeping a sorted slice rather
+	// than a map makes every per-server sum fold in a fixed order, so
+	// repeated runs produce bit-identical floating-point results.
+	vms []*VM
 	// externalBW is bandwidth consumed by non-VM traffic on this NIC —
 	// in-flight migration streams account themselves here.
 	externalBW float64
@@ -104,7 +107,14 @@ func (s *Server) ExternalBW() float64 { return s.externalBW }
 
 // NewServer creates an empty server.
 func NewServer(index int, capacity Resources) *Server {
-	return &Server{Index: index, Capacity: capacity, vms: make(map[VMID]*VM)}
+	return &Server{Index: index, Capacity: capacity}
+}
+
+// find locates id in the sorted vms slice, returning its position (or the
+// insertion point) and whether it is present.
+func (s *Server) find(id VMID) (int, bool) {
+	i := sort.Search(len(s.vms), func(i int) bool { return s.vms[i].ID >= id })
+	return i, i < len(s.vms) && s.vms[i].ID == id
 }
 
 // Reserved returns the sum of reservations of hosted VMs.
@@ -124,37 +134,36 @@ func (s *Server) CanAdmit(vm *VM) bool {
 
 // Admit places the VM on the server, enforcing the reservation rule.
 func (s *Server) Admit(vm *VM) error {
-	if _, dup := s.vms[vm.ID]; dup {
+	i, dup := s.find(vm.ID)
+	if dup {
 		return fmt.Errorf("cluster: vm %d already on server %d", vm.ID, s.Index)
 	}
 	if !s.CanAdmit(vm) {
 		return fmt.Errorf("cluster: server %d cannot reserve %+v for vm %d", s.Index, vm.Reservation, vm.ID)
 	}
-	s.vms[vm.ID] = vm
+	s.vms = append(s.vms, nil)
+	copy(s.vms[i+1:], s.vms[i:])
+	s.vms[i] = vm
 	return nil
 }
 
 // Remove takes the VM off the server; it reports whether it was present.
 func (s *Server) Remove(id VMID) bool {
-	if _, ok := s.vms[id]; !ok {
+	i, ok := s.find(id)
+	if !ok {
 		return false
 	}
-	delete(s.vms, id)
+	s.vms = append(s.vms[:i], s.vms[i+1:]...)
 	return true
 }
 
 // NumVMs returns the number of hosted VMs.
 func (s *Server) NumVMs() int { return len(s.vms) }
 
-// VMs returns the hosted VMs sorted by ID (deterministic iteration).
-func (s *Server) VMs() []*VM {
-	out := make([]*VM, 0, len(s.vms))
-	for _, vm := range s.vms {
-		out = append(out, vm)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
-}
+// VMs returns the hosted VMs sorted by ID. The returned slice is the
+// server's own storage: callers must not modify it or retain it across
+// Admit/Remove calls.
+func (s *Server) VMs() []*VM { return s.vms }
 
 // DemandBW returns the total effective bandwidth demand on this server,
 // including external (migration) traffic.

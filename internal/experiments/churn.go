@@ -8,6 +8,7 @@ import (
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
+	"vbundle/internal/parallel"
 	"vbundle/internal/placement"
 	"vbundle/internal/topology"
 )
@@ -171,6 +172,17 @@ func RunChurn(p ChurnParams) (*ChurnOutcome, error) {
 		out.MeanLocality = sum / float64(n)
 	}
 	return out, nil
+}
+
+// RunChurnTrials repeats the churn experiment once per seed across workers
+// goroutines (0 = GOMAXPROCS, 1 = sequential), for confidence intervals on
+// the locality-under-churn claim. Outcomes are ordered by seed index.
+func RunChurnTrials(p ChurnParams, seeds []int64, workers int) ([]*ChurnOutcome, error) {
+	return parallel.Map(len(seeds), workers, func(i int) (*ChurnOutcome, error) {
+		q := p
+		q.Seed = seeds[i]
+		return RunChurn(q)
+	})
 }
 
 // Report renders the churn outcome.

@@ -7,6 +7,7 @@ import (
 
 	"vbundle/internal/aggregation"
 	"vbundle/internal/ids"
+	"vbundle/internal/parallel"
 	"vbundle/internal/pastry"
 	"vbundle/internal/scribe"
 	"vbundle/internal/sim"
@@ -27,6 +28,10 @@ type AggLatencyParams struct {
 	LANHop time.Duration
 	// Seed drives randomness.
 	Seed int64
+	// Parallelism caps the worker goroutines running the Sizes sweep
+	// (0 = GOMAXPROCS, 1 = sequential). Every sweep point builds its own
+	// engine and ring, so results are identical at any setting.
+	Parallelism int
 }
 
 func (p AggLatencyParams) withDefaults() AggLatencyParams {
@@ -82,45 +87,57 @@ func buildOverheadStack(servers int, lanHop time.Duration, seed int64) (*sim.Eng
 	return engine, ring, scribes, managers, nil
 }
 
-// RunAggLatency executes the Fig. 14 sweep.
+// RunAggLatency executes the Fig. 14 sweep. Sweep points are independent
+// trials (each builds its own engine and ring), so they run concurrently
+// under internal/parallel while the result stays bit-identical to the
+// sequential loop.
 func RunAggLatency(p AggLatencyParams) (*AggLatencyOutcome, error) {
 	p = p.withDefaults()
 	out := &AggLatencyOutcome{Params: p}
-	const topic = "BW_Demand"
-	for _, n := range p.Sizes {
-		engine, _, scribes, managers, err := buildOverheadStack(n, p.LANHop, p.Seed)
-		if err != nil {
-			return nil, err
-		}
-		for _, m := range managers {
-			m.Subscribe(topic, nil)
-		}
-		engine.Run() // build the tree
-		// Every subscriber sends one update; measure propagation to root.
-		for _, m := range managers {
-			m.SetLocal(topic, 1)
-		}
-		engine.Run()
-		var raw []time.Duration
-		for _, m := range managers {
-			raw = append(raw, m.RootLatencies()...)
-		}
-		pt := AggLatencyPoint{Servers: n}
-		var sum time.Duration
-		for _, d := range raw {
-			sum += d
-			if d > pt.RawMax {
-				pt.RawMax = d
-			}
-		}
-		if len(raw) > 0 {
-			pt.RawMean = sum / time.Duration(len(raw))
-		}
-		pt.WithInterval = pt.RawMean + p.UpdateInterval
-		pt.TreeHeight = treeHeight(scribes, scribe.GroupKey(topic))
-		out.Points = append(out.Points, pt)
+	points, err := parallel.Map(len(p.Sizes), p.Parallelism, func(i int) (AggLatencyPoint, error) {
+		return aggLatencyPoint(p, p.Sizes[i])
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Points = points
 	return out, nil
+}
+
+// aggLatencyPoint measures one ring size on a private simulation stack.
+func aggLatencyPoint(p AggLatencyParams, n int) (AggLatencyPoint, error) {
+	const topic = "BW_Demand"
+	engine, _, scribes, managers, err := buildOverheadStack(n, p.LANHop, p.Seed)
+	if err != nil {
+		return AggLatencyPoint{}, err
+	}
+	for _, m := range managers {
+		m.Subscribe(topic, nil)
+	}
+	engine.Run() // build the tree
+	// Every subscriber sends one update; measure propagation to root.
+	for _, m := range managers {
+		m.SetLocal(topic, 1)
+	}
+	engine.Run()
+	var raw []time.Duration
+	for _, m := range managers {
+		raw = append(raw, m.RootLatencies()...)
+	}
+	pt := AggLatencyPoint{Servers: n}
+	var sum time.Duration
+	for _, d := range raw {
+		sum += d
+		if d > pt.RawMax {
+			pt.RawMax = d
+		}
+	}
+	if len(raw) > 0 {
+		pt.RawMean = sum / time.Duration(len(raw))
+	}
+	pt.WithInterval = pt.RawMean + p.UpdateInterval
+	pt.TreeHeight = treeHeight(scribes, scribe.GroupKey(topic))
+	return pt, nil
 }
 
 // treeHeight computes the depth of the Scribe tree rooted at the topic's

@@ -8,6 +8,7 @@ import (
 
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
+	"vbundle/internal/parallel"
 	"vbundle/internal/rebalance"
 )
 
@@ -24,6 +25,10 @@ type MessageOverheadParams struct {
 	VMsPerServer int
 	// Seed drives the synthetic load.
 	Seed int64
+	// Parallelism caps the worker goroutines running the Sizes sweep
+	// (0 = GOMAXPROCS, 1 = sequential). Every sweep point builds its own
+	// full v-Bundle stack, so results are identical at any setting.
+	Parallelism int
 }
 
 func (p MessageOverheadParams) withDefaults() MessageOverheadParams {
@@ -52,55 +57,62 @@ type MessageOverheadOutcome struct {
 	Points []MessageOverheadPoint
 }
 
-// RunMessageOverhead executes the sweep.
+// RunMessageOverhead executes the sweep. Ring sizes are independent trials
+// on private stacks, so they run concurrently under internal/parallel with
+// results bit-identical to the sequential loop.
 func RunMessageOverhead(p MessageOverheadParams) (*MessageOverheadOutcome, error) {
 	p = p.withDefaults()
 	out := &MessageOverheadOutcome{Params: p}
-	for _, n := range p.Sizes {
-		spec := ScaledSpec(n)
-		spec.LANHop = time.Millisecond
-		vb, err := core.New(core.Options{
-			Topology: spec,
-			Seed:     p.Seed,
-			Rebalance: rebalance.Config{
-				Threshold:         0.183,
-				UpdateInterval:    p.Round,
-				RebalanceInterval: 5 * p.Round,
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
-		rng := rand.New(rand.NewSource(p.Seed + int64(n)))
-		if err := seedSkewedLoad(vb, p.VMsPerServer, 0.6, 0.4, rng); err != nil {
-			return nil, err
-		}
-		// Pastry ring maintenance participates in the per-round budget.
-		for _, node := range vb.Ring.Nodes() {
-			cfg := node.Config()
-			_ = cfg
-		}
-		vb.Ring.StartMaintenance()
-		vb.Workloads.Start(p.Round)
-		vb.StartServices()
-
-		// Warm up: trees built, roles settled.
-		vb.RunFor(3 * p.Round)
-		vb.Ring.Network().ResetCounters()
-		vb.RunFor(p.Round)
-
-		pt := MessageOverheadPoint{Servers: vb.Topo.Servers()}
-		for _, c := range vb.Ring.Network().AllCounters() {
-			pt.Msgs.Add(float64(c.MsgsSent))
-			pt.KB.Add(float64(c.BytesSent) / 1024)
-		}
-		out.Points = append(out.Points, pt)
-
-		vb.StopServices()
-		vb.Workloads.Stop()
-		vb.Ring.StopMaintenance()
+	points, err := parallel.Map(len(p.Sizes), p.Parallelism, func(i int) (MessageOverheadPoint, error) {
+		return messageOverheadPoint(p, p.Sizes[i])
+	})
+	if err != nil {
+		return nil, err
 	}
+	out.Points = points
 	return out, nil
+}
+
+// messageOverheadPoint measures one ring size on a private v-Bundle stack.
+func messageOverheadPoint(p MessageOverheadParams, n int) (MessageOverheadPoint, error) {
+	spec := ScaledSpec(n)
+	spec.LANHop = time.Millisecond
+	vb, err := core.New(core.Options{
+		Topology: spec,
+		Seed:     p.Seed,
+		Rebalance: rebalance.Config{
+			Threshold:         0.183,
+			UpdateInterval:    p.Round,
+			RebalanceInterval: 5 * p.Round,
+		},
+	})
+	if err != nil {
+		return MessageOverheadPoint{}, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed + int64(n)))
+	if err := seedSkewedLoad(vb, p.VMsPerServer, 0.6, 0.4, rng); err != nil {
+		return MessageOverheadPoint{}, err
+	}
+	// Pastry ring maintenance participates in the per-round budget.
+	vb.Ring.StartMaintenance()
+	vb.Workloads.Start(p.Round)
+	vb.StartServices()
+
+	// Warm up: trees built, roles settled.
+	vb.RunFor(3 * p.Round)
+	vb.Ring.Network().ResetCounters()
+	vb.RunFor(p.Round)
+
+	pt := MessageOverheadPoint{Servers: vb.Topo.Servers()}
+	for _, c := range vb.Ring.Network().AllCounters() {
+		pt.Msgs.Add(float64(c.MsgsSent))
+		pt.KB.Add(float64(c.BytesSent) / 1024)
+	}
+
+	vb.StopServices()
+	vb.Workloads.Stop()
+	vb.Ring.StopMaintenance()
+	return pt, nil
 }
 
 // Report renders the Fig. 15 percentiles.

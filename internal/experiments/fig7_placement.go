@@ -8,6 +8,7 @@ import (
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
+	"vbundle/internal/parallel"
 	"vbundle/internal/placement"
 	"vbundle/internal/topology"
 )
@@ -114,6 +115,19 @@ func RunPlacement(p PlacementParams) (*PlacementOutcome, error) {
 		out.Waves = append(out.Waves, wo)
 	}
 	return out, nil
+}
+
+// RunPlacementTrials repeats the multi-wave placement experiment once per
+// seed, farming the trials out over workers goroutines (0 = GOMAXPROCS,
+// 1 = sequential). Outcomes are ordered by seed index and each trial is
+// bit-identical to a standalone RunPlacement with that seed, so aggregate
+// statistics over seeds are reproducible at any parallelism.
+func RunPlacementTrials(p PlacementParams, seeds []int64, workers int) ([]*PlacementOutcome, error) {
+	return parallel.Map(len(seeds), workers, func(i int) (*PlacementOutcome, error) {
+		q := p
+		q.Seed = seeds[i]
+		return RunPlacement(q)
+	})
 }
 
 // Report renders the outcome in the paper's terms: per-customer rack

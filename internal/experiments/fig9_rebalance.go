@@ -10,6 +10,7 @@ import (
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
 	"vbundle/internal/migration"
+	"vbundle/internal/parallel"
 	"vbundle/internal/rebalance"
 	"vbundle/internal/topology"
 	"vbundle/internal/workload"
@@ -169,6 +170,17 @@ func RunRebalance(p RebalanceParams) (*RebalanceOutcome, error) {
 	out.Queries = vb.Rebalancer.QueriesSent()
 	out.MigrationsCompleted = vb.Migration.Stats().Completed
 	return out, nil
+}
+
+// RunRebalanceSweep runs one RunRebalance per variant — the paper's
+// threshold comparison of Fig. 9 or the scale comparison of Fig. 10 —
+// across workers goroutines (0 = GOMAXPROCS, 1 = sequential). Each variant
+// owns a full private stack, so outcomes match the sequential loop exactly
+// and arrive in variant order.
+func RunRebalanceSweep(variants []RebalanceParams, workers int) ([]*RebalanceOutcome, error) {
+	return parallel.Map(len(variants), workers, func(i int) (*RebalanceOutcome, error) {
+		return RunRebalance(variants[i])
+	})
 }
 
 // CountAbove returns how many values exceed the limit.

@@ -1,0 +1,93 @@
+// Package parallel is the worker pool behind v-Bundle's experiment
+// harnesses. The simulation engine itself is strictly single-goroutine
+// (see DESIGN.md), but the paper's evaluation sweeps ring sizes,
+// thresholds and seeds — trials that share no state and can be farmed out
+// across cores. This package runs such independent trials concurrently
+// while keeping everything the sequential code promised: results ordered
+// by task index, deterministic per-seed outputs, and the error of the
+// lowest-indexed failing task.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values <= 0 select
+// GOMAXPROCS, so callers can expose a "0 = all cores" knob directly.
+func Workers(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes task(i) for every i in [0, n), using at most workers
+// goroutines (Workers-normalized, never more than n).
+//
+// Error semantics are deterministic regardless of scheduling: Run returns
+// the error of the lowest-indexed task that failed, or nil if all tasks
+// succeeded. With workers == 1 tasks run in index order on the calling
+// goroutine and Run stops at the first error; with more workers all tasks
+// are attempted (trials are cheap and independent, and finishing the
+// batch keeps successful results available to the caller).
+func Run(n, workers int, task func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := task(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = task(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs task(i) for every i in [0, n) with Run's scheduling and error
+// semantics and collects the results in task-index order, so a parallel
+// sweep produces byte-identical output to the sequential loop it replaced.
+func Map[T any](n, workers int, task func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := Run(n, workers, func(i int) error {
+		v, err := task(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

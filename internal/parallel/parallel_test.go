@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	for _, req := range []int{0, -1} {
+		if got := Workers(req); got != want {
+			t.Errorf("Workers(%d) = %d, want GOMAXPROCS %d", req, got, want)
+		}
+	}
+}
+
+func TestRunExecutesEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 100
+		counts := make([]atomic.Int32, n)
+		if err := Run(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: task %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	for _, workers := range []int{1, 4, 0} {
+		out, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	errAt := func(fail ...int) func(int) error {
+		set := map[int]bool{}
+		for _, f := range fail {
+			set[f] = true
+		}
+		return func(i int) error {
+			if set[i] {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		err := Run(40, workers, errAt(31, 7, 22))
+		if err == nil || err.Error() != "task 7 failed" {
+			t.Errorf("workers=%d: err = %v, want task 7 failed", workers, err)
+		}
+	}
+	if _, err := Map(10, 4, func(i int) (int, error) {
+		if i == 3 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	}); err == nil {
+		t.Error("Map swallowed task error")
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var mu sync.Mutex
+	active, peak := 0, 0
+	if err := Run(60, workers, func(int) error {
+		mu.Lock()
+		active++
+		if active > peak {
+			peak = active
+		}
+		mu.Unlock()
+		runtime.Gosched() // give other workers a chance to overlap
+		mu.Lock()
+		active--
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Errorf("observed %d concurrent tasks, want <= %d", peak, workers)
+	}
+}
+
+func TestRunZeroTasks(t *testing.T) {
+	called := false
+	if err := Run(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("task invoked for n = 0")
+	}
+}

@@ -20,6 +20,11 @@ type Node struct {
 	prox   simnet.LatencyFunc
 
 	apps map[string]App
+	// appCache memoizes the last apps lookup: routed traffic overwhelmingly
+	// targets one application (scribe), and the map lookup is on the
+	// per-hop critical path of routeEnvelope and deliver.
+	appCacheName string
+	appCacheApp  App
 
 	rt        []NodeHandle // rows*cols flattened; zero handle = empty slot
 	leafCW    []NodeHandle // successors, sorted by clockwise distance
@@ -37,6 +42,20 @@ type Node struct {
 	suspicion map[simnet.Addr]int
 
 	maintenance *sim.Ticker
+
+	// probeScratch and seenScratch are per-call buffers reused across
+	// maintenance rounds and rare-case routing scans. The engine is
+	// single-goroutine and neither buffer escapes its call, so reuse is
+	// safe and keeps the periodic paths allocation-free.
+	probeScratch []NodeHandle
+	seenScratch  map[ids.Id]struct{}
+	// envFree and dirFree recycle consumed envelopes. An envelope has a
+	// single owner at all times — created at Route/SendDirect, handed to the
+	// network, consumed exactly once at delivery — and the whole simulation
+	// runs on one engine goroutine, so the final recipient can safely keep
+	// the husk for its own future sends.
+	envFree []*envelope
+	dirFree []*directEnvelope
 
 	// routeStats accumulates delivered-hops samples for overhead analysis.
 	deliveries int
@@ -96,6 +115,20 @@ func (n *Node) Register(name string, app App) {
 		panic(fmt.Sprintf("pastry: app %q registered twice on node %s", name, n.handle.Id.Short()))
 	}
 	n.apps[name] = app
+}
+
+// app resolves a registered application, serving repeat lookups for the
+// same name from a one-entry cache. Registrations are permanent (Register
+// panics on duplicates), so the cache never goes stale.
+func (n *Node) app(name string) (App, bool) {
+	if n.appCacheApp != nil && name == n.appCacheName {
+		return n.appCacheApp, true
+	}
+	a, ok := n.apps[name]
+	if ok {
+		n.appCacheName, n.appCacheApp = name, a
+	}
+	return a, ok
 }
 
 // OnNodeDead subscribes fn to failure notifications: it is invoked whenever
@@ -278,7 +311,11 @@ func (n *Node) Neighborhood() []NodeHandle {
 
 // knownNodes calls fn for every distinct node the local tables reference.
 func (n *Node) knownNodes(fn func(NodeHandle)) {
-	seen := make(map[ids.Id]struct{})
+	if n.seenScratch == nil {
+		n.seenScratch = make(map[ids.Id]struct{})
+	}
+	clear(n.seenScratch)
+	seen := n.seenScratch
 	visit := func(h NodeHandle) {
 		if h.IsNil() {
 			return
@@ -314,9 +351,11 @@ func (n *Node) HandleMessage(from simnet.Addr, msg simnet.Message) {
 		n.routeEnvelope(m)
 	case *directEnvelope:
 		n.Consider(m.From)
-		if app, ok := n.apps[m.App]; ok {
+		if app, ok := n.app(m.App); ok {
 			app.HandleDirect(m.From, m.Payload)
 		}
+		m.Payload = nil
+		n.dirFree = append(n.dirFree, m)
 	case *joinForward:
 		n.handleJoinForward(m)
 	case *joinReply:
@@ -342,7 +381,15 @@ func (n *Node) HandleMessage(from simnet.Addr, msg simnet.Message) {
 // SendDirect delivers payload to app on the node named by to, bypassing
 // key-based routing (one network hop).
 func (n *Node) SendDirect(to NodeHandle, app string, payload simnet.Message) {
-	n.net.Send(n.handle.Addr, to.Addr, &directEnvelope{App: app, From: n.handle, Payload: payload})
+	var env *directEnvelope
+	if k := len(n.dirFree); k > 0 {
+		env = n.dirFree[k-1]
+		n.dirFree = n.dirFree[:k-1]
+	} else {
+		env = new(directEnvelope)
+	}
+	env.App, env.From, env.Payload = app, n.handle, payload
+	n.net.Send(n.handle.Addr, to.Addr, env)
 }
 
 // Ping probes a peer and invokes cb with its liveness verdict after at most
@@ -440,9 +487,9 @@ func (n *Node) maintenanceRound() {
 	// spreads knowledge of failures beyond the leaf sets.
 	n.rtMaintenance()
 	// Probe a few random leaf-set members for liveness.
-	candidates := make([]NodeHandle, 0, len(n.leafCW)+len(n.leafCCW))
-	candidates = append(candidates, n.leafCW...)
+	candidates := append(n.probeScratch[:0], n.leafCW...)
 	candidates = append(candidates, n.leafCCW...)
+	n.probeScratch = candidates
 	if len(candidates) == 0 {
 		return
 	}
@@ -472,9 +519,11 @@ func (n *Node) rtMaintenance() {
 	}
 }
 
-// rowEntries returns the populated entries of one routing-table row.
+// rowEntries returns the populated entries of one routing-table row. The
+// slice is freshly allocated (sized to the row) because callers embed it in
+// messages that outlive the call.
 func (n *Node) rowEntries(row int) []NodeHandle {
-	var out []NodeHandle
+	out := make([]NodeHandle, 0, n.cfg.cols())
 	for col := 0; col < n.cfg.cols(); col++ {
 		if e := *n.rtSlot(row, col); !e.IsNil() {
 			out = append(out, e)

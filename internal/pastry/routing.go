@@ -8,7 +8,22 @@ import (
 // Route sends payload toward key; it is delivered to the app of the same
 // name on the live node whose identifier is numerically closest to key.
 func (n *Node) Route(key ids.Id, app string, payload simnet.Message) {
-	n.routeEnvelope(&envelope{Key: key, App: app, Source: n.handle, Payload: payload})
+	var env *envelope
+	if k := len(n.envFree); k > 0 {
+		env = n.envFree[k-1]
+		n.envFree = n.envFree[:k-1]
+	} else {
+		env = new(envelope)
+	}
+	*env = envelope{Key: key, App: app, Source: n.handle, Payload: payload}
+	n.routeEnvelope(env)
+}
+
+// recycleEnvelope returns a fully consumed envelope to the local free list.
+// Payload is dropped so recycled husks do not pin application messages.
+func (n *Node) recycleEnvelope(env *envelope) {
+	env.Payload = nil
+	n.envFree = append(n.envFree, env)
 }
 
 // routeEnvelope makes one routing decision: deliver locally or forward one
@@ -26,9 +41,10 @@ func (n *Node) routeEnvelope(env *envelope) {
 			n.declareDead(next)
 			continue
 		}
-		if app, ok := n.apps[env.App]; ok {
+		if app, ok := n.app(env.App); ok {
 			if !app.Forward(env.Key, env.Payload, next) {
-				return // application consumed the message
+				n.recycleEnvelope(env) // application consumed the message
+				return
 			}
 		}
 		env.Hops++
@@ -40,9 +56,10 @@ func (n *Node) routeEnvelope(env *envelope) {
 func (n *Node) deliver(env *envelope) {
 	n.deliveries++
 	n.totalHops += env.Hops
-	if app, ok := n.apps[env.App]; ok {
+	if app, ok := n.app(env.App); ok {
 		app.Deliver(env.Key, env.Payload, RouteInfo{Hops: env.Hops, Source: env.Source})
 	}
+	n.recycleEnvelope(env)
 }
 
 // NextHop computes the Pastry routing decision for key: the zero handle

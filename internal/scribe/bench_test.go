@@ -1,0 +1,81 @@
+package scribe
+
+import (
+	"testing"
+	"time"
+
+	"vbundle/internal/ids"
+	"vbundle/internal/pastry"
+	"vbundle/internal/sim"
+	"vbundle/internal/topology"
+)
+
+func benchFixture(b *testing.B, racks, perRack int) (*sim.Engine, []*Scribe) {
+	b.Helper()
+	tp, err := topology.New(topology.Spec{
+		Racks:            racks,
+		ServersPerRack:   perRack,
+		RacksPerPod:      2,
+		NICMbps:          1000,
+		Oversubscription: 8,
+		LANHop:           time.Millisecond,
+		LocalDelivery:    10 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.NewEngine(11)
+	ring := pastry.NewRing(engine, tp, pastry.Config{}, pastry.HierarchyAssigner)
+	ring.BuildStatic()
+	scribes := make([]*Scribe, ring.Size())
+	for i, n := range ring.Nodes() {
+		scribes[i] = New(n)
+	}
+	return engine, scribes
+}
+
+// BenchmarkScribePublish measures one multicast through a fully subscribed
+// 128-member tree, end to end: routing to the rendezvous point plus fan-out
+// to every member. This is the v-Bundle aggregation layer's dominant
+// traffic pattern, so its per-message allocation count gates the whole
+// overhead experiment family.
+func BenchmarkScribePublish(b *testing.B) {
+	engine, scribes := benchFixture(b, 16, 8)
+	group := GroupKey("bench")
+	delivered := 0
+	for _, s := range scribes {
+		s.Join(group, Handlers{
+			OnMulticast: func(ids.Id, any, pastry.NodeHandle) { delivered++ },
+		})
+	}
+	engine.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scribes[i%len(scribes)].Multicast(group, nil)
+		engine.Run()
+	}
+	b.StopTimer()
+	if delivered < b.N*len(scribes) {
+		b.Fatalf("delivered %d multicasts, want >= %d", delivered, b.N*len(scribes))
+	}
+}
+
+// BenchmarkScribeAnycast measures the depth-first discovery walk used by
+// the Less-Loaded group (paper §III.C): first member accepts.
+func BenchmarkScribeAnycast(b *testing.B) {
+	engine, scribes := benchFixture(b, 16, 8)
+	group := GroupKey("bench")
+	for _, s := range scribes {
+		s.Join(group, Handlers{
+			OnAnycast: func(ids.Id, any, pastry.NodeHandle) bool { return true },
+		})
+	}
+	engine.Run()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scribes[i%len(scribes)].Anycast(group, nil, nil)
+		engine.Run()
+	}
+}

@@ -22,6 +22,7 @@ package scribe
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"vbundle/internal/ids"
@@ -57,11 +58,14 @@ type AnycastResult struct {
 
 // groupState is this node's view of one group's tree.
 type groupState struct {
-	group    ids.Id
-	member   bool
-	root     bool
-	parent   pastry.NodeHandle // NoHandle while unknown or at the root
-	children map[ids.Id]pastry.NodeHandle
+	group  ids.Id
+	member bool
+	root   bool
+	parent pastry.NodeHandle // NoHandle while unknown or at the root
+	// children is kept sorted by identifier so every dissemination loop
+	// walks the tree in a deterministic order at no extra cost; maps would
+	// randomize message ordering and make identically-seeded runs diverge.
+	children []pastry.NodeHandle
 	handlers Handlers
 	// joining marks an in-flight join (parent not yet confirmed).
 	joining bool
@@ -69,6 +73,35 @@ type groupState struct {
 	missedBeats int
 	// onParentData receives payloads pushed upward with SendToParent.
 	onParentData func(payload simnet.Message, from pastry.NodeHandle)
+}
+
+// childIndex locates id in the sorted children slice, returning its
+// position (or insertion point) and whether it is present.
+func (g *groupState) childIndex(id ids.Id) (int, bool) {
+	i := sort.Search(len(g.children), func(i int) bool { return !g.children[i].Id.Less(id) })
+	return i, i < len(g.children) && g.children[i].Id == id
+}
+
+// putChild inserts or refreshes a child edge, keeping the slice sorted.
+func (g *groupState) putChild(h pastry.NodeHandle) {
+	i, ok := g.childIndex(h.Id)
+	if ok {
+		g.children[i] = h
+		return
+	}
+	g.children = append(g.children, pastry.NoHandle)
+	copy(g.children[i+1:], g.children[i:])
+	g.children[i] = h
+}
+
+// dropChild removes a child edge; it reports whether it was present.
+func (g *groupState) dropChild(id ids.Id) bool {
+	i, ok := g.childIndex(id)
+	if !ok {
+		return false
+	}
+	g.children = append(g.children[:i], g.children[i+1:]...)
+	return true
 }
 
 // Scribe runs group communication for one Pastry node.
@@ -85,10 +118,29 @@ type Scribe struct {
 
 	maintenance *simTicker
 
+	// keyScratch is reused by sortedGroupKeys. Maps deliver their entries
+	// in a randomized order, and any order-sensitive effect of that —
+	// message sequence numbers, float folds — would make identically-
+	// seeded runs diverge, so every path that sends messages walks groups
+	// in identifier order (children are already a sorted slice).
+	keyScratch []ids.Id
+
 	// stats for the overhead experiments
 	joinsHandled      int
 	multicastsRelayed int
 	anycastsSeen      int
+}
+
+// sortedGroupKeys returns the keys of s.groups in identifier order, in a
+// scratch slice owned by s (valid until the next call).
+func (s *Scribe) sortedGroupKeys() []ids.Id {
+	out := s.keyScratch[:0]
+	for k := range s.groups {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	s.keyScratch = out
+	return out
 }
 
 // simTicker is a tiny indirection so Scribe can stop its maintenance loop.
@@ -129,11 +181,21 @@ func (s *Scribe) Children(group ids.Id) []pastry.NodeHandle {
 	if !ok {
 		return nil
 	}
-	out := make([]pastry.NodeHandle, 0, len(g.children))
-	for _, h := range g.children {
-		out = append(out, h)
-	}
+	out := make([]pastry.NodeHandle, len(g.children))
+	copy(out, g.children)
 	return out
+}
+
+// HasChild reports whether id is one of this node's children in the group
+// tree. The aggregation layer uses it to prune its per-child info base
+// without allocating a membership set.
+func (s *Scribe) HasChild(group, id ids.Id) bool {
+	g, ok := s.groups[group]
+	if !ok {
+		return false
+	}
+	_, ok = g.childIndex(id)
+	return ok
 }
 
 // Parent returns the node's parent in the group tree (NoHandle at the root
@@ -175,7 +237,7 @@ func (s *Scribe) Join(group ids.Id, h Handlers) {
 func (s *Scribe) stateFor(group ids.Id) *groupState {
 	g, ok := s.groups[group]
 	if !ok {
-		g = &groupState{group: group, parent: pastry.NoHandle, children: make(map[ids.Id]pastry.NodeHandle)}
+		g = &groupState{group: group, parent: pastry.NoHandle}
 		s.groups[group] = g
 	}
 	return g
@@ -429,7 +491,7 @@ func (s *Scribe) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 		g.missedBeats = 0
 	case *leaveMsg:
 		if g, ok := s.groups[m.Group]; ok {
-			delete(g.children, m.Child.Id)
+			g.dropChild(m.Child.Id)
 			s.maybePrune(g)
 		}
 	case *multicastDown:
@@ -494,7 +556,7 @@ func (s *Scribe) addChild(g *groupState, child pastry.NodeHandle) {
 		return
 	}
 	s.joinsHandled++
-	g.children[child.Id] = child
+	g.putChild(child)
 	s.node.SendDirect(child, AppName, &joinAck{Group: g.group, Parent: s.node.Handle()})
 }
 
@@ -503,15 +565,18 @@ func (s *Scribe) addChild(g *groupState, child pastry.NodeHandle) {
 // handleNodeDead repairs trees when Pastry declares a neighbor dead: if it
 // was a parent, rejoin the group; if a child, drop it.
 func (s *Scribe) handleNodeDead(h pastry.NodeHandle) {
-	for _, g := range s.groups {
+	for _, key := range s.sortedGroupKeys() {
+		g, ok := s.groups[key]
+		if !ok {
+			continue
+		}
 		if g.parent.Id == h.Id && !g.parent.IsNil() {
 			g.parent = pastry.NoHandle
 			if g.member || len(g.children) > 0 {
 				s.sendJoin(g)
 			}
 		}
-		if _, ok := g.children[h.Id]; ok {
-			delete(g.children, h.Id)
+		if g.dropChild(h.Id) {
 			s.maybePrune(g)
 		}
 	}
@@ -525,9 +590,18 @@ func (s *Scribe) StartMaintenance(interval time.Duration) {
 		return
 	}
 	t := s.node.Engine().Every(interval, func() {
-		for _, g := range s.groups {
-			for _, child := range g.children {
-				s.node.SendDirect(child, AppName, &heartbeat{Group: g.group})
+		for _, key := range s.sortedGroupKeys() {
+			g, ok := s.groups[key]
+			if !ok {
+				continue
+			}
+			if len(g.children) > 0 {
+				// One heartbeat value per group per round; the message is
+				// immutable so every child can share it.
+				hb := &heartbeat{Group: g.group}
+				for _, child := range g.children {
+					s.node.SendDirect(child, AppName, hb)
+				}
 			}
 			switch {
 			case g.root:

@@ -23,6 +23,11 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	rng    *rand.Rand
+	// free recycles popped events: every scheduled callback would otherwise
+	// heap-allocate one *event, and large experiments schedule millions.
+	// Events are strictly owned by the engine (never escape to callers), so
+	// a popped event can be reused as soon as its callback is extracted.
+	free []*event
 }
 
 // NewEngine returns an engine whose clock starts at zero and whose random
@@ -35,7 +40,10 @@ func NewEngine(seed int64) *Engine {
 func (e *Engine) Now() time.Duration { return e.now }
 
 // Rand returns the engine's deterministic random source.
-func (e *Engine) Rand() *rand.Rand { return e.rng }
+func (e *Engine) Rand() *rand.Rand {
+	e.mustInit()
+	return e.rng
+}
 
 type event struct {
 	at  time.Duration
@@ -63,14 +71,35 @@ func (h *eventHeap) Pop() (popped any) {
 	return
 }
 
+// mustInit catches use of a zero-value Engine (a nil-pointer deref waiting
+// to happen deep inside an experiment) with an explanation at the call site.
+func (e *Engine) mustInit() {
+	if e.rng == nil {
+		panic("sim: Engine not initialized; construct engines with NewEngine (the zero value is not usable)")
+	}
+}
+
 // At schedules fn to run at absolute virtual time t. Times in the past run
 // at the current instant (they are clamped to Now).
 func (e *Engine) At(t time.Duration, fn func()) {
+	e.mustInit()
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	heap.Push(&e.events, e.newEvent(t, fn))
+}
+
+// newEvent takes an event from the free list, or allocates when the list is
+// empty. The free list is bounded by the peak number of pending events.
+func (e *Engine) newEvent(at time.Duration, fn func()) *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free = e.free[:n-1]
+		ev.at, ev.seq, ev.fn = at, e.seq, fn
+		return ev
+	}
+	return &event{at: at, seq: e.seq, fn: fn}
 }
 
 // After schedules fn to run delay after the current virtual time. Negative
@@ -118,7 +147,12 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
-	ev.fn()
+	fn := ev.fn
+	// Recycle before running: the event is fully consumed, and fn may itself
+	// schedule (and immediately reuse) it.
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -135,5 +136,72 @@ func TestStepReturnsFalseWhenEmpty(t *testing.T) {
 	e := NewEngine(1)
 	if e.Step() {
 		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+func TestZeroValueEnginePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s on zero-value Engine did not panic", name)
+				return
+			}
+			if msg, ok := r.(string); !ok || !strings.Contains(msg, "NewEngine") {
+				t.Errorf("%s panic = %v, want message pointing at NewEngine", name, r)
+			}
+		}()
+		fn()
+	}
+	var e Engine
+	mustPanic("Rand", func() { _ = e.Rand() })
+	mustPanic("At", func() { e.At(time.Second, func() {}) })
+	mustPanic("After", func() { e.After(time.Second, func() {}) })
+}
+
+func TestEventRecyclingPreservesSemantics(t *testing.T) {
+	// Interleave scheduling and stepping so popped events are reused while
+	// others are still pending; order and timestamps must be unaffected.
+	e := NewEngine(1)
+	var got []int
+	for round := 0; round < 3; round++ {
+		base := e.Now()
+		for i := 0; i < 100; i++ {
+			i := i
+			e.At(base+time.Duration(100-i)*time.Millisecond, func() { got = append(got, i) })
+		}
+		e.Run()
+	}
+	if len(got) != 300 {
+		t.Fatalf("ran %d events, want 300", len(got))
+	}
+	for r := 0; r < 3; r++ {
+		for i := 0; i < 100; i++ {
+			if got[r*100+i] != 99-i {
+				t.Fatalf("round %d slot %d = %d, want %d", r, i, got[r*100+i], 99-i)
+			}
+		}
+	}
+}
+
+func TestEventRecyclingFromWithinCallback(t *testing.T) {
+	// A callback that schedules more work may reuse its own just-popped
+	// event; the chain must still run to completion in order.
+	e := NewEngine(1)
+	var n int
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			e.After(time.Millisecond, tick)
+		}
+	}
+	e.After(time.Millisecond, tick)
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("chain ran %d times, want 1000", n)
+	}
+	if e.Now() != 1000*time.Millisecond {
+		t.Fatalf("Now = %v, want 1s", e.Now())
 	}
 }

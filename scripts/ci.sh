@@ -1,0 +1,21 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite, then the race detector over the
+# short-mode suite (the parallel experiment harness is the only concurrent
+# code; -short keeps the race pass fast while still driving it).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+
+echo "== go build"
+go build ./...
+
+echo "== go test"
+go test ./...
+
+echo "== go test -race -short"
+go test -race -short ./...
+
+echo "CI OK"
