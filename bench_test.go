@@ -312,6 +312,56 @@ func BenchmarkFig15MessageOverhead(b *testing.B) {
 	}
 }
 
+// BenchmarkFig14Scale extends the aggregation-latency sweep to 2048–8192
+// servers, an order of magnitude past the paper's 1024-server ceiling. Each
+// point builds a private ring, so this also exercises indexed table
+// construction at scale; a single 8192-server point runs in well under a
+// second single-threaded (see EXPERIMENTS.md). Skipped under -short to keep
+// the CI bench smoke fast.
+func BenchmarkFig14Scale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-ring sweep; run without -short")
+	}
+	for _, n := range []int{2048, 4096, 8192} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := experiments.RunAggLatency(experiments.AggLatencyParams{
+					Sizes: []int{n}, Seed: int64(i), Parallelism: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				pt := out.Points[0]
+				b.ReportMetric(float64(pt.RawMean)/1e6, "msAgg")
+				b.ReportMetric(float64(pt.TreeHeight), "treeHeight")
+			}
+		})
+	}
+}
+
+// BenchmarkFig15Scale extends the per-host message-overhead measurement to
+// 2048–8192 servers. The paper's claim — per-host cost stays flat as the
+// ring grows — is what these points verify at datacenter scale.
+func BenchmarkFig15Scale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-ring sweep; run without -short")
+	}
+	for _, n := range []int{2048, 4096, 8192} {
+		b.Run(fmt.Sprintf("servers=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{
+					Sizes: []int{n}, Seed: int64(i), Parallelism: 1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(out.Points[0].Msgs.Quantile(0.9), "msgP90")
+				b.ReportMetric(out.Points[0].KB.Quantile(0.9), "kbP90")
+			}
+		})
+	}
+}
+
 // BenchmarkSweepParallelism runs the same Fig. 14 sweep sequentially and
 // with one worker per core. The sweep points are independent trials, so the
 // parallel wall-clock time should approach sequential/cores with identical

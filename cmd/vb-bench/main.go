@@ -7,6 +7,11 @@
 //	vb-bench [-bench regex] [-pkg pattern] [-benchtime 1x] [-out file]
 //	vb-bench -compare old.json [-tolerance 0.10] ...
 //	vb-bench -parse bench-output.txt [-out file]
+//	vb-bench -bench Fig14 -pkg . -cpuprofile cpu.out -memprofile mem.out
+//
+// -cpuprofile and -memprofile are forwarded to the go test child, producing
+// pprof profiles of the benchmarked code; go test accepts them only with a
+// single package, so combine them with a specific -pkg.
 //
 // With -compare, the freshly measured suite is checked against an earlier
 // JSON file and any benchmark whose ns/op or allocs/op grew by more than
@@ -52,6 +57,8 @@ func main() {
 		compare   = flag.String("compare", "", "baseline JSON to compare against")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional growth before a regression is flagged")
 		quiet     = flag.Bool("q", false, "suppress the go test output echo")
+		cpuProf   = flag.String("cpuprofile", "", "forward to go test: write a CPU profile (single package only)")
+		memProf   = flag.String("memprofile", "", "forward to go test: write a heap profile (single package only)")
 	)
 	flag.Parse()
 
@@ -63,7 +70,14 @@ func main() {
 			log.Fatal(err)
 		}
 	} else {
-		raw, err = runBenchmarks(*pkg, *bench, *benchtime, *quiet)
+		var profArgs []string
+		if *cpuProf != "" {
+			profArgs = append(profArgs, "-cpuprofile", *cpuProf)
+		}
+		if *memProf != "" {
+			profArgs = append(profArgs, "-memprofile", *memProf)
+		}
+		raw, err = runBenchmarks(*pkg, *bench, *benchtime, *quiet, profArgs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -114,11 +128,12 @@ func main() {
 
 // runBenchmarks shells out to go test and returns its combined output.
 // Benchmarks are run with -benchmem so allocation regressions are visible.
-func runBenchmarks(pkg, bench, benchtime string, quiet bool) ([]byte, error) {
+func runBenchmarks(pkg, bench, benchtime string, quiet bool, extra []string) ([]byte, error) {
 	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem"}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
 	}
+	args = append(args, extra...)
 	args = append(args, pkg)
 	cmd := exec.Command("go", args...)
 	var buf bytes.Buffer

@@ -19,6 +19,7 @@ import (
 
 	"vbundle/internal/core"
 	"vbundle/internal/experiments"
+	"vbundle/internal/profiling"
 )
 
 func main() {
@@ -35,7 +36,14 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent trials (0 = all cores, 1 = sequential)")
 		jsonOut  = flag.String("json", "", "file to write the outcome as JSON")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	kind := map[string]core.EngineKind{
 		"dht": core.EngineDHT, "greedy": core.EngineGreedy, "random": core.EngineRandom,

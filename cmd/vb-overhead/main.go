@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"vbundle/internal/experiments"
+	"vbundle/internal/profiling"
 	"vbundle/internal/report"
 )
 
@@ -31,7 +32,14 @@ func main() {
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
 		workers = flag.Int("workers", 0, "concurrent sweep points (0 = all cores, 1 = sequential)")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	charts := map[string]*report.Chart{}
 
 	var sizes []int

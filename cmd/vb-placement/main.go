@@ -20,6 +20,7 @@ import (
 
 	"vbundle/internal/core"
 	"vbundle/internal/experiments"
+	"vbundle/internal/profiling"
 )
 
 func main() {
@@ -37,7 +38,14 @@ func main() {
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
 		jsonOut = flag.String("json", "", "file to write the outcome as JSON")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	kind := core.EngineDHT
 	switch *engine {

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"vbundle/internal/experiments"
+	"vbundle/internal/profiling"
 )
 
 func main() {
@@ -30,7 +31,14 @@ func main() {
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
 		jsonOut = flag.String("json", "", "file to write the outcome as JSON")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	out, err := experiments.RunQoS(experiments.QoSParams{
 		Hosts:      *hosts,

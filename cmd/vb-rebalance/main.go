@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"vbundle/internal/experiments"
+	"vbundle/internal/profiling"
 	"vbundle/internal/report"
 )
 
@@ -34,7 +35,14 @@ func main() {
 		svgDir    = flag.String("svg", "", "directory to write SVG figures into")
 		workers   = flag.Int("workers", 0, "concurrent sweep variants (0 = all cores, 1 = sequential)")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 	charts := map[string]*report.Chart{}
 	collect := func(suffix string, out *experiments.RebalanceOutcome) {
 		for stem, chart := range out.Charts() {

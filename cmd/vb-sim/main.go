@@ -23,6 +23,7 @@ import (
 	"vbundle/internal/costbenefit"
 	"vbundle/internal/experiments"
 	"vbundle/internal/metrics"
+	"vbundle/internal/profiling"
 	"vbundle/internal/rebalance"
 	"vbundle/internal/workload"
 )
@@ -43,7 +44,14 @@ func main() {
 		costBenefit  = flag.Bool("cost-benefit", false, "veto migrations whose cost exceeds the recovered bandwidth")
 		loss         = flag.Float64("loss", 0, "overlay message loss probability")
 	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
 	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
 
 	kind := map[string]core.EngineKind{
 		"dht": core.EngineDHT, "greedy": core.EngineGreedy, "random": core.EngineRandom,

@@ -297,3 +297,46 @@ func TestScaledAdjacencyMatchesHierarchy(t *testing.T) {
 		}
 	}
 }
+
+// prefixRangeRef is the digit-by-digit reference PrefixRange replaces: set
+// digit row to col, then rewrite every deeper digit to 0 (lo) or the maximum
+// digit (hi).
+func prefixRangeRef(base Id, row, col, b int) (lo, hi Id) {
+	lo = base.WithDigit(row, b, col)
+	hi = lo
+	for k := row + 1; k < Bits/b; k++ {
+		lo = lo.WithDigit(k, b, 0)
+		hi = hi.WithDigit(k, b, 1<<uint(b)-1)
+	}
+	return lo, hi
+}
+
+func TestPrefixRangeMatchesDigitLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, b := range []int{1, 2, 4, 8, 16} {
+		perID := Bits / b
+		for trial := 0; trial < 200; trial++ {
+			base := Random(rng)
+			row := rng.Intn(perID)
+			col := rng.Intn(1 << uint(b))
+			gotLo, gotHi := PrefixRange(base, row, col, b)
+			wantLo, wantHi := prefixRangeRef(base, row, col, b)
+			if gotLo != wantLo || gotHi != wantHi {
+				t.Fatalf("PrefixRange(%v, row=%d, col=%d, b=%d) = [%v, %v], want [%v, %v]",
+					base, row, col, b, gotLo, gotHi, wantLo, wantHi)
+			}
+		}
+		// Boundary rows: first and last digit.
+		for _, row := range []int{0, perID - 1} {
+			for _, col := range []int{0, 1<<uint(b) - 1} {
+				base := Random(rng)
+				gotLo, gotHi := PrefixRange(base, row, col, b)
+				wantLo, wantHi := prefixRangeRef(base, row, col, b)
+				if gotLo != wantLo || gotHi != wantHi {
+					t.Fatalf("PrefixRange boundary (row=%d, col=%d, b=%d): got [%v, %v], want [%v, %v]",
+						row, col, b, gotLo, gotHi, wantLo, wantHi)
+				}
+			}
+		}
+	}
+}

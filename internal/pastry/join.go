@@ -34,7 +34,7 @@ func (n *Node) handleJoinForward(m *joinForward) {
 	}
 	for row := 0; row <= maxRow; row++ {
 		for col := 0; col < n.cfg.cols(); col++ {
-			if e := *n.rtSlot(row, col); !e.IsNil() {
+			if e := n.rtGet(row, col); !e.IsNil() {
 				m.Rows = append(m.Rows, e)
 			}
 		}

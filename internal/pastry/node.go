@@ -26,7 +26,8 @@ type Node struct {
 	appCacheName string
 	appCacheApp  App
 
-	rt        []NodeHandle // rows*cols flattened; zero handle = empty slot
+	rt        []NodeHandle // flat rtRows×cols table, grown one row at a time
+	rtRows    int          // rows currently backed by rt; reads beyond are empty
 	leafCW    []NodeHandle // successors, sorted by clockwise distance
 	leafCCW   []NodeHandle // predecessors, sorted by counter-clockwise distance
 	neighbors []NodeHandle // sorted by proximity to self
@@ -67,10 +68,10 @@ type Node struct {
 // Join (or let Ring.BuildStatic populate its tables).
 func NewNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox simnet.LatencyFunc) *Node {
 	cfg = cfg.withDefaults()
-	rt := make([]NodeHandle, cfg.rows()*cfg.cols())
-	for i := range rt {
-		rt[i] = NoHandle // the zero NodeHandle is a real node, not "empty"
-	}
+	// The routing table starts empty and grows by whole rows on first
+	// insert (rtSlot): a ring of n nodes only populates about log2(n)/B of
+	// the 32 rows, so the dense rows*cols table wasted ~12KB per node —
+	// ~100MB of handle slots at 8192 servers.
 	n := &Node{
 		cfg:          cfg,
 		handle:       NodeHandle{Id: id, Addr: addr},
@@ -78,7 +79,6 @@ func NewNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox 
 		engine:       net.Engine(),
 		prox:         prox,
 		apps:         make(map[string]App),
-		rt:           rt,
 		pendingPings: make(map[uint64]func(bool)),
 		suspicion:    make(map[simnet.Addr]int),
 	}
@@ -163,14 +163,37 @@ func (n *Node) markJoined() {
 
 // --- table maintenance ---------------------------------------------------
 
-// rtSlot returns a pointer to routing-table row l, column d.
+// rtSlot returns a pointer to routing-table row l, column d, growing the
+// flat table through row l on first use. The returned pointer is only valid
+// until the next rtSlot call (growth reallocates). Read-only paths use
+// rtGet, which never allocates.
 func (n *Node) rtSlot(l, d int) *NodeHandle {
-	return &n.rt[l*n.cfg.cols()+d]
+	cols := n.cfg.cols()
+	if l >= n.rtRows {
+		grown := make([]NodeHandle, (l+1)*cols)
+		copy(grown, n.rt)
+		for i := len(n.rt); i < len(grown); i++ {
+			grown[i] = NoHandle // the zero NodeHandle is a real node, not "empty"
+		}
+		n.rt = grown
+		n.rtRows = l + 1
+	}
+	return &n.rt[l*cols+d]
+}
+
+// rtGet reads the entry at row l, column d without growing the table; rows
+// beyond rtRows read as empty. Routing's hot path — keep it one compare and
+// one indexed load.
+func (n *Node) rtGet(l, d int) NodeHandle {
+	if l < n.rtRows {
+		return n.rt[l*n.cfg.cols()+d]
+	}
+	return NoHandle
 }
 
 // RoutingTableEntry returns the entry at row l, column d, which is zero if
 // the slot is empty.
-func (n *Node) RoutingTableEntry(l, d int) NodeHandle { return *n.rtSlot(l, d) }
+func (n *Node) RoutingTableEntry(l, d int) NodeHandle { return n.rtGet(l, d) }
 
 // RoutingTableSize returns the number of populated routing-table slots.
 func (n *Node) RoutingTableSize() int {
@@ -525,7 +548,7 @@ func (n *Node) rtMaintenance() {
 func (n *Node) rowEntries(row int) []NodeHandle {
 	out := make([]NodeHandle, 0, n.cfg.cols())
 	for col := 0; col < n.cfg.cols(); col++ {
-		if e := *n.rtSlot(row, col); !e.IsNil() {
+		if e := n.rtGet(row, col); !e.IsNil() {
 			out = append(out, e)
 		}
 	}

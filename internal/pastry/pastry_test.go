@@ -550,11 +550,14 @@ func TestLossyNetworkDoesNotMassKill(t *testing.T) {
 	engine.RunFor(20 * 30 * time.Second)
 	ring.StopMaintenance()
 	engine.Run()
-	// All nodes are actually alive, so every death verdict is false. A few
-	// are statistically unavoidable at 30% loss (each ping+pong round trip
-	// fails half the time), but nothing like the mass-kill a
-	// zero-tolerance detector produces.
-	if falseDeaths > ring.Size()/4 {
+	// All nodes are actually alive, so every death verdict is false. Some
+	// are statistically unavoidable at 30% loss: a ping+pong round trip
+	// fails about half the time, so each probe chain ends in a false
+	// verdict with probability 0.51^ProbeRetries ≈ 0.5%, giving an
+	// expectation of ~9 over 32 nodes × 20 rounds × 3 probes. The bound
+	// sits well above that mean but far below the ~1000 verdicts a
+	// zero-tolerance detector produces on the same trace.
+	if falseDeaths > ring.Size()/2 {
 		t.Fatalf("%d false deaths across %d nodes in 20 rounds", falseDeaths, ring.Size())
 	}
 	// Routing still reaches the numerically closest node afterwards (on a

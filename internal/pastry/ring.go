@@ -2,6 +2,7 @@ package pastry
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -35,9 +36,18 @@ type Ring struct {
 	topo   *topology.Topology
 	nodes  []*Node
 
-	// byID holds node indices sorted by identifier; it backs the static
-	// builder and ground-truth queries in tests.
-	byID []int
+	// byID holds node indices sorted by identifier; pos is its inverse
+	// (pos[i] is the rank of node i) and sortedIDs the identifiers in rank
+	// order. Together they back the static builder and the indexed
+	// ground-truth queries (ClosestLive).
+	byID      []int
+	pos       []int
+	sortedIDs []ids.Id
+	// liveWords is a bitmap over ranks (identifier order): bit p set means
+	// the node at rank p is alive. The network's liveness hook keeps it
+	// current, turning ClosestLive from an O(n) scan into a binary search
+	// plus a word-wise scan for the nearest live neighbor.
+	liveWords []uint64
 }
 
 // NewRing creates the network and one node per server. Nodes are not joined:
@@ -66,6 +76,29 @@ func NewRing(engine *sim.Engine, topo *topology.Topology, cfg Config, assign IdA
 	sort.Slice(r.byID, func(a, b int) bool {
 		return r.nodes[r.byID[a]].ID().Less(r.nodes[r.byID[b]].ID())
 	})
+	r.pos = make([]int, n)
+	r.sortedIDs = make([]ids.Id, n)
+	for p, i := range r.byID {
+		r.pos[i] = p
+		r.sortedIDs[p] = r.nodes[i].ID()
+	}
+	// Snapshot current liveness (every node was just attached, so alive),
+	// then track transitions through the network's hook.
+	r.liveWords = make([]uint64, (n+63)/64)
+	for i := 0; i < n; i++ {
+		if net.Alive(simnet.Addr(i)) {
+			p := r.pos[i]
+			r.liveWords[p>>6] |= 1 << uint(p&63)
+		}
+	}
+	net.OnLivenessChange(func(addr simnet.Addr, alive bool) {
+		p := r.pos[addr]
+		if alive {
+			r.liveWords[p>>6] |= 1 << uint(p&63)
+		} else {
+			r.liveWords[p>>6] &^= 1 << uint(p&63)
+		}
+	})
 	return r
 }
 
@@ -91,7 +124,35 @@ func (r *Ring) Nodes() []*Node { return r.nodes }
 // ClosestLive returns the live node whose identifier is numerically closest
 // to key: the ground truth a correct overlay routes to. Tests compare
 // routed destinations against it.
+//
+// The closest live node is always the nearest live neighbor of key in ring
+// order on one side or the other (any third live node is circularly farther
+// on its side, hence strictly more distant), so the query is a binary search
+// for key's rank plus a bitmap scan to the first live rank each way — O(log
+// n) against the O(n) scan the experiments' verification passes used to pay
+// per query. closestLiveScan keeps the exhaustive scan as the reference the
+// index equivalence test replays against.
 func (r *Ring) ClosestLive(key ids.Id) *Node {
+	n := len(r.nodes)
+	if n == 0 {
+		return nil
+	}
+	at := sort.Search(n, func(k int) bool { return !r.sortedIDs[k].Less(key) })
+	cw := r.nextLive(at % n)
+	if cw < 0 {
+		return nil // no live nodes at all
+	}
+	ccw := r.prevLive((at - 1 + n) % n)
+	a := r.nodes[r.byID[cw]]
+	b := r.nodes[r.byID[ccw]]
+	if a == b || ids.CloserTo(key, a.ID(), b.ID()) {
+		return a
+	}
+	return b
+}
+
+// closestLiveScan is the exhaustive reference implementation of ClosestLive.
+func (r *Ring) closestLiveScan(key ids.Id) *Node {
 	var best *Node
 	for _, n := range r.nodes {
 		if !r.net.Alive(n.Addr()) {
@@ -102,6 +163,40 @@ func (r *Ring) ClosestLive(key ids.Id) *Node {
 		}
 	}
 	return best
+}
+
+// nextLive returns the first live rank at or clockwise of start, or -1 when
+// no node is alive. One full pass over the bitmap words, not the nodes.
+func (r *Ring) nextLive(start int) int {
+	words := len(r.liveWords)
+	w := start >> 6
+	if masked := r.liveWords[w] & (^uint64(0) << uint(start&63)); masked != 0 {
+		return w<<6 + bits.TrailingZeros64(masked)
+	}
+	for k := 1; k <= words; k++ {
+		i := (w + k) % words
+		if r.liveWords[i] != 0 {
+			return i<<6 + bits.TrailingZeros64(r.liveWords[i])
+		}
+	}
+	return -1
+}
+
+// prevLive returns the first live rank at or counter-clockwise of start, or
+// -1 when no node is alive.
+func (r *Ring) prevLive(start int) int {
+	words := len(r.liveWords)
+	w := start >> 6
+	if masked := r.liveWords[w] & (^uint64(0) >> uint(63-start&63)); masked != 0 {
+		return w<<6 + 63 - bits.LeadingZeros64(masked)
+	}
+	for k := 1; k <= words; k++ {
+		i := ((w-k)%words + words) % words
+		if r.liveWords[i] != 0 {
+			return i<<6 + 63 - bits.LeadingZeros64(r.liveWords[i])
+		}
+	}
+	return -1
 }
 
 // JoinAll schedules the message-driven join of every node, staggered so the
@@ -154,18 +249,8 @@ func (r *Ring) BuildStatic() {
 	}
 	half := r.cfg.LeafSize / 2
 
-	// pos[i] is the rank of node i in identifier order.
-	pos := make([]int, n)
-	for p, i := range r.byID {
-		pos[i] = p
-	}
-	sortedIDs := make([]ids.Id, n)
-	for p, i := range r.byID {
-		sortedIDs[p] = r.nodes[i].ID()
-	}
-
 	for i, node := range r.nodes {
-		p := pos[i]
+		p := r.pos[i]
 		// Leaf sets: ring neighbors in identifier order.
 		for k := 1; k <= half && k < n; k++ {
 			cw := r.nodes[r.byID[(p+k)%n]]
@@ -176,7 +261,7 @@ func (r *Ring) BuildStatic() {
 		// Routing table: for every row and digit, the member of the
 		// matching prefix range nearest in rank (with hierarchy ids, rank
 		// distance is physical distance).
-		r.fillRoutingTable(node, p, sortedIDs)
+		r.fillRoutingTable(node, p, r.sortedIDs)
 		// Neighborhood set: physically closest servers.
 		r.fillNeighborhood(node)
 		node.markJoined()
@@ -192,7 +277,7 @@ func (r *Ring) fillRoutingTable(node *Node, p int, sortedIDs []ids.Id) {
 			if col == ownDigit {
 				continue
 			}
-			lo, hi := prefixRange(own, row, col, r.cfg.B)
+			lo, hi := ids.PrefixRange(own, row, col, r.cfg.B)
 			// Nodes with identifier in [lo, hi].
 			start := sort.Search(n, func(k int) bool { return !sortedIDs[k].Less(lo) })
 			if start == n || hi.Less(sortedIDs[start]) {
@@ -209,26 +294,13 @@ func (r *Ring) fillRoutingTable(node *Node, p int, sortedIDs []ids.Id) {
 		}
 		// Once the prefix range around our own identifier contains only us,
 		// deeper rows are necessarily empty; stop early.
-		lo, hi := prefixRange(own, row, own.DigitAt(row, r.cfg.B), r.cfg.B)
+		lo, hi := ids.PrefixRange(own, row, own.DigitAt(row, r.cfg.B), r.cfg.B)
 		start := sort.Search(n, func(k int) bool { return !sortedIDs[k].Less(lo) })
 		end := sort.Search(n, func(k int) bool { return hi.Less(sortedIDs[k]) })
 		if end-start <= 1 {
 			break
 		}
 	}
-}
-
-// prefixRange returns the smallest and largest identifiers sharing the first
-// row digits with base and having digit row equal to col.
-func prefixRange(base ids.Id, row, col, b int) (lo, hi ids.Id) {
-	lo = base.WithDigit(row, b, col)
-	hi = lo
-	perID := ids.Bits / b
-	for k := row + 1; k < perID; k++ {
-		lo = lo.WithDigit(k, b, 0)
-		hi = hi.WithDigit(k, b, 1<<uint(b)-1)
-	}
-	return lo, hi
 }
 
 func (r *Ring) fillNeighborhood(node *Node) {

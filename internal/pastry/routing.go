@@ -79,7 +79,7 @@ func (n *Node) NextHop(key ids.Id) NodeHandle {
 	}
 	l := n.handle.Id.CommonPrefixLen(key, n.cfg.B)
 	d := key.DigitAt(l, n.cfg.B)
-	if e := *n.rtSlot(l, d); !e.IsNil() {
+	if e := n.rtGet(l, d); !e.IsNil() {
 		return e
 	}
 	return n.rareCase(key, l)

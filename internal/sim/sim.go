@@ -16,12 +16,38 @@ import (
 	"time"
 )
 
+// QueueKind selects the engine's pending-event store.
+type QueueKind int
+
+const (
+	// QueueBucket is the default: a calendar queue that buckets events by
+	// timestamp (O(1) amortized schedule/pop for the near future, a heap
+	// only for far-future overflow). See bucketQueue.
+	QueueBucket QueueKind = iota
+	// QueueHeap is the original binary min-heap (O(log n) per operation).
+	// It is retained as the reference implementation: the equivalence
+	// property test replays identical traces against both stores, and the
+	// benchmarks A/B them.
+	QueueHeap
+)
+
+// eventQueue stores pending events ordered by (at, seq). Exactly one
+// goroutine (the engine's) touches it.
+type eventQueue interface {
+	push(*event)
+	// pop removes and returns the earliest event, or nil when empty.
+	pop() *event
+	// nextAt returns the earliest pending timestamp, if any.
+	nextAt() (time.Duration, bool)
+	len() int
+}
+
 // Engine is a discrete-event scheduler over a virtual clock. The zero value
 // is not usable; construct engines with NewEngine.
 type Engine struct {
 	now    time.Duration
 	seq    uint64
-	events eventHeap
+	events eventQueue
 	rng    *rand.Rand
 	// free recycles popped events: every scheduled callback would otherwise
 	// heap-allocate one *event, and large experiments schedule millions.
@@ -33,7 +59,21 @@ type Engine struct {
 // NewEngine returns an engine whose clock starts at zero and whose random
 // source is seeded with seed, making runs reproducible.
 func NewEngine(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return NewEngineWithQueue(seed, QueueBucket)
+}
+
+// NewEngineWithQueue is NewEngine with an explicit pending-event store; the
+// two stores execute identical traces in identical order (asserted by the
+// queue equivalence tests), differing only in cost.
+func NewEngineWithQueue(seed int64, kind QueueKind) *Engine {
+	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	switch kind {
+	case QueueHeap:
+		e.events = &heapQueue{}
+	default:
+		e.events = newBucketQueue()
+	}
+	return e
 }
 
 // Now returns the current virtual time.
@@ -71,6 +111,26 @@ func (h *eventHeap) Pop() (popped any) {
 	return
 }
 
+// heapQueue adapts the binary heap to the eventQueue interface.
+type heapQueue struct {
+	h eventHeap
+}
+
+func (q *heapQueue) push(ev *event) { heap.Push(&q.h, ev) }
+func (q *heapQueue) pop() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*event)
+}
+func (q *heapQueue) nextAt() (time.Duration, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+func (q *heapQueue) len() int { return len(q.h) }
+
 // mustInit catches use of a zero-value Engine (a nil-pointer deref waiting
 // to happen deep inside an experiment) with an explanation at the call site.
 func (e *Engine) mustInit() {
@@ -87,7 +147,7 @@ func (e *Engine) At(t time.Duration, fn func()) {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, e.newEvent(t, fn))
+	e.events.push(e.newEvent(t, fn))
 }
 
 // newEvent takes an event from the free list, or allocates when the list is
@@ -142,10 +202,13 @@ func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	if e.events == nil {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.pop()
+	if ev == nil {
+		return false
+	}
 	e.now = ev.at
 	fn := ev.fn
 	// Recycle before running: the event is fully consumed, and fn may itself
@@ -167,7 +230,11 @@ func (e *Engine) Run() {
 // advances the clock to exactly the deadline. Events scheduled later remain
 // pending.
 func (e *Engine) RunUntil(deadline time.Duration) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for e.events != nil {
+		at, ok := e.events.nextAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
@@ -179,4 +246,9 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
 
 // Pending returns the number of events waiting to run.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	if e.events == nil {
+		return 0
+	}
+	return e.events.len()
+}

@@ -1,0 +1,181 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vbundle/internal/sim"
+)
+
+// rxLog records per-node delivery sequences. Per-destination delivery order
+// is an invariant both delivery modes guarantee (messages due at one node at
+// one instant arrive in send order), so the equivalence tests compare each
+// node's sequence exactly.
+type rxLog struct {
+	eng   *sim.Engine
+	seen  [][]string
+	onMsg func(dst Addr, msg Message) // optional per-delivery hook
+}
+
+func newRxLog(eng *sim.Engine, size int) *rxLog {
+	return &rxLog{eng: eng, seen: make([][]string, size)}
+}
+
+func (l *rxLog) handler(dst Addr) Handler {
+	return HandlerFunc(func(from Addr, msg Message) {
+		l.seen[dst] = append(l.seen[dst],
+			fmt.Sprintf("%v:%d:%v", l.eng.Now(), from, msg))
+		if l.onMsg != nil {
+			l.onMsg(dst, msg)
+		}
+	})
+}
+
+// runDeliveryTrace drives one network through a pseudo-random trace of
+// sends, kills and revives. The trace generator uses its own rand.Rand so
+// both delivery modes execute byte-identical Send sequences (send order is
+// fixed by the trace's timer events, which never depend on deliveries), and
+// therefore draw byte-identical drop decisions from the engine's source.
+// Kill/revive times carry a +1ns offset while all deliveries land on exact
+// microsecond multiples, so liveness flips never tie with deliveries — the
+// one interleaving batching does not preserve (a liveness flip whose
+// timestamp exactly equals a delivery's may order differently relative to
+// mid-batch messages; see the Network doc comment).
+func runDeliveryTrace(seed int64, perMessage bool) (*rxLog, []Counters) {
+	const size = 12
+	rng := rand.New(rand.NewSource(seed))
+	eng := sim.NewEngine(99)
+	latency := func(a, b Addr) time.Duration {
+		return time.Duration((int(a)*7+int(b)*13)%23+1) * 10 * time.Microsecond
+	}
+	opts := []Option{WithDropRate(0.25)}
+	if perMessage {
+		opts = append(opts, WithPerMessageDelivery())
+	}
+	net := New(eng, size, latency, opts...)
+	log := newRxLog(eng, size)
+	for i := 0; i < size; i++ {
+		net.Attach(Addr(i), log.handler(Addr(i)))
+	}
+	for op := 0; op < 400; op++ {
+		at := time.Duration(rng.Intn(3000)) * 10 * time.Microsecond
+		switch rng.Intn(8) {
+		case 0: // liveness flip, offset off the delivery grid
+			target := Addr(rng.Intn(size))
+			if rng.Intn(2) == 0 {
+				eng.At(at+1, func() { net.Kill(target) })
+			} else {
+				eng.At(at+1, func() { net.Revive(target) })
+			}
+		default: // burst of sends at one instant (ties are the common case)
+			k := rng.Intn(4) + 1
+			pairs := make([][2]Addr, k)
+			for i := range pairs {
+				pairs[i] = [2]Addr{Addr(rng.Intn(size)), Addr(rng.Intn(size))}
+			}
+			tag := op
+			eng.At(at, func() {
+				for i, p := range pairs {
+					net.Send(p[0], p[1], fmt.Sprintf("m%d.%d", tag, i))
+				}
+			})
+		}
+	}
+	eng.Run()
+	return log, net.AllCounters()
+}
+
+// TestDeliveryModeEquivalence replays identical randomized traces — sends,
+// drops (25%), kills and revives — through batched and per-message delivery.
+// Every node's delivery sequence and every traffic counter must be
+// byte-identical.
+func TestDeliveryModeEquivalence(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		batched, bc := runDeliveryTrace(seed, false)
+		perMsg, pc := runDeliveryTrace(seed, true)
+		for node := range batched.seen {
+			b, p := batched.seen[node], perMsg.seen[node]
+			if len(b) != len(p) {
+				t.Fatalf("seed %d node %d: batched delivered %d msgs, per-message %d",
+					seed, node, len(b), len(p))
+			}
+			for i := range b {
+				if b[i] != p[i] {
+					t.Fatalf("seed %d node %d entry %d: batched %q, per-message %q",
+						seed, node, i, b[i], p[i])
+				}
+			}
+		}
+		for node := range bc {
+			if bc[node] != pc[node] {
+				t.Fatalf("seed %d node %d: batched counters %+v, per-message %+v",
+					seed, node, bc[node], pc[node])
+			}
+		}
+	}
+}
+
+// TestMidBatchKill pins the semantics both modes must share when a handler
+// kills its own node partway through a same-instant batch: messages already
+// delivered stay delivered, the remainder of the batch is dropped, and the
+// counters record exactly the delivered prefix.
+func TestMidBatchKill(t *testing.T) {
+	for _, perMessage := range []bool{false, true} {
+		eng := sim.NewEngine(1)
+		opts := []Option{}
+		if perMessage {
+			opts = append(opts, WithPerMessageDelivery())
+		}
+		net := New(eng, 2, flatLatency(time.Millisecond), opts...)
+		log := newRxLog(eng, 2)
+		log.onMsg = func(dst Addr, msg Message) {
+			if msg == "poison" {
+				net.Kill(dst)
+			}
+		}
+		net.Attach(0, log.handler(0))
+		net.Attach(1, log.handler(1))
+		net.Send(0, 1, "first")
+		net.Send(0, 1, "poison")
+		net.Send(0, 1, "never")
+		eng.Run()
+		if got := len(log.seen[1]); got != 2 {
+			t.Fatalf("perMessage=%v: delivered %d messages (%v), want 2",
+				perMessage, got, log.seen[1])
+		}
+		c := net.CountersOf(1)
+		if c.MsgsReceived != 2 || c.BytesReceived != 2*DefaultWireSize {
+			t.Fatalf("perMessage=%v: counters %+v, want 2 msgs / %d bytes",
+				perMessage, c, 2*DefaultWireSize)
+		}
+		if s := net.CountersOf(0); s.MsgsSent != 3 {
+			t.Fatalf("perMessage=%v: sender counters %+v, want 3 sent", perMessage, s)
+		}
+	}
+}
+
+// TestBatchedCoalescesEvents asserts the batching actually happens: a fan-in
+// of k same-instant messages to one destination costs one engine event, not
+// k.
+func TestBatchedCoalescesEvents(t *testing.T) {
+	eng := sim.NewEngine(1)
+	net := New(eng, 2, flatLatency(time.Millisecond))
+	net.Attach(0, HandlerFunc(func(Addr, Message) {}))
+	net.Attach(1, HandlerFunc(func(Addr, Message) {}))
+	for i := 0; i < 8; i++ {
+		net.Send(0, 1, i)
+	}
+	if got := eng.Pending(); got != 1 {
+		t.Fatalf("8 same-instant sends scheduled %d events, want 1", got)
+	}
+	eng.Run()
+	if c := net.CountersOf(1); c.MsgsReceived != 8 {
+		t.Fatalf("delivered %d of 8 coalesced messages", c.MsgsReceived)
+	}
+}

@@ -67,17 +67,123 @@ type Counters struct {
 
 // Network is a simulated datagram network. It must be driven by exactly one
 // sim.Engine; all handlers run on the engine's event loop.
+//
+// Delivery is batched by default: all messages due at one (destination,
+// timestamp) pair are coalesced into a single engine event that drains the
+// destination's inbox ring buffer, so a fan-in of k messages costs one
+// event and zero per-message closures instead of k closure allocations and
+// k queue operations. Messages within a batch are delivered in send order —
+// exactly the order the per-message scheme executes them — and liveness and
+// counter checks happen per message at delivery time, so drop, kill and
+// accounting semantics are identical (asserted by the delivery-mode
+// equivalence tests).
 type Network struct {
 	engine   *sim.Engine
 	latency  LatencyFunc
 	nodes    []slot
 	counters []Counters
 	dropRate float64
+
+	// perMessage restores the original one-event-per-message delivery;
+	// retained for the batching equivalence tests and benchmarks.
+	perMessage bool
+	inboxes    []inbox
+	// flush caches one pre-bound flush closure per destination, created at
+	// Attach; steady-state sends allocate nothing.
+	flush []func()
+	// scratch is the extraction buffer shared by all flushes (the engine is
+	// single-goroutine and a flush fully consumes it before returning).
+	scratch []pending
+
+	// onLiveness observers are told about every alive↔dead transition;
+	// pastry.Ring maintains its live-node bitmap through this hook.
+	onLiveness []func(addr Addr, alive bool)
+}
+
+// OnLivenessChange registers fn to be called whenever a node transitions
+// between alive and dead (via Attach, Kill or Revive). No-op transitions
+// (killing a dead node, attaching over a live one) are not reported.
+func (n *Network) OnLivenessChange(fn func(addr Addr, alive bool)) {
+	n.onLiveness = append(n.onLiveness, fn)
+}
+
+func (n *Network) notifyLiveness(addr Addr, was, now bool) {
+	if was == now {
+		return
+	}
+	for _, fn := range n.onLiveness {
+		fn(addr, now)
+	}
 }
 
 type slot struct {
 	handler Handler
 	alive   bool
+}
+
+// pending is one undelivered message parked in a destination's inbox.
+type pending struct {
+	at   time.Duration
+	from Addr
+	size int
+	msg  Message
+}
+
+// inbox is a growable circular buffer of a node's in-flight messages in
+// send order. In-flight counts per node are small (a handful of overlay
+// hops and maintenance probes), so membership scans are cheap.
+type inbox struct {
+	buf  []pending // len(buf) is a power of two
+	head int
+	n    int
+}
+
+func (b *inbox) slotAt(i int) *pending { return &b.buf[(b.head+i)&(len(b.buf)-1)] }
+
+func (b *inbox) push(p pending) {
+	if b.n == len(b.buf) {
+		grown := make([]pending, max(8, 2*len(b.buf)))
+		for i := 0; i < b.n; i++ {
+			grown[i] = *b.slotAt(i)
+		}
+		b.buf = grown
+		b.head = 0
+	}
+	*b.slotAt(b.n) = p
+	b.n++
+}
+
+// hasDue reports whether any parked message is due exactly at t (in which
+// case a flush event for t is already scheduled).
+func (b *inbox) hasDue(t time.Duration) bool {
+	for i := 0; i < b.n; i++ {
+		if b.slotAt(i).at == t {
+			return true
+		}
+	}
+	return false
+}
+
+// extract appends every message due at t to dst in send order, compacts the
+// remainder in place (preserving their order), and returns dst.
+func (b *inbox) extract(t time.Duration, dst []pending) []pending {
+	w := 0
+	for i := 0; i < b.n; i++ {
+		p := b.slotAt(i)
+		if p.at == t {
+			dst = append(dst, *p)
+		} else {
+			if w != i {
+				*b.slotAt(w) = *p
+			}
+			w++
+		}
+	}
+	for i := w; i < b.n; i++ {
+		*b.slotAt(i) = pending{} // release message references
+	}
+	b.n = w
+	return dst
 }
 
 // Option configures a Network.
@@ -87,6 +193,13 @@ type Option func(*Network)
 // probability p (0 <= p < 1), drawn from the engine's random source.
 func WithDropRate(p float64) Option {
 	return func(n *Network) { n.dropRate = p }
+}
+
+// WithPerMessageDelivery schedules one engine event per message instead of
+// batching by (destination, timestamp). It is the reference delivery scheme
+// the batching equivalence tests compare against.
+func WithPerMessageDelivery() Option {
+	return func(n *Network) { n.perMessage = true }
 }
 
 // New creates a network of size nodes whose pairwise latency is given by
@@ -100,6 +213,8 @@ func New(engine *sim.Engine, size int, latency LatencyFunc, opts ...Option) *Net
 		latency:  latency,
 		nodes:    make([]slot, size),
 		counters: make([]Counters, size),
+		inboxes:  make([]inbox, size),
+		flush:    make([]func(), size),
 	}
 	for _, o := range opts {
 		o(n)
@@ -120,14 +235,18 @@ func (n *Network) Attach(addr Addr, handler Handler) {
 	if handler == nil {
 		panic("simnet: Attach with nil handler")
 	}
+	was := n.nodes[addr].alive
 	n.nodes[addr] = slot{handler: handler, alive: true}
+	n.notifyLiveness(addr, was, true)
 }
 
 // Kill marks the node dead: all traffic to or from it is dropped until
 // Revive. Killing a dead node is a no-op.
 func (n *Network) Kill(addr Addr) {
 	n.check(addr)
+	was := n.nodes[addr].alive
 	n.nodes[addr].alive = false
+	n.notifyLiveness(addr, was, false)
 }
 
 // Revive brings a previously killed node back online with its old handler.
@@ -137,7 +256,9 @@ func (n *Network) Revive(addr Addr) {
 	if n.nodes[addr].handler == nil {
 		panic(fmt.Sprintf("simnet: Revive(%d) before Attach", addr))
 	}
+	was := n.nodes[addr].alive
 	n.nodes[addr].alive = true
+	n.notifyLiveness(addr, was, true)
 }
 
 // Alive reports whether the node is attached and not killed.
@@ -163,15 +284,49 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 		return
 	}
 	delay := n.latency(src, dst)
-	n.engine.After(delay, func() {
-		s := n.nodes[dst]
-		if !s.alive {
-			return
+	if n.perMessage {
+		n.engine.After(delay, func() {
+			s := n.nodes[dst]
+			if !s.alive {
+				return
+			}
+			n.counters[dst].MsgsReceived++
+			n.counters[dst].BytesReceived += size
+			s.handler.HandleMessage(src, msg)
+		})
+		return
+	}
+	at := n.engine.Now() + delay
+	box := &n.inboxes[dst]
+	if !box.hasDue(at) {
+		// First message bound for dst at this instant: schedule its flush.
+		// Later same-(dst, at) sends just park in the inbox for free.
+		if n.flush[dst] == nil {
+			d := dst
+			n.flush[d] = func() { n.flushInbox(d) }
 		}
-		n.counters[dst].MsgsReceived++
-		n.counters[dst].BytesReceived += size
-		s.handler.HandleMessage(src, msg)
-	})
+		n.engine.At(at, n.flush[dst])
+	}
+	box.push(pending{at: at, from: src, size: size, msg: msg})
+}
+
+// flushInbox delivers every message due for dst at the current virtual time.
+// Liveness is re-checked before each message, so a handler that kills dst
+// mid-batch stops the remainder of the batch — just as it would stop the
+// remaining per-message events at the same timestamp.
+func (n *Network) flushInbox(dst Addr) {
+	batch := n.inboxes[dst].extract(n.engine.Now(), n.scratch[:0])
+	for i := range batch {
+		p := &batch[i]
+		s := n.nodes[dst]
+		if s.alive {
+			n.counters[dst].MsgsReceived++
+			n.counters[dst].BytesReceived += p.size
+			s.handler.HandleMessage(p.from, p.msg)
+		}
+		*p = pending{} // release message references
+	}
+	n.scratch = batch[:0]
 }
 
 func wireSize(msg Message) int {

@@ -18,4 +18,10 @@ go test ./...
 echo "== go test -race -short"
 go test -race -short ./...
 
+# One iteration of every benchmark (a few seconds): catches benchmarks that
+# panic or fail to build without measuring anything. -short skips the
+# 2048–8192 scale sweeps.
+echo "== bench smoke (-benchtime 1x)"
+go test -short -run '^$' -bench . -benchtime 1x ./... > /dev/null
+
 echo "CI OK"
