@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	vb-bench [-bench regex] [-pkg pattern] [-benchtime 1x] [-out file]
+//	vb-bench [-bench regex] [-pkg pattern] [-benchtime 1x] [-count N] [-out file]
 //	vb-bench -compare old.json [-tolerance 0.10] ...
 //	vb-bench -parse bench-output.txt [-out file]
 //	vb-bench -bench Fig14 -pkg . -cpuprofile cpu.out -memprofile mem.out
@@ -52,6 +52,7 @@ func main() {
 		bench     = flag.String("bench", ".", "benchmark regex passed to go test -bench")
 		pkg       = flag.String("pkg", "./...", "package pattern to benchmark")
 		benchtime = flag.String("benchtime", "", "value for go test -benchtime (empty = go's default)")
+		count     = flag.Int("count", 1, "go test -count: samples per benchmark; costs are folded min-of-N")
 		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
 		parseIn   = flag.String("parse", "", "parse an existing go test -bench output file instead of running")
 		compare   = flag.String("compare", "", "baseline JSON to compare against")
@@ -77,7 +78,7 @@ func main() {
 		if *memProf != "" {
 			profArgs = append(profArgs, "-memprofile", *memProf)
 		}
-		raw, err = runBenchmarks(*pkg, *bench, *benchtime, *quiet, profArgs)
+		raw, err = runBenchmarks(*pkg, *bench, *benchtime, *count, *quiet, profArgs)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -86,6 +87,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Repeated samples (-count > 1, or a hand-made -parse file) fold to the
+	// per-benchmark minimum: on a shared machine the extra samples measure
+	// the neighbors, and the minimum is the closest estimate of the code.
+	results = benchparse.MergeMin(results)
 	if len(results) == 0 {
 		log.Fatalf("no benchmark lines found (bench regex %q, packages %q)", *bench, *pkg)
 	}
@@ -128,10 +133,13 @@ func main() {
 
 // runBenchmarks shells out to go test and returns its combined output.
 // Benchmarks are run with -benchmem so allocation regressions are visible.
-func runBenchmarks(pkg, bench, benchtime string, quiet bool, extra []string) ([]byte, error) {
+func runBenchmarks(pkg, bench, benchtime string, count int, quiet bool, extra []string) ([]byte, error) {
 	args := []string{"test", "-run", "^$", "-bench", bench, "-benchmem"}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
+	}
+	if count > 1 {
+		args = append(args, "-count", fmt.Sprint(count))
 	}
 	args = append(args, extra...)
 	args = append(args, pkg)

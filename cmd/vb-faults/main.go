@@ -1,0 +1,109 @@
+// Command vb-faults runs the Fig. 9 rebalancing scenario under injected
+// faults: a sweep of message-loss rates with receivers killed mid-run. For
+// each loss rate it reports the convergence (settling) time of the
+// utilization standard deviation and the number of receiver-side
+// reservations still held once the protocol stops and every lease has had
+// time to expire — the leak counter, which must read zero.
+//
+// Usage:
+//
+//	vb-faults [-servers N] [-vms-per-server N] [-threshold X]
+//	          [-duration MIN] [-lease MIN] [-drop-rates 0,0.01,0.02,0.05]
+//	          [-kill N] [-kill-at MIN] [-seed N] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"vbundle/internal/experiments"
+	"vbundle/internal/profiling"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vb-faults: ")
+	var (
+		servers   = flag.Int("servers", 300, "approximate server count")
+		perServer = flag.Int("vms-per-server", 10, "VMs per server")
+		threshold = flag.Float64("threshold", 0.183, "rebalancing threshold")
+		duration  = flag.Int("duration", 75, "virtual experiment length in minutes")
+		lease     = flag.Int("lease", 10, "reservation lease duration in minutes")
+		rates     = flag.String("drop-rates", "0,0.01,0.02,0.05", "comma-separated message loss probabilities")
+		kill      = flag.Int("kill", 1, "receivers to kill mid-run")
+		killAt    = flag.Int("kill-at", 0, "kill time in minutes (0 = duration/3)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		workers   = flag.Int("workers", 0, "concurrent sweep variants (0 = all cores, 1 = sequential)")
+		verbose   = flag.Bool("v", false, "print the full per-run report, not just the sweep table")
+	)
+	var prof profiling.Config
+	prof.AddFlags(flag.CommandLine)
+	flag.Parse()
+	stopProf, err := prof.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopProf()
+
+	drops, err := parseRates(*rates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	variants := make([]experiments.ResilienceParams, len(drops))
+	for i, d := range drops {
+		variants[i] = experiments.ResilienceParams{
+			Spec:          experiments.ScaledSpec(*servers),
+			VMsPerServer:  *perServer,
+			Threshold:     *threshold,
+			Duration:      time.Duration(*duration) * time.Minute,
+			LeaseDuration: time.Duration(*lease) * time.Minute,
+			DropRate:      d,
+			KillReceivers: *kill,
+			KillAt:        time.Duration(*killAt) * time.Minute,
+			Seed:          *seed,
+		}
+	}
+	outs, err := experiments.RunResilienceSweep(variants, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *verbose {
+		for _, out := range outs {
+			out.WriteResilience(os.Stdout)
+		}
+	}
+	experiments.WriteResilienceTable(os.Stdout, outs)
+
+	leaked := 0
+	for _, out := range outs {
+		leaked += out.Leaked
+	}
+	if leaked != 0 {
+		log.Fatalf("%d reservations leaked across the sweep", leaked)
+	}
+	fmt.Println("no reservations leaked at quiesce in any run")
+}
+
+func parseRates(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v < 0 || v >= 1 {
+			return nil, fmt.Errorf("bad drop rate %q (want 0 <= rate < 1)", f)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no drop rates in %q", s)
+	}
+	return out, nil
+}

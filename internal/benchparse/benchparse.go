@@ -104,6 +104,54 @@ func splitProcs(name string) (string, int) {
 	return name[:i], p
 }
 
+// MergeMin folds repeated measurements of the same benchmark (go test
+// -count N produces one line each) into a single Result per (name, procs)
+// keeping the minimum of every cost column. On machines shared with other
+// tenants the minimum is the best estimator of the code's true cost — the
+// other samples measure the neighbors. First-seen order is preserved.
+func MergeMin(results []Result) []Result {
+	type key struct {
+		name  string
+		procs int
+	}
+	idx := make(map[key]int, len(results))
+	var out []Result
+	for _, r := range results {
+		k := key{r.Name, r.Procs}
+		i, seen := idx[k]
+		if !seen {
+			idx[k] = len(out)
+			out = append(out, r)
+			continue
+		}
+		m := &out[i]
+		if r.NsPerOp > 0 && (m.NsPerOp == 0 || r.NsPerOp < m.NsPerOp) {
+			m.NsPerOp = r.NsPerOp
+		}
+		if r.HasMem {
+			if !m.HasMem || r.BytesPerOp < m.BytesPerOp {
+				m.BytesPerOp = r.BytesPerOp
+			}
+			if !m.HasMem || r.AllocsPerOp < m.AllocsPerOp {
+				m.AllocsPerOp = r.AllocsPerOp
+			}
+			m.HasMem = true
+		}
+		if r.Iterations > m.Iterations {
+			m.Iterations = r.Iterations
+		}
+		for unit, v := range r.Metrics {
+			if old, ok := m.Metrics[unit]; !ok || v < old {
+				if m.Metrics == nil {
+					m.Metrics = make(map[string]float64)
+				}
+				m.Metrics[unit] = v
+			}
+		}
+	}
+	return out
+}
+
 // Regression is one benchmark whose cost grew beyond the tolerance between
 // two suites.
 type Regression struct {

@@ -89,3 +89,36 @@ func TestCompareWithinTolerance(t *testing.T) {
 		t.Errorf("9%% drift flagged as regression: %+v", regs)
 	}
 }
+
+func TestMergeMin(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkA", Procs: 8, Iterations: 100, NsPerOp: 120, BytesPerOp: 64, AllocsPerOp: 3, HasMem: true,
+			Metrics: map[string]float64{"migrations": 10}},
+		{Name: "BenchmarkB", Procs: 1, NsPerOp: 50},
+		{Name: "BenchmarkA", Procs: 8, Iterations: 120, NsPerOp: 100, BytesPerOp: 80, AllocsPerOp: 2, HasMem: true,
+			Metrics: map[string]float64{"migrations": 10}},
+		{Name: "BenchmarkA", Procs: 8, Iterations: 90, NsPerOp: 140, BytesPerOp: 48, AllocsPerOp: 4, HasMem: true},
+	}
+	out := MergeMin(in)
+	if len(out) != 2 {
+		t.Fatalf("merged to %d results, want 2: %+v", len(out), out)
+	}
+	a := out[0]
+	if a.Name != "BenchmarkA" || a.NsPerOp != 100 || a.BytesPerOp != 48 || a.AllocsPerOp != 2 {
+		t.Errorf("A = %+v, want min ns=100 B=48 allocs=2", a)
+	}
+	if a.Iterations != 120 {
+		t.Errorf("A iterations = %d, want max 120", a.Iterations)
+	}
+	if a.Metrics["migrations"] != 10 {
+		t.Errorf("A metrics = %v", a.Metrics)
+	}
+	if out[1].Name != "BenchmarkB" || out[1].NsPerOp != 50 {
+		t.Errorf("B = %+v", out[1])
+	}
+	// Singles pass through untouched.
+	single := MergeMin([]Result{{Name: "BenchmarkC", NsPerOp: 7}})
+	if len(single) != 1 || single[0].NsPerOp != 7 {
+		t.Errorf("single = %+v", single)
+	}
+}

@@ -162,6 +162,9 @@ func New(opts Options) (*VBundle, error) {
 		Aggs:      make([]*aggregation.Manager, ring.Size()),
 		Migration: migration.New(engine, cl, opts.Migration),
 	}
+	// Killed servers abort their in-flight migrations instead of landing
+	// VMs on (or streaming them from) dead hardware.
+	vb.Migration.SetLiveness(func(s int) bool { return ring.Network().Alive(simnet.Addr(s)) })
 	aggCfg := aggregation.Config{UpdateInterval: opts.Rebalance.UpdateInterval}
 	for i, node := range ring.Nodes() {
 		vb.Scribes[i] = scribe.New(node)

@@ -7,11 +7,23 @@
 package migration
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"vbundle/internal/cluster"
 	"vbundle/internal/sim"
+)
+
+// Sentinel errors for death-during-migration outcomes, so callers can tell
+// a crashed endpoint from an admission failure with errors.Is.
+var (
+	// ErrDestinationDead means the destination server crashed before or
+	// during the transfer; the VM stays at its source.
+	ErrDestinationDead = errors.New("destination server dead")
+	// ErrSourceDead means the source server crashed mid-transfer, taking
+	// the migration stream (and the VM it hosted) down with it.
+	ErrSourceDead = errors.New("source server dead")
 )
 
 // Mode selects how the VM is moved.
@@ -100,6 +112,10 @@ type Stats struct {
 	Started   int
 	Completed int
 	Failed    int
+	// FailedDeadDest and FailedDeadSource break Failed down by endpoint
+	// death (the remainder are admission failures at arrival).
+	FailedDeadDest   int
+	FailedDeadSource int
 	// MovedMemMB is the guest memory moved by completed migrations.
 	MovedMemMB float64
 	// BusyTime is the summed transfer duration of completed migrations.
@@ -115,6 +131,10 @@ type Manager struct {
 	// inFlight counts migrations per VM so a VM is never moved twice
 	// concurrently.
 	inFlight map[cluster.VMID]bool
+	// alive, when set, reports whether a server is up; migrations to (or
+	// from) servers that die mid-flight abort instead of completing. Nil
+	// means every server is always up (the paper's fault-free setting).
+	alive func(server int) bool
 }
 
 // New creates a migration manager.
@@ -129,6 +149,13 @@ func New(engine *sim.Engine, cl *cluster.Cluster, cfg Config) *Manager {
 
 // Config returns the effective configuration.
 func (m *Manager) Config() Config { return m.cfg }
+
+// SetLiveness installs the server-liveness oracle consulted at migration
+// start and arrival; core wires it to the simulated network so killed
+// servers abort their in-flight migrations.
+func (m *Manager) SetLiveness(alive func(server int) bool) { m.alive = alive }
+
+func (m *Manager) serverAlive(s int) bool { return m.alive == nil || m.alive(s) }
 
 // Stats returns a copy of the migration counters.
 func (m *Manager) Stats() Stats { return m.stats }
@@ -159,6 +186,9 @@ func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error
 	if !m.cluster.Server(dst).CanAdmit(vm) {
 		return fmt.Errorf("migration: server %d cannot admit vm %d", dst, id)
 	}
+	if !m.serverAlive(dst) {
+		return fmt.Errorf("migration: server %d: %w", dst, ErrDestinationDead)
+	}
 	m.inFlight[id] = true
 	m.stats.Started++
 	d := m.cfg.Duration(vm.Reservation.MemMB, mode)
@@ -173,9 +203,20 @@ func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error
 			m.cluster.Server(dst).AddExternalBW(-m.cfg.LinkMbps)
 		}
 		delete(m.inFlight, id)
-		// Re-check admission at arrival: capacity may have been consumed
-		// by a concurrent migration.
-		err := m.cluster.Migrate(id, dst)
+		// Re-check endpoint liveness and admission at arrival: either
+		// server may have died, or capacity may have been consumed by a
+		// concurrent migration. On any failure the VM stays at its source.
+		var err error
+		switch {
+		case !m.serverAlive(dst):
+			err = fmt.Errorf("migration: vm %d: %w", id, ErrDestinationDead)
+			m.stats.FailedDeadDest++
+		case !m.serverAlive(src):
+			err = fmt.Errorf("migration: vm %d: %w", id, ErrSourceDead)
+			m.stats.FailedDeadSource++
+		default:
+			err = m.cluster.Migrate(id, dst)
+		}
 		if err != nil {
 			m.stats.Failed++
 		} else {

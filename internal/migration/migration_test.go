@@ -1,6 +1,7 @@
 package migration
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -208,5 +209,92 @@ func TestModeString(t *testing.T) {
 	}
 	if Mode(9).String() == "" {
 		t.Fatal("unknown mode empty")
+	}
+}
+
+// deathWorld is newWorld plus a mutable liveness set, standing in for the
+// simulated network's Alive.
+func deathWorld(t *testing.T) (*sim.Engine, *cluster.Cluster, *Manager, map[int]bool) {
+	t.Helper()
+	engine, cl, mgr := newWorld(t)
+	dead := map[int]bool{}
+	mgr.SetLiveness(func(s int) bool { return !dead[s] })
+	return engine, cl, mgr, dead
+}
+
+func TestMigrateToDeadDestinationFailsFast(t *testing.T) {
+	engine, cl, mgr, dead := deathWorld(t)
+	vm, _ := cl.CreateVM("a", res(128, 50), res(128, 100))
+	if err := cl.Place(vm, 0); err != nil {
+		t.Fatal(err)
+	}
+	dead[3] = true
+	err := mgr.Migrate(vm.ID, 3, Live, nil)
+	if !errors.Is(err, ErrDestinationDead) {
+		t.Fatalf("err = %v, want ErrDestinationDead", err)
+	}
+	engine.Run()
+	if loc, _ := cl.LocationOf(vm.ID); loc != 0 {
+		t.Fatalf("VM at %d, want 0", loc)
+	}
+	if st := mgr.Stats(); st.Started != 0 {
+		t.Fatalf("fast failure counted as started: %+v", st)
+	}
+}
+
+func TestDestinationDeathMidFlightAborts(t *testing.T) {
+	engine, cl, mgr, dead := deathWorld(t)
+	vm, _ := cl.CreateVM("a", res(128, 50), res(128, 100))
+	if err := cl.Place(vm, 0); err != nil {
+		t.Fatal(err)
+	}
+	var done error = errSentinel
+	if err := mgr.Migrate(vm.ID, 3, Live, func(err error) { done = err }); err != nil {
+		t.Fatal(err)
+	}
+	// The destination crashes while the transfer is running.
+	engine.After(100*time.Millisecond, func() { dead[3] = true })
+	engine.Run()
+	if !errors.Is(done, ErrDestinationDead) {
+		t.Fatalf("onDone err = %v, want ErrDestinationDead", done)
+	}
+	if loc, _ := cl.LocationOf(vm.ID); loc != 0 {
+		t.Fatal("VM left its source despite a dead destination")
+	}
+	if mgr.InFlight(vm.ID) {
+		t.Fatal("aborted migration still in flight")
+	}
+	st := mgr.Stats()
+	if st.Failed != 1 || st.FailedDeadDest != 1 || st.Completed != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The VM is migratable again once the destination recovers.
+	dead[3] = false
+	if err := mgr.Migrate(vm.ID, 3, Live, nil); err != nil {
+		t.Fatalf("retry after revive: %v", err)
+	}
+	engine.Run()
+	if loc, _ := cl.LocationOf(vm.ID); loc != 3 {
+		t.Fatalf("VM at %d after retry, want 3", loc)
+	}
+}
+
+func TestSourceDeathMidFlightAborts(t *testing.T) {
+	engine, cl, mgr, dead := deathWorld(t)
+	vm, _ := cl.CreateVM("a", res(128, 50), res(128, 100))
+	if err := cl.Place(vm, 0); err != nil {
+		t.Fatal(err)
+	}
+	var done error = errSentinel
+	if err := mgr.Migrate(vm.ID, 3, Live, func(err error) { done = err }); err != nil {
+		t.Fatal(err)
+	}
+	engine.After(100*time.Millisecond, func() { dead[0] = true })
+	engine.Run()
+	if !errors.Is(done, ErrSourceDead) {
+		t.Fatalf("onDone err = %v, want ErrSourceDead", done)
+	}
+	if st := mgr.Stats(); st.FailedDeadSource != 1 {
+		t.Fatalf("stats: %+v", st)
 	}
 }

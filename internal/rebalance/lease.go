@@ -1,0 +1,121 @@
+package rebalance
+
+import (
+	"sort"
+	"time"
+
+	"vbundle/internal/cluster"
+)
+
+// reservation is one receiver-side hold: resources promised to an inbound
+// VM (paper §III.C step 3, "hold part of its bandwidth waiting"), governed
+// by a lease the shedder renews while the VM is in flight. The lease is the
+// backstop against every way a release can fail to arrive — lost on the
+// wire past the retry budget, or never sent because the shedder died.
+type reservation struct {
+	vm      cluster.VMID
+	demand  cluster.Resources
+	expires time.Duration
+}
+
+// reservationTable tracks a receiver's holds, sorted by VM id so every fold
+// over it is deterministic (map iteration would make identically-seeded
+// runs diverge). Expiry is lazy: read paths sweep timed-out entries, so no
+// engine events are spent per lease.
+type reservationTable struct {
+	entries []reservation
+}
+
+func (t *reservationTable) index(vm cluster.VMID) (int, bool) {
+	i := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].vm >= vm })
+	return i, i < len(t.entries) && t.entries[i].vm == vm
+}
+
+// upsert installs or refreshes the hold for vm; it reports whether the hold
+// is new. Refreshing replaces the demand vector along with the deadline, so
+// a renew arriving after a premature expiry restores the exact hold.
+func (t *reservationTable) upsert(vm cluster.VMID, demand cluster.Resources, expires time.Duration) bool {
+	i, ok := t.index(vm)
+	if ok {
+		t.entries[i].demand = demand
+		t.entries[i].expires = expires
+		return false
+	}
+	t.entries = append(t.entries, reservation{})
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = reservation{vm: vm, demand: demand, expires: expires}
+	return true
+}
+
+// release drops the hold for vm, reporting whether it existed.
+func (t *reservationTable) release(vm cluster.VMID) bool {
+	i, ok := t.index(vm)
+	if !ok {
+		return false
+	}
+	t.entries = append(t.entries[:i], t.entries[i+1:]...)
+	return true
+}
+
+// sweep removes entries whose lease expired at or before now, returning how
+// many it dropped.
+func (t *reservationTable) sweep(now time.Duration) int {
+	w := 0
+	for _, e := range t.entries {
+		if e.expires > now {
+			t.entries[w] = e
+			w++
+		}
+	}
+	n := len(t.entries) - w
+	t.entries = t.entries[:w]
+	return n
+}
+
+// pendingOf sums the held demand for one resource kind. Callers sweep
+// first, so every entry is live.
+func (t *reservationTable) pendingOf(k cluster.Kind) float64 {
+	sum := 0.0
+	for _, e := range t.entries {
+		sum += e.demand.Get(k)
+	}
+	return sum
+}
+
+func (t *reservationTable) len() int { return len(t.entries) }
+
+// ReserveStats counts reservation-protocol events at one agent (both the
+// receiver and the shedder side contribute).
+type ReserveStats struct {
+	// Accepted counts holds installed by accepted queries (and holds
+	// restored by a renew that arrived after its lease had lapsed).
+	Accepted int
+	// Renewed counts holds refreshed in place: renew messages and duplicate
+	// accepts of a retried query.
+	Renewed int
+	// Released counts holds dropped by a release message.
+	Released int
+	// Expired counts holds reclaimed by lease expiry — the backstop for a
+	// release lost beyond its retry budget or a shedder that died.
+	Expired int
+	// UnknownRelease counts releases for VMs with no hold and no recent
+	// release history (e.g. the hold already expired).
+	UnknownRelease int
+	// DuplicateRelease counts releases for VMs released moments ago —
+	// the expected shape of a retried release whose ack was lost.
+	DuplicateRelease int
+	// OrphanReleases counts shedder-side releases sent for orphaned
+	// accepts (verdicts that arrived after the any-cast gave up).
+	OrphanReleases int
+}
+
+func (s ReserveStats) add(o ReserveStats) ReserveStats {
+	s.Accepted += o.Accepted
+	s.Renewed += o.Renewed
+	s.Released += o.Released
+	s.Expired += o.Expired
+	s.UnknownRelease += o.UnknownRelease
+	s.DuplicateRelease += o.DuplicateRelease
+	s.OrphanReleases += o.OrphanReleases
+	return s
+}

@@ -134,6 +134,24 @@ type Config struct {
 	// an accepted exchange is migrated only if the predicted recovered
 	// bandwidth outweighs the predicted migration overhead.
 	CostBenefit *costbenefit.Config
+	// LeaseDuration bounds how long a receiver holds resources for an
+	// inbound VM without hearing from the shedder again. The lease is the
+	// backstop against lost releases and dead shedders: whatever happens on
+	// the wire, a hold is reclaimed at most one lease after its last
+	// renewal. Defaults to 30 seconds.
+	LeaseDuration time.Duration
+	// RenewInterval is how often a shedder refreshes the receiver's lease
+	// while the migration is still in flight. Defaults to LeaseDuration/3,
+	// so two consecutive renewals must be lost before a live migration's
+	// hold can lapse.
+	RenewInterval time.Duration
+	// ReleaseRetryInterval is the initial resend period for a release that
+	// has not been acknowledged; it doubles per attempt. Defaults to 2s.
+	ReleaseRetryInterval time.Duration
+	// ReleaseRetries bounds the resends of an unacknowledged release
+	// before the shedder gives up and leaves reclaim to the receiver's
+	// lease expiry. Defaults to 5.
+	ReleaseRetries int
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +172,18 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Kinds) == 0 {
 		c.Kinds = []cluster.Kind{cluster.KindBandwidth}
+	}
+	if c.LeaseDuration == 0 {
+		c.LeaseDuration = 30 * time.Second
+	}
+	if c.RenewInterval == 0 {
+		c.RenewInterval = c.LeaseDuration / 3
+	}
+	if c.ReleaseRetryInterval == 0 {
+		c.ReleaseRetryInterval = 2 * time.Second
+	}
+	if c.ReleaseRetries == 0 {
+		c.ReleaseRetries = 5
 	}
 	return c
 }
@@ -258,6 +288,28 @@ func (c *Coordinator) VetoedByCost() int {
 	return total
 }
 
+// LeakedReservations counts resource holds still live across all agents.
+// Once a run quiesces (no in-flight migrations, one lease period of grace)
+// it must read zero: every hold was either released by its shedder or
+// reclaimed by expiry.
+func (c *Coordinator) LeakedReservations() int {
+	total := 0
+	for _, a := range c.agents {
+		a.sweepLeases()
+		total += a.reserved.len()
+	}
+	return total
+}
+
+// ReserveStats sums the reservation-protocol counters across all agents.
+func (c *Coordinator) ReserveStats() ReserveStats {
+	var s ReserveStats
+	for _, a := range c.agents {
+		s = s.add(a.reserveStats)
+	}
+	return s
+}
+
 // Agent is the per-server rebalancing logic.
 type Agent struct {
 	pastry.BaseApp
@@ -271,12 +323,25 @@ type Agent struct {
 	haveMean bool
 	inGroup  bool
 
-	// pendingReserve holds resources promised to accepted inbound VMs
-	// while they migrate (paper step 3: "hold part of its bandwidth
-	// waiting").
-	pendingReserve map[cluster.Kind]float64
+	// reserved holds resources promised to accepted inbound VMs while they
+	// migrate (paper step 3: "hold part of its bandwidth waiting"), one
+	// record per VM under an expiring lease so a lost release or a dead
+	// shedder cannot strand the hold forever.
+	reserved     reservationTable
+	reserveStats ReserveStats
+	// recentReleases remembers the last few released VM ids so a retried
+	// release whose ack was lost is counted as a duplicate, not unknown.
+	recentReleases []cluster.VMID
 	// shedding tracks outbound VMs already committed this round.
 	shedding map[cluster.VMID]bool
+	// shedDest maps an outbound VM to its accepted destination while the
+	// exchange is live, so an orphaned duplicate accept from the same
+	// receiver is not released out from under the running migration.
+	shedDest map[cluster.VMID]pastry.NodeHandle
+	// releaseAwait tracks releases sent but not yet acknowledged, keyed by
+	// (vm, receiver) so concurrent releases of one VM to different
+	// receivers (live exchange plus an orphaned accept) stay independent.
+	releaseAwait map[releaseKey]bool
 
 	updateTicker, rebalanceTicker *simTicker
 
@@ -285,20 +350,29 @@ type Agent struct {
 	vetoedByCost        int
 }
 
+type releaseKey struct {
+	vm   cluster.VMID
+	addr simnet.Addr
+}
+
 type simTicker struct{ stop func() }
 
 func newAgent(coord *Coordinator, server int, node *pastry.Node, agg *aggregation.Manager) *Agent {
 	a := &Agent{
-		coord:          coord,
-		server:         server,
-		node:           node,
-		agg:            agg,
-		role:           RoleNeutral,
-		means:          make(map[cluster.Kind]float64),
-		pendingReserve: make(map[cluster.Kind]float64),
-		shedding:       make(map[cluster.VMID]bool),
+		coord:        coord,
+		server:       server,
+		node:         node,
+		agg:          agg,
+		role:         RoleNeutral,
+		means:        make(map[cluster.Kind]float64),
+		shedding:     make(map[cluster.VMID]bool),
+		shedDest:     make(map[cluster.VMID]pastry.NodeHandle),
+		releaseAwait: make(map[releaseKey]bool),
 	}
 	node.Register(AppName, a)
+	// Late or duplicate accepts that the any-cast layer already gave up on
+	// still hold a reservation at some receiver; release it.
+	agg.Scribe().OnOrphanAccept = a.handleOrphanAccept
 	return a
 }
 
@@ -356,6 +430,12 @@ func (a *Agent) publishLocal() {
 	}
 }
 
+// sweepLeases reclaims holds whose lease ran out; every read of the
+// reservation table goes through here, so expiry needs no engine events.
+func (a *Agent) sweepLeases() {
+	a.reserveStats.Expired += a.reserved.sweep(a.node.Engine().Now())
+}
+
 // utilizationOf is the server's utilization for one kind, including
 // resources held for in-flight arrivals.
 func (a *Agent) utilizationOf(k cluster.Kind) float64 {
@@ -364,7 +444,8 @@ func (a *Agent) utilizationOf(k cluster.Kind) float64 {
 	if cap == 0 {
 		return 0
 	}
-	return (srv.DemandOf(k) + a.pendingReserve[k]) / cap
+	a.sweepLeases()
+	return (srv.DemandOf(k) + a.reserved.pendingOf(k)) / cap
 }
 
 // reevaluate recomputes the per-kind means from the freshest globals and
@@ -459,6 +540,7 @@ func (a *Agent) considerQuery(_ ids.Id, payload simnet.Message, _ pastry.NodeHan
 	if a.coord.cfg.SameCustomerOnly && !a.hasCustomerSlack(q.Customer, q.Demand) {
 		return false
 	}
+	a.sweepLeases()
 	for _, k := range a.coord.cfg.Kinds {
 		cap := srv.Capacity.Get(k)
 		if cap <= 0 {
@@ -470,12 +552,16 @@ func (a *Agent) considerQuery(_ ids.Id, payload simnet.Message, _ pastry.NodeHan
 		}
 		// (2) Post-accept utilization stays under mean + threshold (the
 		// oscillation guard).
-		if (srv.DemandOf(k)+a.pendingReserve[k]+q.Demand.Get(k))/cap > a.means[k]+thr {
+		if (srv.DemandOf(k)+a.reserved.pendingOf(k)+q.Demand.Get(k))/cap > a.means[k]+thr {
 			return false
 		}
 	}
-	for _, k := range a.coord.cfg.Kinds {
-		a.pendingReserve[k] += q.Demand.Get(k)
+	// One record per VM: a duplicate accept of a retried query refreshes
+	// the existing hold instead of double-counting its demand.
+	if a.reserved.upsert(q.VMID, q.Demand, a.node.Engine().Now()+a.coord.cfg.LeaseDuration) {
+		a.reserveStats.Accepted++
+	} else {
+		a.reserveStats.Renewed++
 	}
 	return true
 }
@@ -587,21 +673,82 @@ func (a *Agent) shedChain(budget int) {
 			return // no receiver this round; retry next interval
 		}
 		dst := int(res.By.Addr)
+		a.shedDest[vm.ID] = res.By
 		a.migrationsTriggered++
 		err := a.coord.mig.Migrate(vm.ID, dst, a.coord.cfg.Mode, func(error) {
 			delete(a.shedding, vm.ID)
+			delete(a.shedDest, vm.ID)
 			// Whatever the outcome, release the receiver's hold: on
-			// success the VM's demand now counts directly there.
-			a.node.SendDirect(res.By, AppName, &releaseMsg{VMID: vm.ID, Demand: q.Demand})
+			// success the VM's demand now counts directly there; on
+			// failure (dead endpoint included) nothing will arrive.
+			a.sendRelease(res.By, vm.ID)
 		})
 		if err != nil {
 			delete(a.shedding, vm.ID)
-			a.node.SendDirect(res.By, AppName, &releaseMsg{VMID: vm.ID, Demand: q.Demand})
+			delete(a.shedDest, vm.ID)
+			a.sendRelease(res.By, vm.ID)
 			return
 		}
+		a.renewWhileInFlight(res.By, vm.ID, q.Demand)
 		// Keep shedding within this round if still over target.
 		a.shedChain(budget - 1)
 	})
+}
+
+// sendRelease starts the acknowledged release exchange: the message is
+// idempotent at the receiver and resent with exponential backoff until the
+// ack arrives or the retry budget is spent (the receiver's lease expiry is
+// the backstop beyond that point).
+func (a *Agent) sendRelease(to pastry.NodeHandle, vm cluster.VMID) {
+	key := releaseKey{vm: vm, addr: to.Addr}
+	a.releaseAwait[key] = true
+	a.trySendRelease(to, key, a.coord.cfg.ReleaseRetries, a.coord.cfg.ReleaseRetryInterval)
+}
+
+func (a *Agent) trySendRelease(to pastry.NodeHandle, key releaseKey, retriesLeft int, backoff time.Duration) {
+	if !a.releaseAwait[key] {
+		return // acknowledged
+	}
+	a.node.SendDirect(to, AppName, &releaseMsg{VMID: key.vm})
+	if retriesLeft <= 0 {
+		delete(a.releaseAwait, key)
+		return
+	}
+	a.node.Engine().After(backoff, func() {
+		a.trySendRelease(to, key, retriesLeft-1, backoff*2)
+	})
+}
+
+// renewWhileInFlight keeps the receiver's lease alive for as long as the
+// migration is still running, so slow transfers are never reclaimed out
+// from under a live exchange.
+func (a *Agent) renewWhileInFlight(to pastry.NodeHandle, vm cluster.VMID, demand cluster.Resources) {
+	a.node.Engine().After(a.coord.cfg.RenewInterval, func() {
+		cur, live := a.shedDest[vm]
+		if !live || cur.Id != to.Id || !a.coord.mig.InFlight(vm) {
+			return
+		}
+		a.node.SendDirect(to, AppName, &renewMsg{VMID: vm, Demand: demand})
+		a.renewWhileInFlight(to, vm, demand)
+	})
+}
+
+// handleOrphanAccept releases reservations made for accepts the any-cast
+// layer had already given up on: a verdict that arrived after the timeout,
+// or a duplicate accept from a retried query. Without this, the receiver
+// would hold the reservation until its lease expired.
+func (a *Agent) handleOrphanAccept(_ ids.Id, payload simnet.Message, by pastry.NodeHandle) {
+	q, ok := payload.(*shedQuery)
+	if !ok {
+		return
+	}
+	if dst, live := a.shedDest[q.VMID]; live && dst.Id == by.Id {
+		// The live exchange's own release arrives at migration end; a
+		// duplicate accept only refreshed the same per-VM hold.
+		return
+	}
+	a.reserveStats.OrphanReleases++
+	a.sendRelease(by, q.VMID)
 }
 
 // effectiveDemand builds the VM's per-kind effective demand vector.
@@ -656,16 +803,55 @@ func (a *Agent) pickVictim(k cluster.Kind) *cluster.VM {
 	return best
 }
 
-// HandleDirect implements pastry.App for the release protocol.
-func (a *Agent) HandleDirect(_ pastry.NodeHandle, payload simnet.Message) {
-	if m, ok := payload.(*releaseMsg); ok {
-		for _, k := range a.coord.cfg.Kinds {
-			a.pendingReserve[k] -= m.Demand.Get(k)
-			if a.pendingReserve[k] < 0 {
-				a.pendingReserve[k] = 0
-			}
+// HandleDirect implements pastry.App for the release/renew protocol.
+func (a *Agent) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
+	switch m := payload.(type) {
+	case *releaseMsg:
+		a.sweepLeases()
+		switch {
+		case a.reserved.release(m.VMID):
+			a.reserveStats.Released++
+			a.rememberRelease(m.VMID)
+		case a.wasReleased(m.VMID):
+			a.reserveStats.DuplicateRelease++
+		default:
+			a.reserveStats.UnknownRelease++
+		}
+		// Always acknowledge, duplicates included: the shedder retries
+		// until it hears this, and the operation is idempotent.
+		a.node.SendDirect(from, AppName, &releaseAckMsg{VMID: m.VMID})
+	case *releaseAckMsg:
+		delete(a.releaseAwait, releaseKey{vm: m.VMID, addr: from.Addr})
+	case *renewMsg:
+		a.sweepLeases()
+		// Upsert rather than refresh-if-present: a renew that raced with
+		// expiry restores the hold, demand vector and all.
+		if a.reserved.upsert(m.VMID, m.Demand, a.node.Engine().Now()+a.coord.cfg.LeaseDuration) {
+			a.reserveStats.Accepted++
+		} else {
+			a.reserveStats.Renewed++
 		}
 	}
+}
+
+// releaseHistory bounds how many released VM ids an agent remembers for
+// duplicate detection.
+const releaseHistory = 64
+
+func (a *Agent) rememberRelease(vm cluster.VMID) {
+	a.recentReleases = append(a.recentReleases, vm)
+	if len(a.recentReleases) > releaseHistory {
+		a.recentReleases = a.recentReleases[1:]
+	}
+}
+
+func (a *Agent) wasReleased(vm cluster.VMID) bool {
+	for _, id := range a.recentReleases {
+		if id == vm {
+			return true
+		}
+	}
+	return false
 }
 
 var _ pastry.App = (*Agent)(nil)
@@ -681,11 +867,31 @@ type shedQuery struct {
 // WireSize implements simnet.WireSizer.
 func (q shedQuery) WireSize() int { return 8 + len(q.Customer) + 2*3*8 }
 
-// releaseMsg tells a receiver to stop holding resources for a VM.
+// releaseMsg tells a receiver to stop holding resources for a VM. It is
+// idempotent and resent until acknowledged; the per-VM reservation record
+// at the receiver carries the demand, so the message only names the VM.
 type releaseMsg struct {
+	VMID cluster.VMID
+}
+
+// WireSize implements simnet.WireSizer.
+func (releaseMsg) WireSize() int { return 8 }
+
+// releaseAckMsg confirms a release was processed (duplicates included).
+type releaseAckMsg struct {
+	VMID cluster.VMID
+}
+
+// WireSize implements simnet.WireSizer.
+func (releaseAckMsg) WireSize() int { return 8 }
+
+// renewMsg refreshes the receiver's lease while the VM is in flight. It
+// carries the demand vector so a hold lost to a premature expiry is
+// restored whole.
+type renewMsg struct {
 	VMID   cluster.VMID
 	Demand cluster.Resources
 }
 
 // WireSize implements simnet.WireSizer.
-func (releaseMsg) WireSize() int { return 8 + 3*8 }
+func (renewMsg) WireSize() int { return 8 + 3*8 }

@@ -11,6 +11,7 @@ import (
 	"vbundle/internal/pastry"
 	"vbundle/internal/scribe"
 	"vbundle/internal/sim"
+	"vbundle/internal/simnet"
 	"vbundle/internal/topology"
 )
 
@@ -22,7 +23,7 @@ type world struct {
 	coord  *Coordinator
 }
 
-func build(t *testing.T, racks, perRack int, cfg Config) *world {
+func build(t *testing.T, racks, perRack int, cfg Config, netOpts ...simnet.Option) *world {
 	t.Helper()
 	tp, err := topology.New(topology.Spec{
 		Racks:            racks,
@@ -37,10 +38,11 @@ func build(t *testing.T, racks, perRack int, cfg Config) *world {
 		t.Fatal(err)
 	}
 	engine := sim.NewEngine(9)
-	ring := pastry.NewRing(engine, tp, pastry.Config{}, pastry.HierarchyAssigner)
+	ring := pastry.NewRing(engine, tp, pastry.Config{}, pastry.HierarchyAssigner, netOpts...)
 	ring.BuildStatic()
 	cl := cluster.New(tp, cluster.Resources{CPU: 64, MemMB: 1 << 20})
 	mig := migration.New(engine, cl, migration.Config{})
+	mig.SetLiveness(func(s int) bool { return ring.Network().Alive(simnet.Addr(s)) })
 	managers := make([]*aggregation.Manager, ring.Size())
 	for i, n := range ring.Nodes() {
 		managers[i] = aggregation.New(scribe.New(n), aggregation.Config{UpdateInterval: cfg.UpdateInterval})

@@ -95,16 +95,24 @@ func (m *anycastMsg) visited(id ids.Id) bool {
 	return false
 }
 
-// anycastVerdict reports the search outcome to the originator.
+// anycastVerdict reports the search outcome to the originator. Group and
+// Payload echo the query so an originator that already gave up on the
+// sequence number (timeout, retry already resolved) can still identify the
+// accepted work and hand it to its orphan handler instead of stranding the
+// acceptor's reservation.
 type anycastVerdict struct {
 	Seq      uint64
 	Accepted bool
 	By       pastry.NodeHandle
 	Visited  int
+	Group    ids.Id
+	Payload  simnet.Message
 }
 
 // WireSize implements simnet.WireSizer.
-func (m *anycastVerdict) WireSize() int { return 8 + 1 + handleWireBytes + 4 }
+func (m *anycastVerdict) WireSize() int {
+	return 8 + 1 + handleWireBytes + 4 + ids.Bytes + payloadSize(m.Payload)
+}
 
 // heartbeat keeps tree edges fresh; children re-join after missing several.
 type heartbeat struct {

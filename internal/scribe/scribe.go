@@ -104,17 +104,54 @@ func (g *groupState) dropChild(id ids.Id) bool {
 	return true
 }
 
+// pendingAnycast is one originator-side in-flight any-cast: its callback,
+// enough of the query to resend it, and the retry budget left.
+type pendingAnycast struct {
+	group   ids.Id
+	payload simnet.Message
+	cb      func(AnycastResult) // nil when the caller did not ask for a verdict
+	// attemptsLeft counts resends remaining; nextTimeout doubles per retry.
+	attemptsLeft int
+	nextTimeout  time.Duration
+}
+
+// wheelEntry is one deadline parked on the shared any-cast timeout wheel.
+type wheelEntry struct {
+	at  time.Duration
+	seq uint64
+}
+
 // Scribe runs group communication for one Pastry node.
 type Scribe struct {
 	node   *pastry.Node
 	groups map[ids.Id]*groupState
 
 	anycastSeq     uint64
-	pendingAnycast map[uint64]func(AnycastResult)
+	pendingAnycast map[uint64]pendingAnycast
+
+	// wheel holds the pending any-cast deadlines in push order. One armed
+	// engine event at the earliest live deadline serves the whole wheel, so
+	// resolved any-casts no longer leave a dead timer each in the event
+	// queue (8k-server runs used to carry thousands through it).
+	wheel        []wheelEntry
+	wheelDue     []wheelEntry // scratch for wheelFire, reused across fires
+	wheelArmed   bool
+	wheelArmedAt time.Duration
+	wheelEpoch   uint64
 
 	// AnycastTimeout bounds how long an originator waits for an any-cast
-	// verdict before reporting failure. Defaults to 10 seconds.
+	// verdict before retrying or reporting failure. Defaults to 10 seconds.
 	AnycastTimeout time.Duration
+	// AnycastRetries is how many times an originator resends a query whose
+	// verdict never arrived, doubling the timeout each attempt (lost
+	// queries and lost verdicts both look like silence). Defaults to 2.
+	AnycastRetries int
+
+	// OnOrphanAccept, when set, receives accepted verdicts that no longer
+	// have a pending callback — the originator timed out, or an earlier
+	// attempt's verdict already resolved the query. The acceptor is holding
+	// resources for this verdict; the handler must release them.
+	OnOrphanAccept func(group ids.Id, payload simnet.Message, by pastry.NodeHandle)
 
 	maintenance *simTicker
 
@@ -129,6 +166,8 @@ type Scribe struct {
 	joinsHandled      int
 	multicastsRelayed int
 	anycastsSeen      int
+	anycastsRetried   int
+	orphanAccepts     int
 }
 
 // sortedGroupKeys returns the keys of s.groups in identifier order, in a
@@ -151,8 +190,9 @@ func New(node *pastry.Node) *Scribe {
 	s := &Scribe{
 		node:           node,
 		groups:         make(map[ids.Id]*groupState),
-		pendingAnycast: make(map[uint64]func(AnycastResult)),
+		pendingAnycast: make(map[uint64]pendingAnycast),
 		AnycastTimeout: 10 * time.Second,
+		AnycastRetries: 2,
 	}
 	node.Register(AppName, s)
 	node.OnNodeDead(s.handleNodeDead)
@@ -217,6 +257,13 @@ func (s *Scribe) IsRoot(group ids.Id) bool {
 // multicast relays and any-cast visits at this node.
 func (s *Scribe) Stats() (joins, multicasts, anycasts int) {
 	return s.joinsHandled, s.multicastsRelayed, s.anycastsSeen
+}
+
+// AnycastStats returns the originator-side reliability counters: queries
+// resent after a silent timeout, and accepted verdicts that arrived with no
+// pending callback (handed to OnOrphanAccept).
+func (s *Scribe) AnycastStats() (retried, orphans int) {
+	return s.anycastsRetried, s.orphanAccepts
 }
 
 // --- membership ------------------------------------------------------------
@@ -328,19 +375,33 @@ func (s *Scribe) OnParentData(group ids.Id, fn func(payload simnet.Message, from
 // --- anycast -----------------------------------------------------------------
 
 // Anycast starts a depth-first search of the group tree for a member that
-// accepts payload; onResult is invoked exactly once with the verdict.
+// accepts payload; onResult is invoked exactly once with the verdict. A
+// query with a callback is tracked until its verdict arrives: silence past
+// AnycastTimeout triggers up to AnycastRetries resends with doubled
+// timeouts, and only after the last attempt goes unanswered does onResult
+// see a failure. An accept that straggles in after that still reaches
+// OnOrphanAccept, so its resources are never silently stranded. A nil
+// onResult is fire-and-forget: nothing is tracked, no timer is armed, and
+// any accept goes straight to the orphan handler — the originator was
+// never going to act on it.
 func (s *Scribe) Anycast(group ids.Id, payload simnet.Message, onResult func(AnycastResult)) {
 	s.anycastSeq++
 	seq := s.anycastSeq
 	if onResult != nil {
-		s.pendingAnycast[seq] = onResult
-		s.node.Engine().After(s.AnycastTimeout, func() {
-			if cb, ok := s.pendingAnycast[seq]; ok {
-				delete(s.pendingAnycast, seq)
-				cb(AnycastResult{})
-			}
-		})
+		s.pendingAnycast[seq] = pendingAnycast{
+			group:        group,
+			payload:      payload,
+			cb:           onResult,
+			attemptsLeft: s.AnycastRetries,
+			nextTimeout:  s.AnycastTimeout,
+		}
+		s.wheelPush(s.node.Engine().Now()+s.AnycastTimeout, seq)
 	}
+	s.sendAnycast(group, payload, seq)
+}
+
+// sendAnycast launches (or relaunches) the DFS for one attempt.
+func (s *Scribe) sendAnycast(group ids.Id, payload simnet.Message, seq uint64) {
 	m := &anycastMsg{Group: group, Payload: payload, Origin: s.node.Handle(), Seq: seq}
 	// Fast path: if we are already in the tree, start the DFS locally.
 	if _, ok := s.groups[group]; ok {
@@ -348,6 +409,94 @@ func (s *Scribe) Anycast(group ids.Id, payload simnet.Message, onResult func(Any
 		return
 	}
 	s.node.Route(group, AppName, m)
+}
+
+// --- anycast timeout wheel ---------------------------------------------------
+
+// wheelPush parks a deadline for seq and makes sure an engine event is armed
+// no later than it.
+func (s *Scribe) wheelPush(at time.Duration, seq uint64) {
+	s.wheel = append(s.wheel, wheelEntry{at: at, seq: seq})
+	s.armWheel()
+}
+
+// armWheel keeps exactly one live engine event aimed at the earliest still
+// relevant deadline. Entries whose any-cast already resolved are pruned
+// here, so a wheel full of resolved queries arms nothing.
+func (s *Scribe) armWheel() {
+	w := 0
+	min := time.Duration(-1)
+	for _, e := range s.wheel {
+		if _, live := s.pendingAnycast[e.seq]; !live {
+			continue // resolved: drop the entry, never arm for it
+		}
+		s.wheel[w] = e
+		w++
+		if min < 0 || e.at < min {
+			min = e.at
+		}
+	}
+	s.wheel = s.wheel[:w]
+	if min < 0 {
+		return
+	}
+	if s.wheelArmed && s.wheelArmedAt <= min {
+		return // the armed event already covers the earliest deadline
+	}
+	s.wheelArmed, s.wheelArmedAt = true, min
+	s.wheelEpoch++
+	epoch := s.wheelEpoch
+	s.node.Engine().At(min, func() {
+		if epoch != s.wheelEpoch {
+			return // superseded by a re-arm at an earlier deadline
+		}
+		s.wheelFire()
+	})
+}
+
+// wheelFire handles every deadline due at the current instant, then re-arms
+// for the remainder.
+func (s *Scribe) wheelFire() {
+	now := s.node.Engine().Now()
+	s.wheelArmed = false
+	w := 0
+	due := s.wheelDue[:0] // scratch: expireAnycast pushes onto s.wheel, never here
+	for _, e := range s.wheel {
+		if e.at <= now {
+			due = append(due, e)
+		} else {
+			s.wheel[w] = e
+			w++
+		}
+	}
+	s.wheel = s.wheel[:w]
+	for _, e := range due {
+		s.expireAnycast(e.seq)
+	}
+	s.wheelDue = due[:0]
+	s.armWheel()
+}
+
+// expireAnycast is the timeout path of one attempt: resend while the retry
+// budget lasts, report failure once it is spent.
+func (s *Scribe) expireAnycast(seq uint64) {
+	p, ok := s.pendingAnycast[seq]
+	if !ok {
+		return // resolved before its deadline
+	}
+	if p.attemptsLeft > 0 {
+		p.attemptsLeft--
+		p.nextTimeout *= 2
+		s.pendingAnycast[seq] = p
+		s.anycastsRetried++
+		s.wheelPush(s.node.Engine().Now()+p.nextTimeout, seq)
+		s.sendAnycast(p.group, p.payload, seq)
+		return
+	}
+	delete(s.pendingAnycast, seq)
+	if p.cb != nil {
+		p.cb(AnycastResult{})
+	}
 }
 
 // anycastStep runs the DFS decision at this node.
@@ -397,21 +546,42 @@ func (s *Scribe) anycastStep(m *anycastMsg) {
 }
 
 func (s *Scribe) finishAnycast(m *anycastMsg, accepted bool, by pastry.NodeHandle) {
-	verdict := &anycastVerdict{Seq: m.Seq, Accepted: accepted, By: by, Visited: len(m.Visited)}
 	if m.Origin.Addr == s.node.Addr() {
-		s.handleVerdict(verdict)
+		// Local resolution: no wire verdict needed.
+		s.resolveAnycast(m.Seq, m.Group, m.Payload, accepted, by, len(m.Visited))
 		return
 	}
-	s.node.SendDirect(m.Origin, AppName, verdict)
+	s.node.SendDirect(m.Origin, AppName, &anycastVerdict{
+		Seq: m.Seq, Accepted: accepted, By: by, Visited: len(m.Visited),
+		Group: m.Group, Payload: m.Payload,
+	})
 }
 
 func (s *Scribe) handleVerdict(v *anycastVerdict) {
-	cb, ok := s.pendingAnycast[v.Seq]
+	s.resolveAnycast(v.Seq, v.Group, v.Payload, v.Accepted, v.By, v.Visited)
+}
+
+func (s *Scribe) resolveAnycast(seq uint64, group ids.Id, payload simnet.Message, accepted bool, by pastry.NodeHandle, visited int) {
+	p, ok := s.pendingAnycast[seq]
 	if !ok {
-		return // timed out already
+		// No pending entry: the query was fire-and-forget, the originator
+		// already gave up on this sequence number, or an earlier attempt's
+		// verdict resolved it. A rejection carries no state and can be
+		// dropped, but an accept means some member reserved resources for
+		// us — hand it to the orphan handler so they are released instead
+		// of leaking.
+		if accepted {
+			s.orphanAccepts++
+			if s.OnOrphanAccept != nil {
+				s.OnOrphanAccept(group, payload, by)
+			}
+		}
+		return
 	}
-	delete(s.pendingAnycast, v.Seq)
-	cb(AnycastResult{Accepted: v.Accepted, By: v.By, Visited: v.Visited})
+	delete(s.pendingAnycast, seq)
+	if p.cb != nil {
+		p.cb(AnycastResult{Accepted: accepted, By: by, Visited: visited})
+	}
 }
 
 // --- pastry up-calls ---------------------------------------------------------

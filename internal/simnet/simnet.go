@@ -65,6 +65,47 @@ type Counters struct {
 	BytesSent, BytesReceived int
 }
 
+// LinkFault is a scheduled window of elevated loss on matching links: every
+// message sent from From to To inside [Start, End) is dropped with
+// probability Rate, on top of the network's base drop rate. Nowhere acts as
+// a wildcard on either endpoint, so {Nowhere, Nowhere} degrades the whole
+// fabric for the window.
+type LinkFault struct {
+	From, To   Addr
+	Start, End time.Duration
+	Rate       float64
+}
+
+// matches reports whether the fault applies to a src→dst send at time now.
+func (f LinkFault) matches(src, dst Addr, now time.Duration) bool {
+	if now < f.Start || now >= f.End {
+		return false
+	}
+	if f.From != Nowhere && f.From != src {
+		return false
+	}
+	if f.To != Nowhere && f.To != dst {
+		return false
+	}
+	return true
+}
+
+// NodeFault schedules a crash of one address at a virtual-clock instant,
+// with an optional restart after RestartAfter (0 = stays dead).
+type NodeFault struct {
+	Addr         Addr
+	At           time.Duration
+	RestartAfter time.Duration
+}
+
+// FaultSchedule groups timed fault injections for resilience experiments:
+// per-link loss windows and server crash/restart events, all on the
+// engine's virtual clock.
+type FaultSchedule struct {
+	Links []LinkFault
+	Nodes []NodeFault
+}
+
 // Network is a simulated datagram network. It must be driven by exactly one
 // sim.Engine; all handlers run on the engine's event loop.
 //
@@ -98,6 +139,39 @@ type Network struct {
 	// onLiveness observers are told about every alive↔dead transition;
 	// pastry.Ring maintains its live-node bitmap through this hook.
 	onLiveness []func(addr Addr, alive bool)
+
+	// linkFaults holds the scheduled loss windows; Send consults them only
+	// while the slice is non-empty, so fault-free runs pay nothing.
+	linkFaults []LinkFault
+}
+
+// ScheduleFaults registers the schedule: loss windows become active link
+// rules and node faults become Kill (and, when RestartAfter is set, Revive)
+// events on the engine's virtual clock. It may be called before or during a
+// run; instants already in the past execute immediately.
+func (n *Network) ScheduleFaults(s FaultSchedule) {
+	n.linkFaults = append(n.linkFaults, s.Links...)
+	for _, f := range s.Nodes {
+		addr := f.Addr
+		n.check(addr)
+		n.engine.At(f.At, func() { n.Kill(addr) })
+		if f.RestartAfter > 0 {
+			n.engine.At(f.At+f.RestartAfter, func() { n.Revive(addr) })
+		}
+	}
+}
+
+// dropProbability folds the base drop rate with every active link fault for
+// a src→dst send right now, treating the loss sources as independent.
+func (n *Network) dropProbability(src, dst Addr) float64 {
+	keep := 1 - n.dropRate
+	now := n.engine.Now()
+	for _, f := range n.linkFaults {
+		if f.matches(src, dst, now) {
+			keep *= 1 - f.Rate
+		}
+	}
+	return 1 - keep
 }
 
 // OnLivenessChange registers fn to be called whenever a node transitions
@@ -280,7 +354,11 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 	} else {
 		return
 	}
-	if n.dropRate > 0 && n.engine.Rand().Float64() < n.dropRate {
+	drop := n.dropRate
+	if len(n.linkFaults) > 0 {
+		drop = n.dropProbability(src, dst)
+	}
+	if drop > 0 && n.engine.Rand().Float64() < drop {
 		return
 	}
 	delay := n.latency(src, dst)

@@ -18,6 +18,19 @@ go test ./...
 echo "== go test -race -short"
 go test -race -short ./...
 
+# The fault-injection paths (lease expiry, release retry, anycast retry,
+# orphan release) under the race detector, explicitly and un-shortened.
+echo "== resilience tests -race"
+go test -race -run 'Resilience|NoLeak|LeaseExpiry|Orphan|Anycast|Fault|Dead|Death' \
+	./internal/rebalance/ ./internal/scribe/ ./internal/simnet/ \
+	./internal/migration/ ./internal/experiments/
+
+# One small fault sweep end to end: vb-faults exits nonzero if any run
+# leaks a reservation or a drop rate fails to parse.
+echo "== vb-faults smoke"
+go run ./cmd/vb-faults -servers 64 -duration 30 -lease 4 \
+	-drop-rates 0,0.02 -seed 5 > /dev/null
+
 # One iteration of every benchmark (a few seconds): catches benchmarks that
 # panic or fail to build without measuring anything. -short skips the
 # 2048–8192 scale sweeps.
