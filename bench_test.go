@@ -362,6 +362,91 @@ func BenchmarkFig15Scale(b *testing.B) {
 	}
 }
 
+// BenchmarkFig14Sharded pits the serial reference engine against the
+// conservative parallel engine on the single 8192-server Fig. 14 point — the
+// workload the sharded engine exists for: one big run that previously owned
+// exactly one core. The virtual-time output is bit-identical at every shard
+// count (TestShardedEquivalence); only the wall-clock may differ, and the
+// sub-benchmark ratio serial/shards=4 is the speedup-vs-shards table in
+// EXPERIMENTS.md. On a single-core machine the sharded variants measure pure
+// coordination overhead instead.
+func BenchmarkFig14Sharded(b *testing.B) {
+	if testing.Short() {
+		b.Skip("large-ring sweep; run without -short")
+	}
+	for _, shards := range []int{0, 1, 2, 4} {
+		name := "serial"
+		if shards > 0 {
+			name = fmt.Sprintf("shards=%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out, err := experiments.RunAggLatency(experiments.AggLatencyParams{
+					Sizes: []int{8192}, Seed: int64(i), Parallelism: 1, Shards: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(out.Points[0].RawMean)/1e6, "msAgg")
+			}
+		})
+	}
+}
+
+// BenchmarkFig14Scale32768 is the new top of the scale ladder: a 32768-server
+// aggregation-latency point, an order of magnitude past BenchmarkFig14Scale's
+// previous 8192 ceiling and ~32× the paper's evaluation. It runs on the
+// sharded engine (4 shards) because that is the configuration the point
+// exists to prove out; the serial engine produces the identical virtual-time
+// result, only slower.
+func BenchmarkFig14Scale32768(b *testing.B) {
+	if testing.Short() {
+		b.Skip("32k-server ring; run without -short")
+	}
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{
+			Sizes: []int{32768}, Seed: int64(i), Parallelism: 1, Shards: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt := out.Points[0]
+		b.ReportMetric(float64(pt.RawMean)/1e6, "msAgg")
+		b.ReportMetric(float64(pt.TreeHeight), "treeHeight")
+	}
+}
+
+// BenchmarkFig9Scale pins the shed/receive protocol's scale behavior: the
+// Fig. 9 rebalancing run at 2048 servers, serial versus 4 shards. Fig. 14/15
+// cover aggregation and overhead; this is the missing scale benchmark for
+// the one subsystem that mutates cluster state, and the first beneficiary of
+// intra-run sharding (a full paper-scale rebalancing run is a single trial —
+// PR 1's sweep parallelism cannot touch it).
+func BenchmarkFig9Scale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("2048-server rebalancing run; run without -short")
+	}
+	for _, shards := range []int{0, 4} {
+		name := "serial"
+		if shards > 0 {
+			name = fmt.Sprintf("shards=%d", shards)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p := rebalanceParams(2048, 0.183, int64(i))
+				p.Duration = 40 * time.Minute
+				p.Shards = shards
+				out, err := experiments.RunRebalance(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(out.Migrations), "migrations")
+				b.ReportMetric(metrics.StdOf(out.After), "sdAfter")
+			}
+		})
+	}
+}
+
 // BenchmarkSweepParallelism runs the same Fig. 14 sweep sequentially and
 // with one worker per core. The sweep points are independent trials, so the
 // parallel wall-clock time should approach sequential/cores with identical

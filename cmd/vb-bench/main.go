@@ -16,7 +16,9 @@
 // With -compare, the freshly measured suite is checked against an earlier
 // JSON file and any benchmark whose ns/op or allocs/op grew by more than
 // the tolerance (default 10%) is reported; the exit status is 1 when
-// regressions are found. With -parse, existing `go test -bench` output is
+// regressions are found. If the two snapshots record different machine
+// shapes (GOMAXPROCS, NumCPU, GOARCH, GOOS) the deltas are printed as
+// warnings but never fail the run. With -parse, existing `go test -bench` output is
 // converted instead of running the suite (useful for archiving a run made
 // by hand or on another machine).
 package main
@@ -31,18 +33,46 @@ import (
 	"os"
 	"os/exec"
 	"runtime"
+	"strings"
 	"time"
 
 	"vbundle/internal/benchparse"
 )
 
-// Suite is the JSON document vb-bench reads and writes.
+// Suite is the JSON document vb-bench reads and writes. The machine-shape
+// fields (Procs, NumCPU, GOARCH, GOOS) describe where the suite ran;
+// comparisons across different shapes are reported but not gated, because a
+// multi-core run of the sharded benchmarks is not comparable to a
+// single-core baseline.
 type Suite struct {
 	Date      string              `json:"date"`
 	GoVersion string              `json:"go_version"`
 	Procs     int                 `json:"procs"`
+	NumCPU    int                 `json:"num_cpu,omitempty"`
+	GOARCH    string              `json:"goarch,omitempty"`
+	GOOS      string              `json:"goos,omitempty"`
 	Bench     string              `json:"bench"`
 	Results   []benchparse.Result `json:"results"`
+}
+
+// shapeDiff lists the machine-shape fields on which two suites differ.
+// Older snapshots predate the NumCPU/GOARCH/GOOS fields; absent values
+// (zero/empty) are not counted as differences.
+func shapeDiff(old, cur Suite) []string {
+	var diffs []string
+	if old.Procs != 0 && old.Procs != cur.Procs {
+		diffs = append(diffs, fmt.Sprintf("GOMAXPROCS %d vs %d", old.Procs, cur.Procs))
+	}
+	if old.NumCPU != 0 && old.NumCPU != cur.NumCPU {
+		diffs = append(diffs, fmt.Sprintf("NumCPU %d vs %d", old.NumCPU, cur.NumCPU))
+	}
+	if old.GOARCH != "" && old.GOARCH != cur.GOARCH {
+		diffs = append(diffs, fmt.Sprintf("GOARCH %s vs %s", old.GOARCH, cur.GOARCH))
+	}
+	if old.GOOS != "" && old.GOOS != cur.GOOS {
+		diffs = append(diffs, fmt.Sprintf("GOOS %s vs %s", old.GOOS, cur.GOOS))
+	}
+	return diffs
 }
 
 func main() {
@@ -99,6 +129,9 @@ func main() {
 		Date:      time.Now().UTC().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
 		Procs:     runtime.GOMAXPROCS(0),
+		NumCPU:    runtime.NumCPU(),
+		GOARCH:    runtime.GOARCH,
+		GOOS:      runtime.GOOS,
 		Bench:     *bench,
 		Results:   results,
 	}
@@ -118,6 +151,10 @@ func main() {
 	if err := readJSON(*compare, &baseline); err != nil {
 		log.Fatal(err)
 	}
+	shapeDiffs := shapeDiff(baseline, suite)
+	if len(shapeDiffs) > 0 {
+		fmt.Printf("warning: machine shape differs from %s (%s)\n", *compare, strings.Join(shapeDiffs, ", "))
+	}
 	regs := benchparse.Compare(baseline.Results, results, *tolerance)
 	if len(regs) == 0 {
 		fmt.Printf("no regressions beyond %.0f%% versus %s (%d shared benchmarks checked)\n",
@@ -127,6 +164,13 @@ func main() {
 	fmt.Printf("%d regression(s) beyond %.0f%% versus %s:\n", len(regs), *tolerance*100, *compare)
 	for _, r := range regs {
 		fmt.Printf("  %s\n", r)
+	}
+	if len(shapeDiffs) > 0 {
+		// Timing moved across machine shapes is expected — a multi-core run
+		// must not be gated against a single-core baseline, so the deltas
+		// above are informational and the comparison still succeeds.
+		fmt.Println("machine shapes differ; deltas reported as warnings only (exit 0)")
+		return
 	}
 	os.Exit(1)
 }

@@ -39,6 +39,7 @@ func main() {
 		killAt    = flag.Int("kill-at", 0, "kill time in minutes (0 = duration/3)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		workers   = flag.Int("workers", 0, "concurrent sweep variants (0 = all cores, 1 = sequential)")
+		shards    = flag.Int("shards", 0, "engine shards per run (0 = serial reference engine)")
 		verbose   = flag.Bool("v", false, "print the full per-run report, not just the sweep table")
 	)
 	var prof profiling.Config
@@ -66,6 +67,7 @@ func main() {
 			KillReceivers: *kill,
 			KillAt:        time.Duration(*killAt) * time.Minute,
 			Seed:          *seed,
+			Shards:        *shards,
 		}
 	}
 	outs, err := experiments.RunResilienceSweep(variants, *workers)

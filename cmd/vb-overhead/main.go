@@ -31,6 +31,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
 		workers = flag.Int("workers", 0, "concurrent sweep points (0 = all cores, 1 = sequential)")
+		shards  = flag.Int("shards", 0, "engine shards per run (0 = serial reference engine)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -59,7 +60,7 @@ func main() {
 		out.Report(os.Stdout)
 	}
 	if *fig == 0 || *fig == 14 {
-		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{Sizes: sizes, Seed: *seed, Parallelism: *workers})
+		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{Sizes: sizes, Seed: *seed, Parallelism: *workers, Shards: *shards})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func main() {
 		if len(big) == 0 {
 			big = sizes
 		}
-		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{Sizes: big, Seed: *seed, Parallelism: *workers})
+		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{Sizes: big, Seed: *seed, Parallelism: *workers, Shards: *shards})
 		if err != nil {
 			log.Fatal(err)
 		}

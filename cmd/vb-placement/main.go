@@ -34,6 +34,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		trials  = flag.Int("trials", 1, "independent trials at seeds seed..seed+trials-1")
 		workers = flag.Int("workers", 0, "concurrent trials (0 = all cores, 1 = sequential)")
+		shards  = flag.Int("shards", 0, "engine shards per trial (0 = serial reference engine)")
 		dots    = flag.Bool("dots", false, "print the raw scatter points")
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
 		jsonOut = flag.String("json", "", "file to write the outcome as JSON")
@@ -64,6 +65,7 @@ func main() {
 		Waves:                 *waves,
 		Engine:                kind,
 		Seed:                  *seed,
+		Shards:                *shards,
 	}
 	seeds := make([]int64, *trials)
 	for i := range seeds {

@@ -28,6 +28,7 @@ func main() {
 		hosts   = flag.Int("hosts", 15, "physical hosts")
 		perHost = flag.Int("vms-per-host", 15, "VMs per host")
 		seed    = flag.Int64("seed", 1, "random seed")
+		shards  = flag.Int("shards", 0, "engine shards (0 = serial reference engine)")
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
 		jsonOut = flag.String("json", "", "file to write the outcome as JSON")
 	)
@@ -44,6 +45,7 @@ func main() {
 		Hosts:      *hosts,
 		VMsPerHost: *perHost,
 		Seed:       *seed,
+		Shards:     *shards,
 	})
 	if err != nil {
 		log.Fatal(err)

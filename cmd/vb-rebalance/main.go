@@ -34,6 +34,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		svgDir    = flag.String("svg", "", "directory to write SVG figures into")
 		workers   = flag.Int("workers", 0, "concurrent sweep variants (0 = all cores, 1 = sequential)")
+		shards    = flag.Int("shards", 0, "engine shards per run (0 = serial reference engine)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -56,6 +57,7 @@ func main() {
 		Threshold:    *threshold,
 		Duration:     time.Duration(*duration) * time.Minute,
 		Seed:         *seed,
+		Shards:       *shards,
 	}
 
 	switch *fig {

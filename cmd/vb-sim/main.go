@@ -43,6 +43,7 @@ func main() {
 		sameCustomer = flag.Bool("same-customer", false, "restrict exchanges to each customer's own bundle")
 		costBenefit  = flag.Bool("cost-benefit", false, "veto migrations whose cost exceeds the recovered bandwidth")
 		loss         = flag.Float64("loss", 0, "overlay message loss probability")
+		shards       = flag.Int("shards", 0, "engine shards (0 = serial reference engine)")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -70,6 +71,7 @@ func main() {
 	vb, err := core.New(core.Options{
 		Topology:    experiments.ScaledSpec(*servers),
 		Seed:        *seed,
+		Shards:      *shards,
 		Engine:      kind,
 		Rebalance:   rebalCfg,
 		MessageLoss: *loss,

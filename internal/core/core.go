@@ -90,6 +90,11 @@ type Options struct {
 	MessageLoss float64
 	// JoinStagger is the delay between successive protocol joins.
 	JoinStagger time.Duration
+	// Shards selects the engine mode: 0 (the default) runs the serial
+	// reference engine; K ≥ 1 runs the conservative parallel engine with K
+	// shards. Any K produces bit-identical virtual-time results; K = 1
+	// exercises the windowed machinery on one shard.
+	Shards int
 }
 
 func (o Options) withDefaults() Options {
@@ -135,7 +140,15 @@ func New(opts Options) (*VBundle, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	engine := sim.NewEngine(opts.Seed)
+	if opts.Shards > 0 && opts.Migration.AccountBandwidth {
+		return nil, fmt.Errorf("core: Migration.AccountBandwidth requires the serial engine (Shards = 0): the NIC bandwidth accumulation is cross-shard and order-sensitive")
+	}
+	var engine *sim.Engine
+	if opts.Shards > 0 {
+		engine = sim.NewShardedEngine(opts.Seed, opts.Shards)
+	} else {
+		engine = sim.NewEngine(opts.Seed)
+	}
 	var netOpts []simnet.Option
 	if opts.MessageLoss > 0 {
 		netOpts = append(netOpts, simnet.WithDropRate(opts.MessageLoss))
@@ -165,6 +178,9 @@ func New(opts Options) (*VBundle, error) {
 	// Killed servers abort their in-flight migrations instead of landing
 	// VMs on (or streaming them from) dead hardware.
 	vb.Migration.SetLiveness(func(s int) bool { return ring.Network().Alive(simnet.Addr(s)) })
+	// Migration start times are read from the source server's clock — its
+	// shard engine under sharding.
+	vb.Migration.SetEngineFor(func(s int) *sim.Engine { return ring.Network().EngineFor(simnet.Addr(s)) })
 	aggCfg := aggregation.Config{UpdateInterval: opts.Rebalance.UpdateInterval}
 	for i, node := range ring.Nodes() {
 		vb.Scribes[i] = scribe.New(node)

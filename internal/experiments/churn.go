@@ -40,6 +40,9 @@ type ChurnParams struct {
 	ReservationMbps float64
 	// Seed drives arrivals and lifetimes.
 	Seed int64
+	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
+	// parallel engine); virtual-time results are identical at any setting.
+	Shards int
 }
 
 func (p ChurnParams) withDefaults() ChurnParams {
@@ -93,6 +96,7 @@ func RunChurn(p ChurnParams) (*ChurnOutcome, error) {
 	vb, err := core.New(core.Options{
 		Topology: p.Spec,
 		Seed:     p.Seed,
+		Shards:   p.Shards,
 		Engine:   p.Engine,
 	})
 	if err != nil {
@@ -105,7 +109,7 @@ func RunChurn(p ChurnParams) (*ChurnOutcome, error) {
 
 	scheduleDeath := func(id cluster.VMID) {
 		life := time.Duration(rng.ExpFloat64() * float64(p.MeanLifetime))
-		vb.Engine.After(life, func() {
+		vb.Engine.AfterGlobal(life, func() {
 			if vb.Cluster.Destroy(id) {
 				out.Departed++
 			}
@@ -150,13 +154,13 @@ func RunChurn(p ChurnParams) (*ChurnOutcome, error) {
 			}
 			arrive(customer, true)
 			gap := time.Duration(rng.ExpFloat64() * float64(time.Minute) / p.ArrivalsPerMinute)
-			vb.Engine.After(gap, next)
+			vb.Engine.AfterGlobal(gap, next)
 		}
 		gap := time.Duration(rng.ExpFloat64() * float64(time.Minute) / p.ArrivalsPerMinute)
-		vb.Engine.After(gap, next)
+		vb.Engine.AfterGlobal(gap, next)
 	}
 
-	sampler := vb.Engine.Every(p.SampleEvery, func() {
+	sampler := vb.Engine.EveryGlobal(p.SampleEvery, func() {
 		q := placement.Quality(vb.Cluster)
 		out.Locality.Add(vb.Engine.Now(), q.SameRackPairFraction())
 		out.VMCount.Add(vb.Engine.Now(), float64(vb.Cluster.NumVMs()))

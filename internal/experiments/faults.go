@@ -47,6 +47,9 @@ type ResilienceParams struct {
 	KillAt time.Duration
 	// Seed drives the synthetic load and the loss draws.
 	Seed int64
+	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
+	// parallel engine); virtual-time results are identical at any setting.
+	Shards int
 }
 
 func (p ResilienceParams) withDefaults() ResilienceParams {
@@ -134,6 +137,7 @@ func RunResilience(p ResilienceParams) (*ResilienceOutcome, error) {
 	vb, err := core.New(core.Options{
 		Topology:    p.Spec,
 		Seed:        p.Seed,
+		Shards:      p.Shards,
 		MessageLoss: p.DropRate,
 		Rebalance: rebalance.Config{
 			Threshold:         p.Threshold,
@@ -155,7 +159,7 @@ func RunResilience(p ResilienceParams) (*ResilienceOutcome, error) {
 	out.BeforeSD = liveSD(vb)
 	sample := func() { out.SD.Add(vb.Now(), liveSD(vb)) }
 	sample()
-	sampler := vb.Engine.Every(p.SampleEvery, sample)
+	sampler := vb.Engine.EveryGlobal(p.SampleEvery, sample)
 
 	vb.Workloads.Start(p.UpdateInterval)
 	if p.DropRate > 0 || p.KillReceivers > 0 {

@@ -39,6 +39,9 @@ type QoSParams struct {
 	SampleEvery time.Duration
 	// Seed drives jitter.
 	Seed int64
+	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
+	// parallel engine); virtual-time results are identical at any setting.
+	Shards int
 }
 
 func (p QoSParams) withDefaults() QoSParams {
@@ -105,6 +108,7 @@ func RunQoS(p QoSParams) (*QoSOutcome, error) {
 	vb, err := core.New(core.Options{
 		Topology: spec,
 		Seed:     p.Seed,
+		Shards:   p.Shards,
 		Rebalance: rebalance.Config{
 			Threshold:         p.Threshold,
 			UpdateInterval:    p.UpdateInterval,
@@ -168,7 +172,7 @@ func RunQoS(p QoSParams) (*QoSOutcome, error) {
 	// Drive SIPp each sample: evaluate failures/RT under the bandwidth the
 	// SIPp VM can actually obtain on its current host (its shaper headroom,
 	// which shrinks while co-located Iperf streams hog the NIC).
-	vb.Engine.Every(p.SampleEvery, func() {
+	vb.Engine.EveryGlobal(p.SampleEvery, func() {
 		avail := vb.AvailableBandwidth(sippVM.ID)
 		res := sipp.Step(vb.Now(), p.SampleEvery, avail)
 		out.FailedCalls.Add(vb.Now(), float64(res.FailedCalls))
@@ -184,7 +188,7 @@ func RunQoS(p QoSParams) (*QoSOutcome, error) {
 	})
 
 	// Track the rebalancing window through migration stats.
-	vb.Engine.Every(time.Second, func() {
+	vb.Engine.EveryGlobal(time.Second, func() {
 		st := vb.Migration.Stats()
 		if st.Completed > 0 && out.FirstMigrationAt == 0 {
 			out.FirstMigrationAt = vb.Now()

@@ -32,6 +32,10 @@ type AggLatencyParams struct {
 	// (0 = GOMAXPROCS, 1 = sequential). Every sweep point builds its own
 	// engine and ring, so results are identical at any setting.
 	Parallelism int
+	// Shards selects the engine mode for each sweep point (0 = serial
+	// reference, K ≥ 1 = K-shard parallel engine); virtual-time results
+	// are identical at any setting.
+	Shards int
 }
 
 func (p AggLatencyParams) withDefaults() AggLatencyParams {
@@ -68,14 +72,19 @@ type AggLatencyOutcome struct {
 
 // buildOverheadStack creates a ring with scribes and aggregation managers
 // for overhead measurements.
-func buildOverheadStack(servers int, lanHop time.Duration, seed int64) (*sim.Engine, *pastry.Ring, []*scribe.Scribe, []*aggregation.Manager, error) {
+func buildOverheadStack(servers int, lanHop time.Duration, seed int64, shards int) (*sim.Engine, *pastry.Ring, []*scribe.Scribe, []*aggregation.Manager, error) {
 	spec := ScaledSpec(servers)
 	spec.LANHop = lanHop
 	topo, err := topology.New(spec)
 	if err != nil {
 		return nil, nil, nil, nil, err
 	}
-	engine := sim.NewEngine(seed)
+	var engine *sim.Engine
+	if shards > 0 {
+		engine = sim.NewShardedEngine(seed, shards)
+	} else {
+		engine = sim.NewEngine(seed)
+	}
 	ring := pastry.NewRing(engine, topo, pastry.Config{}, pastry.HierarchyAssigner)
 	ring.BuildStatic()
 	scribes := make([]*scribe.Scribe, ring.Size())
@@ -107,7 +116,7 @@ func RunAggLatency(p AggLatencyParams) (*AggLatencyOutcome, error) {
 // aggLatencyPoint measures one ring size on a private simulation stack.
 func aggLatencyPoint(p AggLatencyParams, n int) (AggLatencyPoint, error) {
 	const topic = "BW_Demand"
-	engine, _, scribes, managers, err := buildOverheadStack(n, p.LANHop, p.Seed)
+	engine, _, scribes, managers, err := buildOverheadStack(n, p.LANHop, p.Seed, p.Shards)
 	if err != nil {
 		return AggLatencyPoint{}, err
 	}

@@ -29,6 +29,10 @@ type MessageOverheadParams struct {
 	// (0 = GOMAXPROCS, 1 = sequential). Every sweep point builds its own
 	// full v-Bundle stack, so results are identical at any setting.
 	Parallelism int
+	// Shards selects the engine mode for each sweep point (0 = serial
+	// reference, K ≥ 1 = K-shard parallel engine); virtual-time results
+	// are identical at any setting.
+	Shards int
 }
 
 func (p MessageOverheadParams) withDefaults() MessageOverheadParams {
@@ -80,6 +84,7 @@ func messageOverheadPoint(p MessageOverheadParams, n int) (MessageOverheadPoint,
 	vb, err := core.New(core.Options{
 		Topology: spec,
 		Seed:     p.Seed,
+		Shards:   p.Shards,
 		Rebalance: rebalance.Config{
 			Threshold:         0.183,
 			UpdateInterval:    p.Round,

@@ -32,6 +32,9 @@ type PlacementParams struct {
 	ReservationMbps float64
 	// Seed drives all randomness.
 	Seed int64
+	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
+	// parallel engine); virtual-time results are identical at any setting.
+	Shards int
 }
 
 func (p PlacementParams) withDefaults() PlacementParams {
@@ -81,6 +84,7 @@ func RunPlacement(p PlacementParams) (*PlacementOutcome, error) {
 	vb, err := core.New(core.Options{
 		Topology: p.Spec,
 		Seed:     p.Seed,
+		Shards:   p.Shards,
 		Engine:   p.Engine,
 	})
 	if err != nil {

@@ -45,6 +45,9 @@ type RebalanceParams struct {
 	AccountMigrationBW bool
 	// Seed drives the synthetic load.
 	Seed int64
+	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
+	// parallel engine); virtual-time results are identical at any setting.
+	Shards int
 }
 
 func (p RebalanceParams) withDefaults() RebalanceParams {
@@ -128,6 +131,7 @@ func RunRebalance(p RebalanceParams) (*RebalanceOutcome, error) {
 	vb, err := core.New(core.Options{
 		Topology: p.Spec,
 		Seed:     p.Seed,
+		Shards:   p.Shards,
 		Rebalance: rebalance.Config{
 			Threshold:         p.Threshold,
 			UpdateInterval:    p.UpdateInterval,
@@ -155,7 +159,7 @@ func RunRebalance(p RebalanceParams) (*RebalanceOutcome, error) {
 		out.Satisfied.Add(now, rep.SatisfiedMbps)
 	}
 	sample()
-	sampler := vb.Engine.Every(p.SampleEvery, sample)
+	sampler := vb.Engine.EveryGlobal(p.SampleEvery, sample)
 
 	vb.Workloads.Start(p.UpdateInterval)
 	vb.StartServices()

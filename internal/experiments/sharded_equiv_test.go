@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"vbundle/internal/topology"
+)
+
+// shardCounts is the equivalence matrix the acceptance criteria name: the
+// serial engine is the reference, every K must reproduce it bit-identically.
+var shardCounts = []int{1, 2, 4, 8}
+
+// TestShardedEquivalence replays the paper's experiments on the sharded
+// engine at K ∈ {1, 2, 4, 8} and requires every virtual-time metric — time
+// series, snapshots, counters, latencies — to equal the serial reference
+// exactly (reflect.DeepEqual over the whole outcome). Covers Fig. 9
+// (rebalancing), the fault-injection variant (faults on), and Fig. 14/15
+// (aggregation latency, message overhead).
+func TestShardedEquivalence(t *testing.T) {
+	t.Run("Fig14AggLatency", func(t *testing.T) {
+		params := func(shards int) AggLatencyParams {
+			return AggLatencyParams{Sizes: []int{64, 128}, Seed: 7, Parallelism: 1, Shards: shards}
+		}
+		ref, err := RunAggLatency(params(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range shardCounts {
+			got, err := RunAggLatency(params(k))
+			if err != nil {
+				t.Fatalf("shards %d: %v", k, err)
+			}
+			got.Params.Shards = 0
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("shards %d: outcome diverged from serial reference\nserial: %+v\nsharded: %+v", k, ref, got)
+			}
+		}
+	})
+
+	t.Run("Fig15MessageOverhead", func(t *testing.T) {
+		params := func(shards int) MessageOverheadParams {
+			return MessageOverheadParams{Sizes: []int{64}, Round: 30 * time.Second,
+				VMsPerServer: 3, Seed: 7, Parallelism: 1, Shards: shards}
+		}
+		ref, err := RunMessageOverhead(params(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range shardCounts {
+			got, err := RunMessageOverhead(params(k))
+			if err != nil {
+				t.Fatalf("shards %d: %v", k, err)
+			}
+			got.Params.Shards = 0
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("shards %d: outcome diverged from serial reference\nserial: %+v\nsharded: %+v", k, ref, got)
+			}
+		}
+	})
+
+	t.Run("Fig9Rebalance", func(t *testing.T) {
+		params := func(shards int) RebalanceParams {
+			return RebalanceParams{
+				Spec:           ScaledSpec(64),
+				VMsPerServer:   4,
+				UpdateInterval: 2 * time.Minute, RebalanceInterval: 6 * time.Minute,
+				Duration: 20 * time.Minute, SampleEvery: 2 * time.Minute,
+				Seed: 7, Shards: shards,
+			}
+		}
+		ref, err := RunRebalance(params(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref.Migrations == 0 {
+			t.Fatal("reference run triggered no migrations; the equivalence check would be vacuous")
+		}
+		for _, k := range shardCounts {
+			got, err := RunRebalance(params(k))
+			if err != nil {
+				t.Fatalf("shards %d: %v", k, err)
+			}
+			got.Params.Shards = 0
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("shards %d: outcome diverged from serial reference\nserial: %+v\nsharded: %+v", k, ref, got)
+			}
+		}
+	})
+
+	t.Run("ResilienceFaultsOn", func(t *testing.T) {
+		params := func(shards int) ResilienceParams {
+			return ResilienceParams{
+				Spec:           ScaledSpec(80),
+				VMsPerServer:   4,
+				UpdateInterval: 2 * time.Minute, RebalanceInterval: 6 * time.Minute,
+				LeaseDuration: 5 * time.Minute, Heartbeat: time.Minute,
+				Duration: 24 * time.Minute, SampleEvery: 2 * time.Minute,
+				DropRate: 0.05, KillReceivers: 2,
+				Seed: 7, Shards: shards,
+			}
+		}
+		ref, err := RunResilience(params(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ref.Killed) == 0 {
+			t.Fatal("reference run killed no servers; the fault path would be untested")
+		}
+		for _, k := range shardCounts {
+			got, err := RunResilience(params(k))
+			if err != nil {
+				t.Fatalf("shards %d: %v", k, err)
+			}
+			got.Params.Shards = 0
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("shards %d: outcome diverged from serial reference\nserial: %+v\nsharded: %+v", k, ref, got)
+			}
+		}
+	})
+}
+
+// ScaledSpec sanity for the test sizes used above: the helper must return a
+// valid spec at small server counts (guards against the equivalence tests
+// silently shrinking to a trivial topology).
+func TestScaledSpecSmall(t *testing.T) {
+	for _, n := range []int{64, 80, 128} {
+		spec := ScaledSpec(n)
+		topo, err := topology.New(spec)
+		if err != nil {
+			t.Fatalf("ScaledSpec(%d): %v", n, err)
+		}
+		if topo.Servers() < n {
+			t.Fatalf("ScaledSpec(%d) yields %d servers", n, topo.Servers())
+		}
+	}
+}

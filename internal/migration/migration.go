@@ -9,6 +9,7 @@ package migration
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"vbundle/internal/cluster"
@@ -123,10 +124,19 @@ type Stats struct {
 }
 
 // Manager executes migrations on a cluster over virtual time.
+//
+// Under a sharded engine, Migrate is called from shard context (rebalance
+// agents) while completions run exclusively on the root in the keyed band,
+// ordered by VM id — so the cluster mutation order is deterministic for any
+// shard count. mu guards the small shared bookkeeping (inFlight, stats)
+// against concurrent starts; the cluster state read by the start-side checks
+// only changes at exclusive instants, so those reads are stable within a
+// window.
 type Manager struct {
 	engine  *sim.Engine
 	cluster *cluster.Cluster
 	cfg     Config
+	mu      sync.Mutex
 	stats   Stats
 	// inFlight counts migrations per VM so a VM is never moved twice
 	// concurrently.
@@ -135,6 +145,10 @@ type Manager struct {
 	// from) servers that die mid-flight abort instead of completing. Nil
 	// means every server is always up (the paper's fault-free setting).
 	alive func(server int) bool
+	// engineFor, when set, returns the engine owning a server's events; the
+	// source server's clock is the migration's start time. Nil falls back to
+	// the manager's engine (always correct serially).
+	engineFor func(server int) *sim.Engine
 }
 
 // New creates a migration manager.
@@ -155,13 +169,33 @@ func (m *Manager) Config() Config { return m.cfg }
 // servers abort their in-flight migrations.
 func (m *Manager) SetLiveness(alive func(server int) bool) { m.alive = alive }
 
+// SetEngineFor installs the server→engine mapping used to read the caller's
+// clock and stage completions; core wires it to the network's shard map when
+// the engine is sharded.
+func (m *Manager) SetEngineFor(engineFor func(server int) *sim.Engine) { m.engineFor = engineFor }
+
 func (m *Manager) serverAlive(s int) bool { return m.alive == nil || m.alive(s) }
 
+func (m *Manager) engineOf(server int) *sim.Engine {
+	if m.engineFor != nil {
+		return m.engineFor(server)
+	}
+	return m.engine
+}
+
 // Stats returns a copy of the migration counters.
-func (m *Manager) Stats() Stats { return m.stats }
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
 
 // InFlight reports whether the VM is currently migrating.
-func (m *Manager) InFlight(id cluster.VMID) bool { return m.inFlight[id] }
+func (m *Manager) InFlight(id cluster.VMID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.inFlight[id]
+}
 
 // Migrate starts moving the VM to server dst. onDone, if non-nil, is called
 // when the migration completes or fails; a nil error means the VM now runs
@@ -177,9 +211,6 @@ func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error
 	if !placed {
 		return fmt.Errorf("migration: vm %d is not placed", id)
 	}
-	if m.inFlight[id] {
-		return fmt.Errorf("migration: vm %d already migrating", id)
-	}
 	if src == dst {
 		return fmt.Errorf("migration: vm %d already on server %d", id, dst)
 	}
@@ -189,20 +220,35 @@ func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error
 	if !m.serverAlive(dst) {
 		return fmt.Errorf("migration: server %d: %w", dst, ErrDestinationDead)
 	}
+	m.mu.Lock()
+	if m.inFlight[id] {
+		m.mu.Unlock()
+		return fmt.Errorf("migration: vm %d already migrating", id)
+	}
 	m.inFlight[id] = true
 	m.stats.Started++
+	m.mu.Unlock()
 	d := m.cfg.Duration(vm.Reservation.MemMB, mode)
 	if m.cfg.AccountBandwidth {
 		// The stream saturates its share of both NICs for the transfer.
+		// (Rejected under sharding by core: the float accumulation is not
+		// associative and the NIC state is cross-shard.)
 		m.cluster.Server(src).AddExternalBW(m.cfg.LinkMbps)
 		m.cluster.Server(dst).AddExternalBW(m.cfg.LinkMbps)
 	}
-	m.engine.After(d, func() {
+	// The completion mutates shared cluster state, so it runs in the keyed
+	// band — exclusively on the root engine, same-instant completions ordered
+	// by VM id in every engine mode. The start time is the caller's clock:
+	// the source server's shard clock under sharding.
+	caller := m.engineOf(src)
+	caller.AtKeyed(caller.Now()+d, uint64(id), func() {
 		if m.cfg.AccountBandwidth {
 			m.cluster.Server(src).AddExternalBW(-m.cfg.LinkMbps)
 			m.cluster.Server(dst).AddExternalBW(-m.cfg.LinkMbps)
 		}
+		m.mu.Lock()
 		delete(m.inFlight, id)
+		m.mu.Unlock()
 		// Re-check endpoint liveness and admission at arrival: either
 		// server may have died, or capacity may have been consumed by a
 		// concurrent migration. On any failure the VM stays at its source.
@@ -210,12 +256,17 @@ func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error
 		switch {
 		case !m.serverAlive(dst):
 			err = fmt.Errorf("migration: vm %d: %w", id, ErrDestinationDead)
-			m.stats.FailedDeadDest++
 		case !m.serverAlive(src):
 			err = fmt.Errorf("migration: vm %d: %w", id, ErrSourceDead)
-			m.stats.FailedDeadSource++
 		default:
 			err = m.cluster.Migrate(id, dst)
+		}
+		m.mu.Lock()
+		switch {
+		case errors.Is(err, ErrDestinationDead):
+			m.stats.FailedDeadDest++
+		case errors.Is(err, ErrSourceDead):
+			m.stats.FailedDeadSource++
 		}
 		if err != nil {
 			m.stats.Failed++
@@ -224,6 +275,7 @@ func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error
 			m.stats.MovedMemMB += vm.Reservation.MemMB
 			m.stats.BusyTime += d
 		}
+		m.mu.Unlock()
 		if onDone != nil {
 			onDone(err)
 		}

@@ -10,14 +10,38 @@ import (
 	"vbundle/internal/simnet"
 )
 
+// prng is a tiny splitmix64 sequence generator. It only has to be
+// deterministic and well-mixed — maintenance peer picks, not statistics —
+// and being a plain value it embeds in Node without heap objects.
+type prng struct{ state uint64 }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a draw in [0, n). The modulo bias is irrelevant here: draws
+// pick maintenance peers, they are not statistical samples.
+func (p *prng) Intn(n int) int { return int(p.next() % uint64(n)) }
+
 // Node is one Pastry overlay participant. All methods must be called from
-// the simulation event loop (the engine is single-threaded).
+// the node's engine event loop — its shard's goroutine under a sharded
+// engine, the single engine goroutine otherwise.
 type Node struct {
 	cfg    Config
 	handle NodeHandle
 	net    *simnet.Network
 	engine *sim.Engine
 	prox   simnet.LatencyFunc
+	// rng is the node's private random stream (maintenance peer picks),
+	// seeded from (engine seed, address): draws never interleave with other
+	// nodes' draws, so the sequence is identical across engine modes. It is
+	// embedded by value — a math/rand.Rand would cost two heap objects per
+	// node, which is measurable in ring construction at 8k+ servers.
+	rng prng
 
 	apps map[string]App
 	// appCache memoizes the last apps lookup: routed traffic overwhelmingly
@@ -50,6 +74,13 @@ type Node struct {
 	// safe and keeps the periodic paths allocation-free.
 	probeScratch []NodeHandle
 	seenScratch  map[ids.Id]struct{}
+	// handleFree recycles the slices leaf-set snapshots are copied into.
+	// Each slice has a single owner: created by leafSnapshot, embedded in
+	// exactly one in-flight leafExchange, consumed once by the receiving
+	// node's handleLeafExchange — which banks it in its own free list, so in
+	// steady state maintenance rounds allocate nothing. Slices of dropped
+	// messages are simply garbage-collected.
+	handleFree [][]NodeHandle
 	// envFree and dirFree recycle consumed envelopes. An envelope has a
 	// single owner at all times — created at Route/SendDirect, handed to the
 	// network, consumed exactly once at delivery — and the whole simulation
@@ -76,8 +107,9 @@ func NewNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox 
 		cfg:          cfg,
 		handle:       NodeHandle{Id: id, Addr: addr},
 		net:          net,
-		engine:       net.Engine(),
+		engine:       net.EngineFor(addr),
 		prox:         prox,
+		rng:          prng{state: uint64(net.Engine().Seed()) ^ (uint64(addr)+1)*0x9E3779B97F4A7C15},
 		apps:         make(map[string]App),
 		pendingPings: make(map[uint64]func(bool)),
 		suspicion:    make(map[simnet.Addr]int),
@@ -452,15 +484,45 @@ func containsID(list []NodeHandle, id ids.Id) bool {
 	return false
 }
 
+// leafSnapshot copies the current leaf-set halves for embedding in a
+// message. Exchange messages must not alias the live slices: the sender
+// keeps mutating them (in place, via insertSortedByDist) while the message
+// is in flight, and on a sharded engine the receiver runs on another
+// goroutine. Each call produces slices owned by exactly one message; the
+// receiver recycles them via recycleHandles.
+func (n *Node) leafSnapshot() (cw, ccw []NodeHandle) {
+	return append(n.getHandles(), n.leafCW...), append(n.getHandles(), n.leafCCW...)
+}
+
+func (n *Node) getHandles() []NodeHandle {
+	if k := len(n.handleFree); k > 0 {
+		s := n.handleFree[k-1]
+		n.handleFree = n.handleFree[:k-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (n *Node) recycleHandles(s []NodeHandle) {
+	if cap(s) > 0 && len(n.handleFree) < 8 {
+		n.handleFree = append(n.handleFree, s)
+	}
+}
+
 // repairLeafSet asks the farthest live leaf on each side for its leaf set,
-// the standard Pastry repair that refills holes left by failures.
+// the standard Pastry repair that refills holes left by failures. Each
+// receiver gets its own snapshot: the two messages must not share slices,
+// or both receivers would recycle the same backing array.
 func (n *Node) repairLeafSet() {
-	req := &leafExchange{From: n.handle, CW: n.leafCW, CCW: n.leafCCW}
 	if len(n.leafCW) > 0 {
-		n.net.Send(n.handle.Addr, n.leafCW[len(n.leafCW)-1].Addr, req)
+		cw, ccw := n.leafSnapshot()
+		n.net.Send(n.handle.Addr, n.leafCW[len(n.leafCW)-1].Addr,
+			&leafExchange{From: n.handle, CW: cw, CCW: ccw})
 	}
 	if len(n.leafCCW) > 0 {
-		n.net.Send(n.handle.Addr, n.leafCCW[len(n.leafCCW)-1].Addr, req)
+		cw, ccw := n.leafSnapshot()
+		n.net.Send(n.handle.Addr, n.leafCCW[len(n.leafCCW)-1].Addr,
+			&leafExchange{From: n.handle, CW: cw, CCW: ccw})
 	}
 }
 
@@ -473,10 +535,15 @@ func (n *Node) handleLeafExchange(m *leafExchange) {
 		n.Consider(h)
 	}
 	if !m.Reply {
+		cw, ccw := n.leafSnapshot()
 		n.net.Send(n.handle.Addr, m.From.Addr, &leafExchange{
-			From: n.handle, CW: n.leafCW, CCW: n.leafCCW, Reply: true,
+			From: n.handle, CW: cw, CCW: ccw, Reply: true,
 		})
 	}
+	// This handler is the message's single point of consumption; bank its
+	// snapshot slices for this node's own future exchanges.
+	n.recycleHandles(m.CW)
+	n.recycleHandles(m.CCW)
 }
 
 // StartMaintenance begins periodic leaf-set exchange and liveness probing.
@@ -498,12 +565,15 @@ func (n *Node) StopMaintenance() {
 
 func (n *Node) maintenanceRound() {
 	// Exchange leaf sets with immediate ring neighbors to keep the ring
-	// consistent as membership changes.
+	// consistent as membership changes. Per-send snapshots: the two
+	// receivers each consume (and recycle) their own slices.
 	if len(n.leafCW) > 0 {
-		n.net.Send(n.handle.Addr, n.leafCW[0].Addr, &leafExchange{From: n.handle, CW: n.leafCW, CCW: n.leafCCW})
+		cw, ccw := n.leafSnapshot()
+		n.net.Send(n.handle.Addr, n.leafCW[0].Addr, &leafExchange{From: n.handle, CW: cw, CCW: ccw})
 	}
 	if len(n.leafCCW) > 0 {
-		n.net.Send(n.handle.Addr, n.leafCCW[0].Addr, &leafExchange{From: n.handle, CW: n.leafCW, CCW: n.leafCCW})
+		cw, ccw := n.leafSnapshot()
+		n.net.Send(n.handle.Addr, n.leafCCW[0].Addr, &leafExchange{From: n.handle, CW: cw, CCW: ccw})
 	}
 	// Exchange one routing-table row with a random entry of that row: the
 	// periodic routing-table maintenance that refreshes stale entries and
@@ -516,25 +586,23 @@ func (n *Node) maintenanceRound() {
 	if len(candidates) == 0 {
 		return
 	}
-	rng := n.engine.Rand()
 	for i := 0; i < n.cfg.ProbesPerRound && i < len(candidates); i++ {
-		n.probe(candidates[rng.Intn(len(candidates))])
+		n.probe(candidates[n.rng.Intn(len(candidates))])
 	}
 }
 
 // rtMaintenance picks a random populated routing-table row and swaps it
 // with a random peer from that row.
 func (n *Node) rtMaintenance() {
-	rng := n.engine.Rand()
 	rows := n.cfg.rows()
-	start := rng.Intn(rows)
+	start := n.rng.Intn(rows)
 	for k := 0; k < rows; k++ {
 		row := (start + k) % rows
 		entries := n.rowEntries(row)
 		if len(entries) == 0 {
 			continue
 		}
-		peer := entries[rng.Intn(len(entries))]
+		peer := entries[n.rng.Intn(len(entries))]
 		n.net.Send(n.handle.Addr, peer.Addr, &rtExchange{
 			From: n.handle, Row: row, Entries: entries,
 		})

@@ -60,6 +60,13 @@ func NewRing(engine *sim.Engine, topo *topology.Topology, cfg Config, assign IdA
 	}
 	n := topo.Servers()
 	lat := func(a, b simnet.Addr) time.Duration { return topo.Latency(int(a), int(b)) }
+	if engine.Sharded() {
+		// Any two distinct servers are at least one LAN hop apart (the
+		// sub-hop LocalDelivery tier is same-server only, and a server is
+		// never split across shards), so LANHop bounds every cross-shard
+		// interaction and is the engine's parallel window width.
+		engine.SetLookahead(topo.Spec().LANHop)
+	}
 	net := simnet.New(engine, n, lat, opts...)
 	r := &Ring{
 		cfg:    cfg.withDefaults(),
@@ -206,7 +213,9 @@ func (r *Ring) prevLive(start int) int {
 func (r *Ring) JoinAll(stagger time.Duration) (allJoined func() bool) {
 	for i, node := range r.nodes {
 		i, node := i, node
-		r.engine.After(time.Duration(i)*stagger, func() {
+		// Joining is node-local work: schedule it on the node's own engine so
+		// it runs on the node's shard like any other node event.
+		node.Engine().After(time.Duration(i)*stagger, func() {
 			if i == 0 {
 				node.Join(simnet.Nowhere)
 				return

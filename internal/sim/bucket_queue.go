@@ -12,8 +12,8 @@ import (
 // only far-future overflow. Scheduling an event within the wheel's horizon
 // is an O(1) append; popping drains one bucket at a time, sorting each
 // bucket's handful of events once. The observable execution order is exactly
-// the heap's — strictly (at, seq) — which the queue equivalence property
-// test asserts on randomized traces.
+// the heap's — strictly (at, key, seq) — which the queue equivalence
+// property test asserts on randomized traces.
 //
 // Geometry: buckets are 2^bucketShift nanoseconds wide (≈4.1µs) and the
 // wheel has wheelSlots of them, for a horizon of ≈16.8ms — wider than any
@@ -92,8 +92,10 @@ func (q *bucketQueue) push(ev *event) {
 }
 
 // insertCur splices an event into the bucket currently being drained (an
-// immediate or sub-bucket-width reschedule). The new event carries the
-// largest seq so far, so its position is the upper bound of its timestamp.
+// immediate or sub-bucket-width reschedule). The binary search compares the
+// full (at, key, seq) order: a delivery event's key may sort it before
+// already-pending same-timestamp events, so the new arrival is not
+// necessarily the run's upper bound.
 func (q *bucketQueue) insertCur(ev *event) {
 	if q.curHead == len(q.cur) {
 		// Fully drained: reclaim the consumed prefix instead of growing.
@@ -104,7 +106,7 @@ func (q *bucketQueue) insertCur(ev *event) {
 	lo, hi := 0, len(run)
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if run[mid].at <= ev.at {
+		if run[mid].before(ev) {
 			lo = mid + 1
 		} else {
 			hi = mid
@@ -206,20 +208,86 @@ func (q *bucketQueue) loadBucket() {
 	q.slots[s] = q.cur[:0]
 	q.occupied[s>>6] &^= 1 << uint(s&63)
 	q.inWheel -= len(events)
-	if len(events) > 1 {
-		slices.SortFunc(events, func(a, b *event) int {
-			if a.at != b.at {
-				if a.at < b.at {
+	sortEvents(events)
+	q.cur = events
+	q.curHead = 0
+}
+
+// sortEvents sorts a drained bucket into execution order — strictly
+// (at, key, seq), the same total order the heap pops in. A monomorphic
+// quicksort: the generic slices.SortFunc paid an indirect comparator call
+// per comparison, which dominated bucket-drain cost; here before() inlines.
+// Elements are unique (seq is unique), so equal keys never occur.
+func sortEvents(s []*event) {
+	if n := len(s); n > 1 {
+		quickEvents(s, 2*bits.Len(uint(n)))
+	}
+}
+
+func insertionEvents(s []*event) {
+	for i := 1; i < len(s); i++ {
+		ev := s[i]
+		j := i - 1
+		for j >= 0 && ev.before(s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = ev
+	}
+}
+
+// quickEvents is a median-of-three Lomuto quicksort recursing on the smaller
+// partition, with insertion sort below 16 elements and a depth-limit
+// fallback to slices.SortFunc so pathological inputs stay O(n log n).
+func quickEvents(s []*event, limit int) {
+	for len(s) > 16 {
+		if limit == 0 {
+			slices.SortFunc(s, func(a, b *event) int {
+				if a.before(b) {
 					return -1
 				}
 				return 1
-			}
-			if a.seq < b.seq {
-				return -1
-			}
-			return 1
-		})
+			})
+			return
+		}
+		limit--
+		p := partitionEvents(s)
+		if p < len(s)-p {
+			quickEvents(s[:p], limit)
+			s = s[p+1:]
+		} else {
+			quickEvents(s[p+1:], limit)
+			s = s[:p]
+		}
 	}
-	q.cur = events
-	q.curHead = 0
+	insertionEvents(s)
+}
+
+// partitionEvents moves the median of s[0], s[mid], s[n-1] into pivot
+// position and Lomuto-partitions around it, returning the pivot's final
+// index (elements before it sort before the pivot, elements after sort
+// after, so both sides exclude it and recursion always makes progress).
+func partitionEvents(s []*event) int {
+	n := len(s)
+	m := n / 2
+	if s[m].before(s[0]) {
+		s[0], s[m] = s[m], s[0]
+	}
+	if s[n-1].before(s[m]) {
+		s[m], s[n-1] = s[n-1], s[m]
+		if s[m].before(s[0]) {
+			s[0], s[m] = s[m], s[0]
+		}
+	}
+	s[m], s[n-1] = s[n-1], s[m]
+	pivot := s[n-1]
+	i := 0
+	for j := 0; j < n-1; j++ {
+		if s[j].before(pivot) {
+			s[i], s[j] = s[j], s[i]
+			i++
+		}
+	}
+	s[i], s[n-1] = s[n-1], s[i]
+	return i
 }

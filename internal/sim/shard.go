@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sharded execution: a conservative parallel discrete-event mode.
+//
+// A sharded engine is a root Engine coordinating K shard Engines. Simulation
+// state is partitioned across the shards (simnet assigns each node to the
+// shard of a deterministic hash of its address), and every cross-shard
+// interaction is a message with a nonzero link latency. That latency is the
+// lookahead: during a time window [T, T+lookahead) no shard can affect
+// another within the window, so all shards drain their own queues in
+// parallel, each on its own goroutine. At the window barrier, cross-shard
+// sends (parked in per-shard outboxes) are merged into the destination
+// queues, ordered by their band-0 keys — which were assigned at send time
+// from the traffic itself, so the merged order is identical to the order the
+// serial engine would have produced.
+//
+// Windows end early at the next root-engine event (global drivers, keyed
+// completions): those run exclusively between windows, with every shard
+// clock raised to the instant, exactly where the serial engine would run
+// them (bands 2 and 3 sort after all same-instant node work).
+type workerPool struct {
+	cmds []chan shardCmd
+	done chan struct{}
+}
+
+type shardCmd struct {
+	limit   time.Duration
+	instant bool
+}
+
+// staging collects events scheduled onto the root from shard context
+// (AtGlobal/AtKeyed during a window). It is the only cross-goroutine
+// scheduling path, and the only mutex in the engine.
+type staging struct {
+	mu    sync.Mutex
+	evs   []stagedEvent
+	spare []stagedEvent
+}
+
+type stagedEvent struct {
+	at  time.Duration
+	key uint64
+	fn  func()
+}
+
+func (g *staging) add(at time.Duration, key uint64, fn func()) {
+	g.mu.Lock()
+	g.evs = append(g.evs, stagedEvent{at: at, key: key, fn: fn})
+	g.mu.Unlock()
+}
+
+func (g *staging) len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.evs)
+}
+
+// take swaps out the staged batch (the caller processes it outside the lock)
+// and installs the previous batch's backing array for reuse.
+func (g *staging) take() []stagedEvent {
+	g.mu.Lock()
+	evs := g.evs
+	g.evs = g.spare[:0]
+	g.spare = nil
+	g.mu.Unlock()
+	return evs
+}
+
+func (g *staging) giveBack(buf []stagedEvent) {
+	g.mu.Lock()
+	g.spare = buf
+	g.mu.Unlock()
+}
+
+// NewShardedEngine returns a root engine with shards shard engines. The
+// caller must partition its state across the shards (Shard(i) hands out the
+// per-shard engines), set the lookahead to the minimum cross-shard latency,
+// and may then drive the root exactly like a serial engine: Run, RunUntil,
+// and Step produce the same observable execution as NewEngine(seed) would,
+// for any shard count — the sharded-equivalence tests assert it.
+func NewShardedEngine(seed int64, shards int) *Engine {
+	if shards < 1 {
+		shards = 1
+	}
+	r := NewEngineWithQueue(seed, QueueBucket)
+	r.shards = make([]*Engine, shards)
+	for i := range r.shards {
+		// Shard rngs get derived seeds; deterministic code must not draw
+		// from them (the draw order would depend on the shard layout), and
+		// the simulation stack doesn't — nodes use per-node streams.
+		s := NewEngineWithQueue(seed+int64(i)*0x9E37+1, QueueBucket)
+		s.root = r
+		s.shardIdx = i
+		r.shards[i] = s
+	}
+	return r
+}
+
+// Root returns the sharded root this engine belongs to, or the engine itself.
+func (e *Engine) Root() *Engine {
+	if e.root != nil {
+		return e.root
+	}
+	return e
+}
+
+// Sharded reports whether this engine is a sharded root.
+func (e *Engine) Sharded() bool { return len(e.shards) > 0 }
+
+// ShardCount returns the number of shards (1 for a serial engine: serial is
+// the K=1 special case).
+func (e *Engine) ShardCount() int {
+	if len(e.shards) == 0 {
+		return 1
+	}
+	return len(e.shards)
+}
+
+// Shard returns shard i of a sharded root.
+func (e *Engine) Shard(i int) *Engine {
+	if len(e.shards) == 0 {
+		if i == 0 {
+			return e
+		}
+		panic(fmt.Sprintf("sim: Shard(%d) on a serial engine", i))
+	}
+	return e.shards[i]
+}
+
+// SetLookahead declares the minimum latency of any cross-shard interaction;
+// it bounds the parallel window width. Sharded runs panic without it.
+func (e *Engine) SetLookahead(d time.Duration) {
+	if d <= 0 {
+		panic("sim: SetLookahead with non-positive lookahead")
+	}
+	e.Root().lookahead = d
+}
+
+// OnBarrier registers fn to run at every window barrier and exclusive
+// instant, on the root goroutine with all shards idle. simnet uses it to
+// merge cross-shard outboxes into destination inboxes.
+func (e *Engine) OnBarrier(fn func()) {
+	r := e.Root()
+	if len(r.shards) == 0 {
+		panic("sim: OnBarrier on a serial engine")
+	}
+	r.barriers = append(r.barriers, fn)
+}
+
+func (r *Engine) runBarriers() {
+	for _, fn := range r.barriers {
+		fn()
+	}
+}
+
+// mergeStaged moves staged root events into the root queue. The batch is
+// sorted by (at, key) first: the staging order of a concurrent window is
+// nondeterministic, the keys are not.
+func (r *Engine) mergeStaged() {
+	evs := r.staging.take()
+	if len(evs) == 0 {
+		r.staging.giveBack(evs)
+		return
+	}
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].key < evs[j].key
+	})
+	for i := range evs {
+		ev := &evs[i]
+		if ev.key >= keyKeyed && ev.at < r.now {
+			panic(fmt.Sprintf("sim: keyed event staged at %v behind the root clock %v (lookahead violation: keyed completions must be scheduled at least one window ahead)", ev.at, r.now))
+		}
+		r.push(ev.at, ev.key, ev.fn)
+		ev.fn = nil
+	}
+	r.staging.giveBack(evs[:0])
+}
+
+// drainWindow runs every pending event with at < end (worker goroutine).
+func (s *Engine) drainWindow(end time.Duration) {
+	for {
+		ev := s.events.front()
+		if ev == nil || ev.at >= end {
+			return
+		}
+		s.events.pop()
+		s.runEvent(ev)
+	}
+}
+
+// drainInstant runs every pending event at exactly g (worker goroutine).
+func (s *Engine) drainInstant(g time.Duration) {
+	for {
+		ev := s.events.front()
+		if ev == nil || ev.at != g {
+			return
+		}
+		s.events.pop()
+		s.runEvent(ev)
+	}
+}
+
+func (p *workerPool) start(r *Engine) {
+	p.done = make(chan struct{}, len(r.shards))
+	p.cmds = make([]chan shardCmd, len(r.shards))
+	for i, s := range r.shards {
+		c := make(chan shardCmd, 1)
+		p.cmds[i] = c
+		go func(c chan shardCmd, s *Engine) {
+			for cmd := range c {
+				if cmd.instant {
+					s.drainInstant(cmd.limit)
+				} else {
+					s.drainWindow(cmd.limit)
+				}
+				p.done <- struct{}{}
+			}
+		}(c, s)
+	}
+}
+
+func (p *workerPool) stop() {
+	for _, c := range p.cmds {
+		close(c)
+	}
+	p.cmds = nil
+	p.done = nil
+}
+
+// dispatch hands cmd to every shard with relevant work and waits for all of
+// them — the barrier. With a single busy shard the drain runs inline on the
+// root goroutine instead, so K=1 costs no synchronization at all.
+func (r *Engine) dispatch(cmd shardCmd, busy func(*Engine) bool) {
+	first := -1
+	sent := 0
+	for i, s := range r.shards {
+		if !busy(s) {
+			continue
+		}
+		if first < 0 {
+			first = i
+			continue // run the first busy shard inline below
+		}
+		r.workers.cmds[i] <- cmd
+		sent++
+	}
+	if first >= 0 {
+		s := r.shards[first]
+		if cmd.instant {
+			s.drainInstant(cmd.limit)
+		} else {
+			s.drainWindow(cmd.limit)
+		}
+	}
+	for ; sent > 0; sent-- {
+		<-r.workers.done
+	}
+}
+
+func (r *Engine) minShardNext() (time.Duration, bool) {
+	var min time.Duration
+	ok := false
+	for _, s := range r.shards {
+		if at, has := s.events.nextAt(); has && (!ok || at < min) {
+			min, ok = at, true
+		}
+	}
+	return min, ok
+}
+
+func (r *Engine) anyShardAt(g time.Duration) bool {
+	for _, s := range r.shards {
+		if at, has := s.events.nextAt(); has && at == g {
+			return true
+		}
+	}
+	return false
+}
+
+// runWindows is the sharded main loop behind Run (drainAll) and RunUntil.
+func (r *Engine) runWindows(deadline time.Duration, drainAll bool) {
+	r.mustInit()
+	if r.lookahead <= 0 {
+		panic("sim: sharded run without SetLookahead (the minimum cross-shard link latency)")
+	}
+	r.mergeStaged()
+	r.runBarriers()
+	r.workers.start(r)
+	defer r.workers.stop()
+	for {
+		rootEv := r.events.front()
+		shardMin, shardOk := r.minShardNext()
+		var tMin time.Duration
+		switch {
+		case rootEv == nil && !shardOk:
+			tMin = 0
+		case rootEv == nil:
+			tMin = shardMin
+		case !shardOk || rootEv.at <= shardMin:
+			tMin = rootEv.at
+		default:
+			tMin = shardMin
+		}
+		if rootEv == nil && !shardOk {
+			break
+		}
+		if !drainAll && tMin > deadline {
+			break
+		}
+		if rootEv != nil && rootEv.at == tMin {
+			// A root event is next: run the whole instant exclusively, node
+			// work first, then global/keyed events — the serial order.
+			r.runInstant(tMin)
+		} else {
+			end := tMin + r.lookahead
+			if rootEv != nil && rootEv.at < end {
+				end = rootEv.at
+			}
+			if !drainAll && end > deadline+1 {
+				end = deadline + 1 // the window must include events at the deadline itself
+			}
+			r.dispatch(shardCmd{limit: end}, func(s *Engine) bool {
+				at, has := s.events.nextAt()
+				return has && at < end
+			})
+		}
+		r.runBarriers()
+		r.mergeStaged()
+	}
+	if drainAll {
+		// Leave every clock at the globally last executed event, exactly
+		// where a serial Run leaves its single clock.
+		maxNow := r.now
+		for _, s := range r.shards {
+			if s.now > maxNow {
+				maxNow = s.now
+			}
+		}
+		r.now = maxNow
+		for _, s := range r.shards {
+			s.now = maxNow
+		}
+		return
+	}
+	if r.now < deadline {
+		r.now = deadline
+	}
+	for _, s := range r.shards {
+		if s.now < deadline {
+			s.now = deadline
+		}
+	}
+}
+
+// runInstant executes everything scheduled at exactly g: first all shard
+// events at g (in parallel — cross-shard effects of same-instant node work
+// cannot land before g+lookahead), then the root's global and keyed events
+// one at a time, re-draining any shard work each one spawns at g. This is
+// precisely the serial pop order at g: band 0/1 events, then bands 2 and 3
+// by key.
+func (r *Engine) runInstant(g time.Duration) {
+	if r.now < g {
+		r.now = g
+	}
+	for _, s := range r.shards {
+		if s.now < g {
+			s.now = g
+		}
+	}
+	for {
+		if r.anyShardAt(g) {
+			r.dispatch(shardCmd{limit: g, instant: true}, func(s *Engine) bool {
+				at, has := s.events.nextAt()
+				return has && at == g
+			})
+			r.runBarriers()
+			r.mergeStaged()
+			continue
+		}
+		ev := r.events.front()
+		if ev == nil || ev.at != g {
+			return
+		}
+		r.events.pop()
+		r.runEvent(ev)
+		r.mergeStaged()
+		r.runBarriers()
+	}
+}
+
+// shardedStep pops the globally earliest event across the root and all
+// shards and runs it on the caller's goroutine (no workers). Cross-engine
+// ties are decided by (at, key); the remaining tie (same instant, same key
+// on two engines) is broken by engine order, which is deterministic for a
+// fixed shard count. Step-driven phases (placement queries) are exclusive by
+// construction, so this is their whole execution model.
+func (r *Engine) shardedStep() bool {
+	r.mergeStaged()
+	r.runBarriers()
+	best := r.events.front()
+	owner := r
+	for _, s := range r.shards {
+		ev := s.events.front()
+		if ev == nil {
+			continue
+		}
+		if best == nil || ev.at < best.at || (ev.at == best.at && ev.key < best.key) {
+			best, owner = ev, s
+		}
+	}
+	if best == nil {
+		return false
+	}
+	owner.events.pop()
+	owner.runEvent(best)
+	if r.now < owner.now {
+		r.now = owner.now
+	}
+	r.mergeStaged()
+	r.runBarriers()
+	return true
+}

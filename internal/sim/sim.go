@@ -5,9 +5,20 @@
 // in milliseconds of wall time, and identical seeds replay identical event
 // orders, which the test suite relies on.
 //
-// The engine is single-goroutine: callbacks run sequentially in timestamp
-// order (ties broken by scheduling order), so simulation code needs no
-// locking of its own.
+// The engine comes in two execution modes with one ordering contract:
+//
+//   - Serial (NewEngine): one goroutine, callbacks run sequentially in
+//     (timestamp, key, sequence) order, so simulation code needs no locking
+//     of its own. This is the default and the reference implementation.
+//   - Sharded (NewShardedEngine): a root engine coordinating K shard
+//     engines, each drained by its own goroutine inside barrier-synchronized
+//     time windows whose width is the configured lookahead (the minimum
+//     cross-shard link latency). See shard.go.
+//
+// Both modes order same-instant events by the same key bands, which is what
+// makes the sharded engine's output bit-identical to the serial engine's
+// (asserted by the sharded-equivalence property tests): the serial engine is
+// simply the K=1 special case that never pays a barrier.
 package sim
 
 import (
@@ -31,33 +42,77 @@ const (
 	QueueHeap
 )
 
-// eventQueue stores pending events ordered by (at, seq). Exactly one
-// goroutine (the engine's) touches it.
+// Same-instant events execute in key order, then scheduling order. The key's
+// top two bits form a band that classifies the scheduling context, and the
+// bands exist for exactly one reason: two events on different shards cannot
+// be ordered by their per-engine sequence numbers, so every ordering decision
+// that can cross a shard boundary must be decided by (at, key) alone.
+//
+//   - band 0 — network deliveries (AtDelivery). The payload is derived from
+//     the traffic itself (destination for a batch flush, (source, send index)
+//     for a per-message delivery), so delivery order is a property of the
+//     trace, not of which engine ran it.
+//   - band 1 — plain At/After/Every. The payload is constant; same-instant
+//     order falls to the per-engine sequence counter. Band-1 events are
+//     node-local by contract (they never race across shards), which is why a
+//     per-engine tiebreak suffices.
+//   - band 2 — AtGlobal/AfterGlobal/EveryGlobal: experiment drivers,
+//     samplers, fault injectors. They run on the root engine, after all
+//     same-instant node work, in both modes.
+//   - band 3 — AtKeyed: domain-keyed completions (e.g. a migration keyed by
+//     VM id) scheduled from shard context onto the root engine. The caller's
+//     key makes the merge order deterministic regardless of which shard
+//     staged first.
+const (
+	keyBandShift         = 62
+	keyDelivery   uint64 = 0 << keyBandShift
+	keyLocal      uint64 = 1 << keyBandShift
+	keyGlobal     uint64 = 2 << keyBandShift
+	keyKeyed      uint64 = 3 << keyBandShift
+	keyPayloadMax uint64 = 1<<keyBandShift - 1
+)
+
+// eventQueue stores pending events ordered by (at, key, seq). Exactly one
+// goroutine touches it at a time (the engine's, or during sharded barriers
+// the root's).
 type eventQueue interface {
 	push(*event)
 	// pop removes and returns the earliest event, or nil when empty.
 	pop() *event
+	// front returns the earliest pending event without removing it.
+	front() *event
 	// nextAt returns the earliest pending timestamp, if any.
 	nextAt() (time.Duration, bool)
 	len() int
 }
 
 // Engine is a discrete-event scheduler over a virtual clock. The zero value
-// is not usable; construct engines with NewEngine.
+// is not usable; construct engines with NewEngine or NewShardedEngine.
 type Engine struct {
 	now    time.Duration
 	seq    uint64
 	events eventQueue
 	rng    *rand.Rand
+	seed   int64
 	// free recycles popped events: every scheduled callback would otherwise
 	// heap-allocate one *event, and large experiments schedule millions.
 	// Events are strictly owned by the engine (never escape to callers), so
 	// a popped event can be reused as soon as its callback is extracted.
 	free []*event
+
+	// Sharded-mode plumbing; see shard.go. shards is non-empty only on a
+	// sharded root; root points back from a shard member to its root.
+	shards    []*Engine
+	root      *Engine
+	shardIdx  int
+	lookahead time.Duration
+	barriers  []func()
+	staging   staging
+	workers   workerPool
 }
 
-// NewEngine returns an engine whose clock starts at zero and whose random
-// source is seeded with seed, making runs reproducible.
+// NewEngine returns a serial engine whose clock starts at zero and whose
+// random source is seeded with seed, making runs reproducible.
 func NewEngine(seed int64) *Engine {
 	return NewEngineWithQueue(seed, QueueBucket)
 }
@@ -66,7 +121,7 @@ func NewEngine(seed int64) *Engine {
 // two stores execute identical traces in identical order (asserted by the
 // queue equivalence tests), differing only in cost.
 func NewEngineWithQueue(seed int64, kind QueueKind) *Engine {
-	e := &Engine{rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
 	switch kind {
 	case QueueHeap:
 		e.events = &heapQueue{}
@@ -79,7 +134,14 @@ func NewEngineWithQueue(seed int64, kind QueueKind) *Engine {
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Rand returns the engine's deterministic random source.
+// Seed returns the seed the engine's random source was constructed with.
+// Components that need order-independent randomness under sharding (e.g. the
+// network's per-message drop draws) derive their own hash streams from it.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rand returns the engine's deterministic random source. On a sharded root
+// it must only be drawn from global or exclusive context (between runs, or
+// inside AtGlobal callbacks), so the draw order stays shard-count-invariant.
 func (e *Engine) Rand() *rand.Rand {
 	e.mustInit()
 	return e.rng
@@ -87,21 +149,30 @@ func (e *Engine) Rand() *rand.Rand {
 
 type event struct {
 	at  time.Duration
+	key uint64
 	seq uint64
 	fn  func()
 }
 
+// before is the engine's total event order: timestamp, then key band/payload,
+// then scheduling order. seq values are only comparable within one engine,
+// which the key bands guarantee is the only place they are compared.
+func (a *event) before(b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.seq < b.seq
+}
+
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].before(h[j]) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(*event)) }
 func (h *eventHeap) Pop() (popped any) {
 	old := *h
 	n := len(old)
@@ -123,6 +194,12 @@ func (q *heapQueue) pop() *event {
 	}
 	return heap.Pop(&q.h).(*event)
 }
+func (q *heapQueue) front() *event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
 func (q *heapQueue) nextAt() (time.Duration, bool) {
 	if len(q.h) == 0 {
 		return 0, false
@@ -139,27 +216,92 @@ func (e *Engine) mustInit() {
 	}
 }
 
-// At schedules fn to run at absolute virtual time t. Times in the past run
-// at the current instant (they are clamped to Now).
-func (e *Engine) At(t time.Duration, fn func()) {
-	e.mustInit()
+// push schedules fn with an explicit key, clamping past times to Now.
+func (e *Engine) push(t time.Duration, key uint64, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	e.events.push(e.newEvent(t, fn))
+	e.events.push(e.newEvent(t, key, fn))
+}
+
+// At schedules fn to run at absolute virtual time t. Times in the past run
+// at the current instant (they are clamped to Now).
+//
+// On a sharded root At panics: work on the root must declare its scheduling
+// context (AtGlobal for drivers, AtKeyed for domain-keyed completions) so
+// that same-instant ordering does not depend on the shard count.
+func (e *Engine) At(t time.Duration, fn func()) {
+	e.mustInit()
+	if len(e.shards) > 0 {
+		panic("sim: At on a sharded root engine; use AtGlobal/AfterGlobal/EveryGlobal (drivers) or AtKeyed (keyed completions)")
+	}
+	e.push(t, keyLocal, fn)
+}
+
+// AtDelivery schedules a network-delivery event (key band 0) whose
+// same-instant order is decided by key alone, making delivery order
+// independent of both the scheduling order and the shard layout. key must
+// fit in 62 bits; simnet derives it from the traffic (destination, or
+// source and send index).
+func (e *Engine) AtDelivery(t time.Duration, key uint64, fn func()) {
+	e.mustInit()
+	e.push(t, keyDelivery|(key&keyPayloadMax), fn)
+}
+
+// AtGlobal schedules an experiment-driver event: fault injections, samplers,
+// workload refreshes — anything that observes or mutates cross-node state.
+// At any instant, global events run after all node-level work, in both the
+// serial and the sharded engine; that shared rule is what keeps the two
+// engines' event orders identical. On a sharded root the event is staged
+// (safe to call from shard context) and merged at the next barrier.
+func (e *Engine) AtGlobal(t time.Duration, fn func()) {
+	e.mustInit()
+	r := e.Root()
+	if len(r.shards) > 0 {
+		r.staging.add(t, keyGlobal, fn)
+		return
+	}
+	r.push(t, keyGlobal, fn)
+}
+
+// AfterGlobal schedules a global event delay after the root clock. It must
+// be called from global or exclusive context (the root clock is stale inside
+// a shard's window).
+func (e *Engine) AfterGlobal(delay time.Duration, fn func()) {
+	r := e.Root()
+	r.mustInit()
+	e.AtGlobal(r.now+delay, fn)
+}
+
+// AtKeyed schedules a domain-keyed event (key band 3) on the root engine:
+// same-instant keyed events run after all node and global work, ordered by
+// the caller's key, so the execution order is identical however many shards
+// staged them. The canonical user is migration completion, keyed by VM id.
+//
+// In sharded mode the event's timestamp must lie at or beyond the end of the
+// current window (callers schedule completions at least one lookahead ahead;
+// in practice migration durations are orders of magnitude larger).
+func (e *Engine) AtKeyed(t time.Duration, key uint64, fn func()) {
+	e.mustInit()
+	r := e.Root()
+	if len(r.shards) > 0 {
+		r.staging.add(t, keyKeyed|(key&keyPayloadMax), fn)
+		return
+	}
+	r.push(t, keyKeyed|(key&keyPayloadMax), fn)
 }
 
 // newEvent takes an event from the free list, or allocates when the list is
 // empty. The free list is bounded by the peak number of pending events.
-func (e *Engine) newEvent(at time.Duration, fn func()) *event {
+func (e *Engine) newEvent(at time.Duration, key uint64, fn func()) *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free = e.free[:n-1]
-		ev.at, ev.seq, ev.fn = at, e.seq, fn
+		ev.at, ev.key, ev.seq, ev.fn = at, key, e.seq, fn
 		return ev
 	}
-	return &event{at: at, seq: e.seq, fn: fn}
+	return &event{at: at, key: key, seq: e.seq, fn: fn}
 }
 
 // After schedules fn to run delay after the current virtual time. Negative
@@ -178,9 +320,7 @@ type Ticker struct {
 // within the tick callback.
 func (t *Ticker) Stop() { t.stopped = true }
 
-// Every schedules fn to run every interval, with the first invocation after
-// one full interval. It panics if interval is not positive.
-func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+func (e *Engine) every(interval time.Duration, fn func(), schedule func(time.Duration, func())) *Ticker {
 	if interval <= 0 {
 		panic("sim: Every with non-positive interval")
 	}
@@ -192,16 +332,45 @@ func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
 		}
 		fn()
 		if !t.stopped {
-			e.After(interval, tick)
+			schedule(interval, tick)
 		}
 	}
-	e.After(interval, tick)
+	schedule(interval, tick)
 	return t
 }
 
+// Every schedules fn to run every interval, with the first invocation after
+// one full interval. It panics if interval is not positive.
+func (e *Engine) Every(interval time.Duration, fn func()) *Ticker {
+	return e.every(interval, fn, e.After)
+}
+
+// EveryGlobal is Every in the global band: the ticker's callbacks run after
+// all same-instant node work. Experiment samplers use it so their
+// observations are taken at identical points in both engine modes.
+func (e *Engine) EveryGlobal(interval time.Duration, fn func()) *Ticker {
+	return e.every(interval, fn, e.AfterGlobal)
+}
+
+// runEvent advances the clock to ev.at and executes it, recycling the event
+// first (it is fully consumed, and fn may itself schedule and reuse it).
+func (e *Engine) runEvent(ev *event) {
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.free = append(e.free, ev)
+	fn()
+}
+
 // Step executes the single earliest pending event, advancing the clock to
-// its timestamp. It reports whether an event was executed.
+// its timestamp. It reports whether an event was executed. On a sharded root
+// it pops the globally earliest event across all shards and runs it
+// exclusively (no worker goroutines), which is how placement queries are
+// driven to resolution.
 func (e *Engine) Step() bool {
+	if len(e.shards) > 0 {
+		return e.shardedStep()
+	}
 	if e.events == nil {
 		return false
 	}
@@ -209,19 +378,17 @@ func (e *Engine) Step() bool {
 	if ev == nil {
 		return false
 	}
-	e.now = ev.at
-	fn := ev.fn
-	// Recycle before running: the event is fully consumed, and fn may itself
-	// schedule (and immediately reuse) it.
-	ev.fn = nil
-	e.free = append(e.free, ev)
-	fn()
+	e.runEvent(ev)
 	return true
 }
 
 // Run executes events until none remain. Periodic tickers must be stopped
 // for Run to terminate.
 func (e *Engine) Run() {
+	if len(e.shards) > 0 {
+		e.runWindows(0, true)
+		return
+	}
 	for e.Step() {
 	}
 }
@@ -230,6 +397,10 @@ func (e *Engine) Run() {
 // advances the clock to exactly the deadline. Events scheduled later remain
 // pending.
 func (e *Engine) RunUntil(deadline time.Duration) {
+	if len(e.shards) > 0 {
+		e.runWindows(deadline, false)
+		return
+	}
 	for e.events != nil {
 		at, ok := e.events.nextAt()
 		if !ok || at > deadline {
@@ -245,10 +416,18 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 // RunFor executes events for d of virtual time from the current instant.
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now + d) }
 
-// Pending returns the number of events waiting to run.
+// Pending returns the number of events waiting to run, including staged
+// cross-shard events not yet merged.
 func (e *Engine) Pending() int {
 	if e.events == nil {
 		return 0
 	}
-	return e.events.len()
+	n := e.events.len()
+	for _, s := range e.shards {
+		n += s.events.len()
+	}
+	if len(e.shards) > 0 {
+		n += e.staging.len()
+	}
+	return n
 }

@@ -1,0 +1,152 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"vbundle/internal/sim"
+)
+
+// shardedTraceResult is everything observable about one trace run: each
+// node's delivery sequence (timestamp, sender, payload — in delivery order)
+// and the final traffic counters.
+type shardedTraceResult struct {
+	seen     [][]string
+	counters []Counters
+}
+
+// runShardedTrace drives one network through a pseudo-random trace of send
+// bursts, liveness flips, and a randomized fault schedule (link-loss windows
+// plus node crash/restart events). shards == 0 runs the serial reference
+// engine; shards >= 1 runs the conservative parallel engine. The trace is
+// constructed identically for every mode: sends are injected as node-local
+// events on the sending node's own engine, liveness flips and the fault
+// schedule go through the global band, so the observable outcome must be
+// bit-identical at any shard count.
+func runShardedTrace(seed int64, shards int) shardedTraceResult {
+	const size = 12
+	rng := rand.New(rand.NewSource(seed))
+	var eng *sim.Engine
+	if shards > 0 {
+		eng = sim.NewShardedEngine(99, shards)
+		eng.SetLookahead(10 * time.Microsecond)
+	} else {
+		eng = sim.NewEngine(99)
+	}
+	latency := func(a, b Addr) time.Duration {
+		return time.Duration((int(a)*7+int(b)*13)%23+1) * 10 * time.Microsecond
+	}
+	net := New(eng, size, latency, WithDropRate(0.2))
+	res := shardedTraceResult{seen: make([][]string, size)}
+	for i := 0; i < size; i++ {
+		dst := Addr(i)
+		net.Attach(dst, HandlerFunc(func(from Addr, msg Message) {
+			res.seen[dst] = append(res.seen[dst],
+				fmt.Sprintf("%v:%d:%v", net.EngineFor(dst).Now(), from, msg))
+		}))
+	}
+	// Randomized fault schedule: a couple of link-loss windows (including a
+	// wildcard one) and node crashes, some with restarts.
+	var fs FaultSchedule
+	for i := 0; i < 3; i++ {
+		from, to := Addr(rng.Intn(size)), Nowhere
+		if rng.Intn(2) == 0 {
+			from, to = Nowhere, Addr(rng.Intn(size))
+		}
+		start := time.Duration(rng.Intn(2000)) * 10 * time.Microsecond
+		fs.Links = append(fs.Links, LinkFault{
+			From: from, To: to,
+			Start: start, End: start + time.Duration(rng.Intn(800)+100)*10*time.Microsecond,
+			Rate: 0.5 + 0.5*rng.Float64(),
+		})
+	}
+	for i := 0; i < 3; i++ {
+		f := NodeFault{Addr: Addr(rng.Intn(size)),
+			At: time.Duration(rng.Intn(2500)) * 10 * time.Microsecond}
+		if rng.Intn(2) == 0 {
+			f.RestartAfter = time.Duration(rng.Intn(500)+1) * 10 * time.Microsecond
+		}
+		fs.Nodes = append(fs.Nodes, f)
+	}
+	net.ScheduleFaults(fs)
+	for op := 0; op < 400; op++ {
+		at := time.Duration(rng.Intn(3000)) * 10 * time.Microsecond
+		switch rng.Intn(8) {
+		case 0: // liveness flip in the global band (cross-node state)
+			target := Addr(rng.Intn(size))
+			if rng.Intn(2) == 0 {
+				eng.AtGlobal(at, func() { net.Kill(target) })
+			} else {
+				eng.AtGlobal(at, func() { net.Revive(target) })
+			}
+		default: // burst of sends from one source at one instant
+			src := Addr(rng.Intn(size))
+			k := rng.Intn(4) + 1
+			dsts := make([]Addr, k)
+			for i := range dsts {
+				dsts[i] = Addr(rng.Intn(size))
+			}
+			tag := op
+			net.EngineFor(src).At(at, func() {
+				for i, d := range dsts {
+					net.Send(src, d, fmt.Sprintf("m%d.%d", tag, i))
+				}
+			})
+		}
+	}
+	eng.Run()
+	res.counters = net.AllCounters()
+	return res
+}
+
+// TestShardedDeliveryEquivalence replays identical randomized traces — send
+// bursts, 20% base loss, link-fault windows, node crashes and restarts —
+// through the serial engine and the sharded engine at K ∈ {1, 2, 4, 8}.
+// Every node's delivery sequence (order, timestamps, senders) and every
+// traffic counter must be identical at every shard count.
+func TestShardedDeliveryEquivalence(t *testing.T) {
+	seeds := 12
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		ref := runShardedTrace(seed, 0)
+		for _, k := range []int{1, 2, 4, 8} {
+			got := runShardedTrace(seed, k)
+			for node := range ref.seen {
+				r, g := ref.seen[node], got.seen[node]
+				if len(r) != len(g) {
+					t.Fatalf("seed %d shards %d node %d: serial delivered %d msgs, sharded %d",
+						seed, k, node, len(r), len(g))
+				}
+				for i := range r {
+					if r[i] != g[i] {
+						t.Fatalf("seed %d shards %d node %d entry %d: serial %q, sharded %q",
+							seed, k, node, i, r[i], g[i])
+					}
+				}
+			}
+			for node := range ref.counters {
+				if ref.counters[node] != got.counters[node] {
+					t.Fatalf("seed %d shards %d node %d: serial counters %+v, sharded %+v",
+						seed, k, node, ref.counters[node], got.counters[node])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedPerMessagePanics pins the guard: per-message delivery has no
+// cross-shard merge shape, so constructing it over a sharded engine must
+// panic rather than silently lose determinism.
+func TestShardedPerMessagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(sharded, WithPerMessageDelivery) did not panic")
+		}
+	}()
+	eng := sim.NewShardedEngine(1, 2)
+	New(eng, 4, flatLatency(time.Millisecond), WithPerMessageDelivery())
+}

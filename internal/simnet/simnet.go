@@ -11,6 +11,7 @@ package simnet
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"vbundle/internal/sim"
@@ -126,15 +127,34 @@ type Network struct {
 	dropRate float64
 
 	// perMessage restores the original one-event-per-message delivery;
-	// retained for the batching equivalence tests and benchmarks.
+	// retained for the batching equivalence tests and benchmarks. It is
+	// incompatible with a sharded engine (New panics): batching is what
+	// gives cross-shard merges a one-event-per-(destination, instant) shape.
 	perMessage bool
 	inboxes    []inbox
-	// flush caches one pre-bound flush closure per destination, created at
-	// Attach; steady-state sends allocate nothing.
+	// flush holds one pre-bound flush closure per destination, created at
+	// New; steady-state sends allocate nothing, and under sharding the
+	// closures already exist before any cross-shard merge can need them.
 	flush []func()
-	// scratch is the extraction buffer shared by all flushes (the engine is
-	// single-goroutine and a flush fully consumes it before returning).
-	scratch []pending
+	// scratches holds one extraction buffer per shard (index 0 on a serial
+	// engine): a flush fully consumes its shard's buffer before returning.
+	scratches [][]pending
+
+	// sendSeq numbers each node's sends monotonically (never reset, unlike
+	// the counters). The (source, send index) pair keys delivery order and
+	// the drop draws, making both independent of the shard layout.
+	sendSeq []uint64
+	// dropSalt seeds the per-message drop hash, derived from the engine seed.
+	dropSalt uint64
+
+	// Sharded-engine plumbing (nil on a serial engine): each address is
+	// pinned to the shard engine of a deterministic hash of the address.
+	// Same-shard traffic is delivered exactly like the serial path;
+	// cross-shard sends park in the sender shard's outbox and are merged
+	// into destination inboxes at every window barrier.
+	engines  []*sim.Engine
+	shardID  []int32
+	outboxes [][]outMsg
 
 	// onLiveness observers are told about every alive↔dead transition;
 	// pastry.Ring maintains its live-node bitmap through this hook.
@@ -143,6 +163,13 @@ type Network struct {
 	// linkFaults holds the scheduled loss windows; Send consults them only
 	// while the slice is non-empty, so fault-free runs pay nothing.
 	linkFaults []LinkFault
+}
+
+// outMsg is one cross-shard message parked in its sender shard's outbox
+// until the next window barrier.
+type outMsg struct {
+	dst Addr
+	p   pending
 }
 
 // ScheduleFaults registers the schedule: loss windows become active link
@@ -154,18 +181,23 @@ func (n *Network) ScheduleFaults(s FaultSchedule) {
 	for _, f := range s.Nodes {
 		addr := f.Addr
 		n.check(addr)
-		n.engine.At(f.At, func() { n.Kill(addr) })
+		// Kills and revives mutate cross-node state (liveness is read by
+		// every sender), so they run in the global band: after all node work
+		// at their instant, with every shard idle.
+		n.engine.AtGlobal(f.At, func() { n.Kill(addr) })
 		if f.RestartAfter > 0 {
-			n.engine.At(f.At+f.RestartAfter, func() { n.Revive(addr) })
+			n.engine.AtGlobal(f.At+f.RestartAfter, func() { n.Revive(addr) })
 		}
 	}
 }
 
 // dropProbability folds the base drop rate with every active link fault for
-// a src→dst send right now, treating the loss sources as independent.
+// a src→dst send right now, treating the loss sources as independent. "Now"
+// is the sender's clock: under sharding that is the sender shard's clock,
+// which during a window is exactly the sending event's timestamp.
 func (n *Network) dropProbability(src, dst Addr) float64 {
 	keep := 1 - n.dropRate
-	now := n.engine.Now()
+	now := n.engineFor(src).Now()
 	for _, f := range n.linkFaults {
 		if f.matches(src, dst, now) {
 			keep *= 1 - f.Rate
@@ -195,9 +227,13 @@ type slot struct {
 	alive   bool
 }
 
-// pending is one undelivered message parked in a destination's inbox.
+// pending is one undelivered message parked in a destination's inbox. key is
+// the message's delivery key — (source, send index) packed into the band-0
+// key layout — which orders the batch at flush time identically in serial and
+// sharded runs.
 type pending struct {
 	at   time.Duration
+	key  uint64
 	from Addr
 	size int
 	msg  Message
@@ -289,11 +325,98 @@ func New(engine *sim.Engine, size int, latency LatencyFunc, opts ...Option) *Net
 		counters: make([]Counters, size),
 		inboxes:  make([]inbox, size),
 		flush:    make([]func(), size),
+		sendSeq:  make([]uint64, size),
+		dropSalt: splitmix64(uint64(engine.Seed())),
 	}
 	for _, o := range opts {
 		o(n)
 	}
+	k := engine.ShardCount()
+	if engine.Sharded() {
+		if n.perMessage {
+			panic("simnet: per-message delivery is incompatible with a sharded engine (batching gives cross-shard merges their one-event-per-(destination, instant) shape)")
+		}
+		n.engines = make([]*sim.Engine, size)
+		n.shardID = make([]int32, size)
+		for a := 0; a < size; a++ {
+			sh := int32(splitmix64(uint64(a)) % uint64(k))
+			n.shardID[a] = sh
+			n.engines[a] = engine.Shard(int(sh))
+		}
+		n.outboxes = make([][]outMsg, k)
+		engine.OnBarrier(n.mergeOutboxes)
+	}
+	n.scratches = make([][]pending, k)
+	for d := range n.flush {
+		d := Addr(d)
+		n.flush[d] = func() { n.flushInbox(d) }
+	}
 	return n
+}
+
+// splitmix64 is the SplitMix64 finalizer: a cheap, well-mixed 64-bit hash
+// used for the shard assignment and the per-message drop draws.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// deliveryKey packs (source, send index) into the band-0 key layout: the
+// source address in the high bits, its send counter below. Delivery order by
+// key is therefore send order per source, with concurrent sources interleaved
+// the same way regardless of engine mode or shard layout.
+func deliveryKey(src Addr, idx uint64) uint64 {
+	return uint64(src)<<38 | idx
+}
+
+// dropDraw returns the pseudo-uniform draw in [0,1) deciding the fate of the
+// idx-th send of src. Hashing (salt, source, send index) instead of consuming
+// the engine rng keeps the draw — and hence the surviving message set —
+// independent of event execution order across engine modes.
+func (n *Network) dropDraw(src Addr, idx uint64) float64 {
+	h := splitmix64(n.dropSalt ^ deliveryKey(src, idx))
+	return float64(h>>11) / (1 << 53)
+}
+
+// engineFor returns the engine that owns addr: its shard engine under a
+// sharded root, the single engine otherwise.
+func (n *Network) engineFor(a Addr) *sim.Engine {
+	if n.engines == nil {
+		return n.engine
+	}
+	return n.engines[a]
+}
+
+// EngineFor returns the engine that owns addr. Node-local scheduling (timers,
+// probes, maintenance) must go through the owning engine so it runs on the
+// node's shard; EngineFor is how nodes obtain it.
+func (n *Network) EngineFor(a Addr) *sim.Engine {
+	n.check(a)
+	return n.engineFor(a)
+}
+
+// mergeOutboxes moves every parked cross-shard message into its destination's
+// inbox, scheduling the batch flush exactly as a same-shard send would. It
+// runs at window barriers on the root goroutine with all shards idle. Merge
+// order across outboxes is immaterial: the set of (destination, instant)
+// flush events does not depend on it, and each batch is sorted by delivery
+// key at flush time.
+func (n *Network) mergeOutboxes() {
+	for sh := range n.outboxes {
+		out := n.outboxes[sh]
+		for i := range out {
+			m := &out[i]
+			box := &n.inboxes[m.dst]
+			if !box.hasDue(m.p.at) {
+				n.engineFor(m.dst).AtDelivery(m.p.at, uint64(m.dst), n.flush[m.dst])
+			}
+			box.push(m.p)
+			out[i] = outMsg{}
+		}
+		n.outboxes[sh] = out[:0]
+	}
 }
 
 // Engine returns the event engine driving the network.
@@ -354,16 +477,19 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 	} else {
 		return
 	}
+	idx := n.sendSeq[src]
+	n.sendSeq[src]++
 	drop := n.dropRate
 	if len(n.linkFaults) > 0 {
 		drop = n.dropProbability(src, dst)
 	}
-	if drop > 0 && n.engine.Rand().Float64() < drop {
+	if drop > 0 && n.dropDraw(src, idx) < drop {
 		return
 	}
 	delay := n.latency(src, dst)
+	key := deliveryKey(src, idx)
 	if n.perMessage {
-		n.engine.After(delay, func() {
+		n.engine.AtDelivery(n.engine.Now()+delay, key, func() {
 			s := n.nodes[dst]
 			if !s.alive {
 				return
@@ -374,26 +500,46 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 		})
 		return
 	}
-	at := n.engine.Now() + delay
+	at := n.engineFor(src).Now() + delay
+	if n.engines != nil && n.shardID[src] != n.shardID[dst] {
+		// Cross-shard: park in the sender shard's outbox. The latency is at
+		// least the engine's lookahead, so the message lands beyond the
+		// current window and the barrier merge schedules it in time.
+		sh := n.shardID[src]
+		n.outboxes[sh] = append(n.outboxes[sh], outMsg{dst: dst,
+			p: pending{at: at, key: key, from: src, size: size, msg: msg}})
+		return
+	}
 	box := &n.inboxes[dst]
 	if !box.hasDue(at) {
 		// First message bound for dst at this instant: schedule its flush.
 		// Later same-(dst, at) sends just park in the inbox for free.
-		if n.flush[dst] == nil {
-			d := dst
-			n.flush[d] = func() { n.flushInbox(d) }
-		}
-		n.engine.At(at, n.flush[dst])
+		n.engineFor(dst).AtDelivery(at, uint64(dst), n.flush[dst])
 	}
-	box.push(pending{at: at, from: src, size: size, msg: msg})
+	box.push(pending{at: at, key: key, from: src, size: size, msg: msg})
 }
 
-// flushInbox delivers every message due for dst at the current virtual time.
-// Liveness is re-checked before each message, so a handler that kills dst
-// mid-batch stops the remainder of the batch — just as it would stop the
-// remaining per-message events at the same timestamp.
+// flushInbox delivers every message due for dst at the current virtual time,
+// in delivery-key order — per-source send order, sources interleaved by
+// (source, send index), identical in serial and sharded runs and equal to the
+// order the per-message scheme executes. Liveness is re-checked before each
+// message, so a handler that kills dst mid-batch stops the remainder of the
+// batch — just as it would stop the remaining per-message events at the same
+// timestamp.
 func (n *Network) flushInbox(dst Addr) {
-	batch := n.inboxes[dst].extract(n.engine.Now(), n.scratch[:0])
+	sh := 0
+	if n.shardID != nil {
+		sh = int(n.shardID[dst])
+	}
+	batch := n.inboxes[dst].extract(n.engineFor(dst).Now(), n.scratches[sh][:0])
+	if len(batch) > 1 {
+		slices.SortFunc(batch, func(a, b pending) int {
+			if a.key < b.key {
+				return -1
+			}
+			return 1
+		})
+	}
 	for i := range batch {
 		p := &batch[i]
 		s := n.nodes[dst]
@@ -404,7 +550,7 @@ func (n *Network) flushInbox(dst Addr) {
 		}
 		*p = pending{} // release message references
 	}
-	n.scratch = batch[:0]
+	n.scratches[sh] = batch[:0]
 }
 
 func wireSize(msg Message) int {

@@ -53,7 +53,7 @@ func (d *Driver) Start(interval time.Duration) {
 		return
 	}
 	d.Refresh()
-	d.ticker = d.engine.Every(interval, d.Refresh)
+	d.ticker = d.engine.EveryGlobal(interval, d.Refresh)
 }
 
 // Stop halts periodic refreshes.

@@ -25,11 +25,28 @@ go test -race -run 'Resilience|NoLeak|LeaseExpiry|Orphan|Anycast|Fault|Dead|Deat
 	./internal/rebalance/ ./internal/scribe/ ./internal/simnet/ \
 	./internal/migration/ ./internal/experiments/
 
+# The sharded engine and shard-aware delivery under the race detector,
+# explicitly and un-shortened: these are the packages where a data race
+# would also be a determinism bug.
+echo "== shard packages -race"
+go test -race ./internal/sim/ ./internal/simnet/
+
 # One small fault sweep end to end: vb-faults exits nonzero if any run
 # leaks a reservation or a drop rate fails to parse.
 echo "== vb-faults smoke"
 go run ./cmd/vb-faults -servers 64 -duration 30 -lease 4 \
 	-drop-rates 0,0.02 -seed 5 > /dev/null
+
+# Determinism gate for the parallel single-run engine: the same Fig. 14
+# experiment at -shards 1 and -shards 4 must print byte-identical metrics.
+# Any divergence is a lost event, a reordered merge, or a stray rand draw —
+# all fail here before the (slower) equivalence property tests would.
+echo "== sharded determinism diff (Fig 14, 512 servers)"
+go build -o /tmp/vb-overhead-ci ./cmd/vb-overhead
+/tmp/vb-overhead-ci -fig 14 -max-servers 512 -shards 1 -workers 1 > /tmp/vb-shards1.txt
+/tmp/vb-overhead-ci -fig 14 -max-servers 512 -shards 4 -workers 1 > /tmp/vb-shards4.txt
+diff /tmp/vb-shards1.txt /tmp/vb-shards4.txt
+rm -f /tmp/vb-overhead-ci /tmp/vb-shards1.txt /tmp/vb-shards4.txt
 
 # One iteration of every benchmark (a few seconds): catches benchmarks that
 # panic or fail to build without measuring anything. -short skips the
