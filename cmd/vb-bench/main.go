@@ -155,6 +155,15 @@ func main() {
 	if len(shapeDiffs) > 0 {
 		fmt.Printf("warning: machine shape differs from %s (%s)\n", *compare, strings.Join(shapeDiffs, ", "))
 	}
+	// Coverage changes are informational: Compare only gates shared
+	// benchmarks, so this is where a vanished benchmark becomes visible.
+	added, removed := benchparse.Diff(baseline.Results, results)
+	if len(added) > 0 {
+		fmt.Printf("%d benchmark(s) not in %s: %s\n", len(added), *compare, strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		fmt.Printf("%d benchmark(s) no longer measured: %s\n", len(removed), strings.Join(removed, ", "))
+	}
 	regs := benchparse.Compare(baseline.Results, results, *tolerance)
 	if len(regs) == 0 {
 		fmt.Printf("no regressions beyond %.0f%% versus %s (%d shared benchmarks checked)\n",

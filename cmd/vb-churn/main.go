@@ -19,6 +19,7 @@ import (
 
 	"vbundle/internal/core"
 	"vbundle/internal/experiments"
+	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
 )
 
@@ -39,6 +40,8 @@ func main() {
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
+	var oflags obs.Flags
+	oflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -60,6 +63,7 @@ func main() {
 		Engine:            kind,
 		Seed:              *seed,
 		Shards:            *shards,
+		Obs:               oflags.Config(),
 	}
 	seeds := make([]int64, *trials)
 	for i := range seeds {
@@ -85,5 +89,9 @@ func main() {
 		if err := experiments.WriteJSON(*jsonOut, payload); err != nil {
 			log.Fatal(err)
 		}
+	}
+	// The written trace is the last trial's.
+	if err := oflags.Write(outs[len(outs)-1].Trace); err != nil {
+		log.Fatal(err)
 	}
 }

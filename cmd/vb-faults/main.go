@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"vbundle/internal/experiments"
+	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
 )
 
@@ -44,6 +45,8 @@ func main() {
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
+	var oflags obs.Flags
+	oflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -68,6 +71,7 @@ func main() {
 			KillAt:        time.Duration(*killAt) * time.Minute,
 			Seed:          *seed,
 			Shards:        *shards,
+			Obs:           oflags.Config(),
 		}
 	}
 	outs, err := experiments.RunResilienceSweep(variants, *workers)
@@ -84,6 +88,11 @@ func main() {
 	leaked := 0
 	for _, out := range outs {
 		leaked += out.Leaked
+	}
+	// The written trace is the last sweep variant's (the highest loss rate,
+	// where recoveries are most interesting).
+	if err := oflags.Write(outs[len(outs)-1].Trace); err != nil {
+		log.Fatal(err)
 	}
 	if leaked != 0 {
 		log.Fatalf("%d reservations leaked across the sweep", leaked)

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"vbundle/internal/experiments"
+	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
 	"vbundle/internal/report"
 )
@@ -35,6 +36,8 @@ func main() {
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
+	var oflags obs.Flags
+	oflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -42,6 +45,7 @@ func main() {
 	}
 	defer stopProf()
 	charts := map[string]*report.Chart{}
+	var lastTrace *obs.Trace
 
 	var sizes []int
 	for n := 16; n <= *maxN; n *= 2 {
@@ -60,11 +64,14 @@ func main() {
 		out.Report(os.Stdout)
 	}
 	if *fig == 0 || *fig == 14 {
-		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{Sizes: sizes, Seed: *seed, Parallelism: *workers, Shards: *shards})
+		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{Sizes: sizes, Seed: *seed, Parallelism: *workers, Shards: *shards, Obs: oflags.Config()})
 		if err != nil {
 			log.Fatal(err)
 		}
 		out.Report(os.Stdout)
+		if out.Trace != nil {
+			lastTrace = out.Trace
+		}
 		for stem, chart := range out.Charts() {
 			charts[stem] = chart
 		}
@@ -79,11 +86,14 @@ func main() {
 		if len(big) == 0 {
 			big = sizes
 		}
-		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{Sizes: big, Seed: *seed, Parallelism: *workers, Shards: *shards})
+		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{Sizes: big, Seed: *seed, Parallelism: *workers, Shards: *shards, Obs: oflags.Config()})
 		if err != nil {
 			log.Fatal(err)
 		}
 		out.Report(os.Stdout)
+		if out.Trace != nil {
+			lastTrace = out.Trace
+		}
 		for stem, chart := range out.Charts() {
 			charts[stem] = chart
 		}
@@ -93,6 +103,9 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote SVG figures to %s\n", *svgDir)
+	}
+	if err := oflags.Write(lastTrace); err != nil {
+		log.Fatal(err)
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"vbundle/internal/core"
 	"vbundle/internal/experiments"
+	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
 )
 
@@ -41,6 +42,8 @@ func main() {
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
+	var oflags obs.Flags
+	oflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -66,6 +69,7 @@ func main() {
 		Engine:                kind,
 		Seed:                  *seed,
 		Shards:                *shards,
+		Obs:                   oflags.Config(),
 	}
 	seeds := make([]int64, *trials)
 	for i := range seeds {
@@ -100,5 +104,9 @@ func main() {
 		for _, p := range last.Snapshot.Points() {
 			fmt.Printf("%g %g %s\n", p.X, p.Y, p.Series)
 		}
+	}
+	// The written trace is the last trial's.
+	if err := oflags.Write(out.Trace); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"vbundle/internal/experiments"
+	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
 )
 
@@ -34,6 +35,8 @@ func main() {
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
+	var oflags obs.Flags
+	oflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -46,6 +49,7 @@ func main() {
 		VMsPerHost: *perHost,
 		Seed:       *seed,
 		Shards:     *shards,
+		Obs:        oflags.Config(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -71,5 +75,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote SVG figures to %s\n", *svgDir)
+	}
+	if err := oflags.Write(out.Trace); err != nil {
+		log.Fatal(err)
 	}
 }

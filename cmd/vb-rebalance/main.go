@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"vbundle/internal/experiments"
+	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
 	"vbundle/internal/report"
 )
@@ -38,6 +39,8 @@ func main() {
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
+	var oflags obs.Flags
+	oflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -45,9 +48,15 @@ func main() {
 	}
 	defer stopProf()
 	charts := map[string]*report.Chart{}
+	// Sweeps run several variants; the trace written at exit is the last
+	// variant's (pass -threshold to trace a single Fig. 9 run).
+	var lastTrace *obs.Trace
 	collect := func(suffix string, out *experiments.RebalanceOutcome) {
 		for stem, chart := range out.Charts() {
 			charts[stem+suffix] = chart
+		}
+		if out.Trace != nil {
+			lastTrace = out.Trace
 		}
 	}
 
@@ -58,6 +67,7 @@ func main() {
 		Duration:     time.Duration(*duration) * time.Minute,
 		Seed:         *seed,
 		Shards:       *shards,
+		Obs:          oflags.Config(),
 	}
 
 	switch *fig {
@@ -115,5 +125,8 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote SVG figures to %s\n", *svgDir)
+	}
+	if err := oflags.Write(lastTrace); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"vbundle/internal/costbenefit"
 	"vbundle/internal/experiments"
 	"vbundle/internal/metrics"
+	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
 	"vbundle/internal/rebalance"
 	"vbundle/internal/workload"
@@ -47,6 +48,8 @@ func main() {
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
+	var oflags obs.Flags
+	oflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -68,6 +71,7 @@ func main() {
 	if *costBenefit {
 		rebalCfg.CostBenefit = &costbenefit.Config{}
 	}
+	trace := oflags.Config().New()
 	vb, err := core.New(core.Options{
 		Topology:    experiments.ScaledSpec(*servers),
 		Seed:        *seed,
@@ -75,6 +79,7 @@ func main() {
 		Engine:      kind,
 		Rebalance:   rebalCfg,
 		MessageLoss: *loss,
+		Trace:       trace,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -132,6 +137,9 @@ func main() {
 	fmt.Printf("final: mean util %.3f, SD %.4f, max %.3f, migrations completed %d, queries %d\n",
 		metrics.MeanOf(snap), metrics.StdOf(snap), maxOf(snap),
 		vb.Migration.Stats().Completed, vb.Rebalancer.QueriesSent())
+	if err := oflags.Write(trace); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func maxOf(v []float64) float64 {

@@ -1,0 +1,78 @@
+// Command vb-trace analyzes flight-recorder traces written by the vb-*
+// binaries with -trace. It reconstructs causal chains — which anycast walk
+// discovered the receiver of a migration, which lease protected it, how
+// long each stage took — and summarizes per-subsystem latency, directly
+// from the Chrome trace_event JSON (the same file Perfetto loads).
+//
+// Usage:
+//
+//	vb-trace explain [-vm N] [-max N] trace.json   # causal chain per migration
+//	vb-trace summary trace.json                    # event totals, span latency, counters
+//	vb-trace tail [-n N] trace.json                # last N events (crash-dump view)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vbundle/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vb-trace: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "explain":
+		fs := flag.NewFlagSet("explain", flag.ExitOnError)
+		vm := fs.Int64("vm", -1, "explain only this VM id (-1 = all)")
+		max := fs.Int("max", 10, "migrations to explain at most (0 = unlimited)")
+		fs.Parse(args)
+		ix, _ := load(fs.Args())
+		ix.ExplainMigrations(os.Stdout, *vm, *max)
+	case "summary":
+		fs := flag.NewFlagSet("summary", flag.ExitOnError)
+		fs.Parse(args)
+		ix, counters := load(fs.Args())
+		ix.Summary(os.Stdout, counters)
+	case "tail":
+		fs := flag.NewFlagSet("tail", flag.ExitOnError)
+		n := fs.Int("n", 50, "events to print")
+		fs.Parse(args)
+		ix, _ := load(fs.Args())
+		ix.Tail(os.Stdout, *n)
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Fatalf("unknown subcommand %q (want explain, summary or tail)", cmd)
+	}
+}
+
+func load(args []string) (*obs.Index, map[string]int64) {
+	if len(args) != 1 {
+		log.Fatal("exactly one trace file expected")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	events, counters, err := obs.ReadChrome(f)
+	if err != nil {
+		log.Fatalf("%s: %v", args[0], err)
+	}
+	return obs.NewIndex(events), counters
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vb-trace explain [-vm N] [-max N] trace.json
+  vb-trace summary trace.json
+  vb-trace tail [-n N] trace.json`)
+	os.Exit(2)
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"vbundle/internal/ids"
+	"vbundle/internal/obs"
 	"vbundle/internal/pastry"
 	"vbundle/internal/scribe"
 	"vbundle/internal/simnet"
@@ -162,13 +163,16 @@ type Manager struct {
 	// rootLatencies collects leaf-to-root latencies observed while this
 	// node is a topic root (Fig. 14's raw line).
 	rootLatencies []time.Duration
+
+	// obs is the node's flight-recorder source (nil when tracing is off).
+	obs *obs.Source
 }
 
 type tickerHandle struct{ stop func() }
 
 // New creates the aggregation manager for the given Scribe instance.
 func New(sc *scribe.Scribe, cfg Config) *Manager {
-	return &Manager{sc: sc, cfg: cfg.withDefaults(), topics: make(map[ids.Id]*topicState)}
+	return &Manager{sc: sc, cfg: cfg.withDefaults(), topics: make(map[ids.Id]*topicState), obs: sc.Node().Obs()}
 }
 
 // Scribe returns the underlying Scribe instance.
@@ -364,6 +368,7 @@ func (m *Manager) flush(st *topicState) {
 		return
 	}
 	if m.sc.SendToParent(st.key, &upMsg{Topic: st.key, Values: agg, LeafSentAt: stamp}) {
+		m.obs.Instant(m.now(), obs.KindAggUpdate, obs.NoRef, int64(len(st.children)), int64(len(agg)))
 		st.lastSent, st.sentOnce = agg, true
 		return
 	}

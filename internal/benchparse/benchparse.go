@@ -193,3 +193,29 @@ func Compare(old, cur []Result, tolerance float64) []Regression {
 	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
 	return regs
 }
+
+// Diff reports benchmarks present in only one of the two suites: added is
+// in cur but not old, removed the reverse. Both come back sorted. Compare
+// deliberately skips these (coverage change, not a regression), so a diff
+// report is the only place a silently vanished benchmark shows up.
+func Diff(old, cur []Result) (added, removed []string) {
+	prev := make(map[string]bool, len(old))
+	for _, r := range old {
+		prev[r.Name] = true
+	}
+	next := make(map[string]bool, len(cur))
+	for _, r := range cur {
+		next[r.Name] = true
+		if !prev[r.Name] {
+			added = append(added, r.Name)
+		}
+	}
+	for _, r := range old {
+		if !next[r.Name] {
+			removed = append(removed, r.Name)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}

@@ -82,6 +82,29 @@ func TestCompare(t *testing.T) {
 	}
 }
 
+func TestDiff(t *testing.T) {
+	old := []Result{
+		{Name: "Shared", NsPerOp: 100},
+		{Name: "GoneB", NsPerOp: 100},
+		{Name: "GoneA", NsPerOp: 100},
+	}
+	cur := []Result{
+		{Name: "Shared", NsPerOp: 100},
+		{Name: "NewZ", NsPerOp: 1},
+		{Name: "NewA", NsPerOp: 1},
+	}
+	added, removed := Diff(old, cur)
+	if len(added) != 2 || added[0] != "NewA" || added[1] != "NewZ" {
+		t.Errorf("added = %v, want sorted [NewA NewZ]", added)
+	}
+	if len(removed) != 2 || removed[0] != "GoneA" || removed[1] != "GoneB" {
+		t.Errorf("removed = %v, want sorted [GoneA GoneB]", removed)
+	}
+	if a, r := Diff(old, old); a != nil || r != nil {
+		t.Errorf("identical suites diffed: added=%v removed=%v", a, r)
+	}
+}
+
 func TestCompareWithinTolerance(t *testing.T) {
 	old := []Result{{Name: "A", NsPerOp: 100, AllocsPerOp: 10, HasMem: true}}
 	cur := []Result{{Name: "A", NsPerOp: 109, AllocsPerOp: 11, HasMem: true}}

@@ -21,6 +21,7 @@ import (
 	"vbundle/internal/cluster"
 	"vbundle/internal/metrics"
 	"vbundle/internal/migration"
+	"vbundle/internal/obs"
 	"vbundle/internal/pastry"
 	"vbundle/internal/placement"
 	"vbundle/internal/rebalance"
@@ -95,6 +96,11 @@ type Options struct {
 	// shards. Any K produces bit-identical virtual-time results; K = 1
 	// exercises the windowed machinery on one shard.
 	Shards int
+	// Trace attaches a flight recorder: every subsystem records its
+	// decision points (route hops, anycast walks, lease grants, migrations)
+	// into it. Nil disables recording; the disabled path is a single nil
+	// check per site and simulation results are identical either way.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +159,9 @@ func New(opts Options) (*VBundle, error) {
 	if opts.MessageLoss > 0 {
 		netOpts = append(netOpts, simnet.WithDropRate(opts.MessageLoss))
 	}
+	if opts.Trace != nil {
+		netOpts = append(netOpts, simnet.WithTrace(opts.Trace))
+	}
 	ring := pastry.NewRing(engine, topo, opts.Pastry, pastry.HierarchyAssigner, netOpts...)
 	if opts.ProtocolJoin {
 		done := ring.JoinAll(opts.JoinStagger)
@@ -181,6 +190,9 @@ func New(opts Options) (*VBundle, error) {
 	// Migration start times are read from the source server's clock — its
 	// shard engine under sharding.
 	vb.Migration.SetEngineFor(func(s int) *sim.Engine { return ring.Network().EngineFor(simnet.Addr(s)) })
+	if opts.Trace != nil {
+		vb.Migration.SetTrace(opts.Trace)
+	}
 	aggCfg := aggregation.Config{UpdateInterval: opts.Rebalance.UpdateInterval}
 	for i, node := range ring.Nodes() {
 		vb.Scribes[i] = scribe.New(node)

@@ -8,6 +8,7 @@ import (
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
+	"vbundle/internal/obs"
 	"vbundle/internal/parallel"
 	"vbundle/internal/placement"
 	"vbundle/internal/topology"
@@ -43,6 +44,9 @@ type ChurnParams struct {
 	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
 	// parallel engine); virtual-time results are identical at any setting.
 	Shards int
+	// Obs configures the flight recorder for this run. The zero value
+	// records nothing; recording never changes experiment metrics.
+	Obs obs.Config
 }
 
 func (p ChurnParams) withDefaults() ChurnParams {
@@ -88,21 +92,25 @@ type ChurnOutcome struct {
 	Arrived, Departed, Rejected int
 	// MeanLocality averages the sampled locality over the whole run.
 	MeanLocality float64
+	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
+	Trace *obs.Trace `json:"-"`
 }
 
 // RunChurn executes the churn experiment.
 func RunChurn(p ChurnParams) (*ChurnOutcome, error) {
 	p = p.withDefaults()
+	trace := p.Obs.New()
 	vb, err := core.New(core.Options{
 		Topology: p.Spec,
 		Seed:     p.Seed,
 		Shards:   p.Shards,
 		Engine:   p.Engine,
+		Trace:    trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := &ChurnOutcome{Params: p, Engine: vb.Placer.Name()}
+	out := &ChurnOutcome{Params: p, Engine: vb.Placer.Name(), Trace: trace}
 	rng := vb.Engine.Rand()
 	rsv := cluster.Resources{CPU: 0.5, MemMB: 128, BandwidthMbps: p.ReservationMbps}
 	lim := cluster.Resources{CPU: 2, MemMB: 128, BandwidthMbps: p.ReservationMbps * 2}

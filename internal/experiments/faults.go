@@ -9,6 +9,7 @@ import (
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
 	"vbundle/internal/migration"
+	"vbundle/internal/obs"
 	"vbundle/internal/parallel"
 	"vbundle/internal/rebalance"
 	"vbundle/internal/topology"
@@ -50,6 +51,9 @@ type ResilienceParams struct {
 	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
 	// parallel engine); virtual-time results are identical at any setting.
 	Shards int
+	// Obs configures the flight recorder for this run. The zero value
+	// records nothing; recording never changes experiment metrics.
+	Obs obs.Config
 }
 
 func (p ResilienceParams) withDefaults() ResilienceParams {
@@ -118,6 +122,8 @@ type ResilienceOutcome struct {
 	// FailedDead pair counts migrations aborted against dead endpoints.
 	Migrations, MigrationsCompleted  int
 	FailedDeadDest, FailedDeadSource int
+	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
+	Trace *obs.Trace `json:"-"`
 }
 
 // liveSD is the utilization standard deviation over servers still alive.
@@ -134,10 +140,12 @@ func liveSD(vb *core.VBundle) float64 {
 // RunResilience executes one fault-injection run.
 func RunResilience(p ResilienceParams) (*ResilienceOutcome, error) {
 	p = p.withDefaults()
+	trace := p.Obs.New()
 	vb, err := core.New(core.Options{
 		Topology:    p.Spec,
 		Seed:        p.Seed,
 		Shards:      p.Shards,
+		Trace:       trace,
 		MessageLoss: p.DropRate,
 		Rebalance: rebalance.Config{
 			Threshold:         p.Threshold,
@@ -155,7 +163,7 @@ func RunResilience(p ResilienceParams) (*ResilienceOutcome, error) {
 		return nil, err
 	}
 
-	out := &ResilienceOutcome{Params: p}
+	out := &ResilienceOutcome{Params: p, Trace: trace}
 	out.BeforeSD = liveSD(vb)
 	sample := func() { out.SD.Add(vb.Now(), liveSD(vb)) }
 	sample()

@@ -8,6 +8,7 @@ import (
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
+	"vbundle/internal/obs"
 	"vbundle/internal/rebalance"
 	"vbundle/internal/topology"
 	"vbundle/internal/workload"
@@ -42,6 +43,9 @@ type QoSParams struct {
 	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
 	// parallel engine); virtual-time results are identical at any setting.
 	Shards int
+	// Obs configures the flight recorder for this run. The zero value
+	// records nothing; recording never changes experiment metrics.
+	Obs obs.Config
 }
 
 func (p QoSParams) withDefaults() QoSParams {
@@ -90,6 +94,8 @@ type QoSOutcome struct {
 	Migrations int
 	// TotalOffered and TotalFailed are SIPp call totals.
 	TotalOffered, TotalFailed int
+	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
+	Trace *obs.Trace `json:"-"`
 }
 
 // RunQoS executes the testbed reproduction.
@@ -105,10 +111,12 @@ func RunQoS(p QoSParams) (*QoSOutcome, error) {
 		LANHop:           time.Millisecond,
 		LocalDelivery:    50 * time.Microsecond,
 	}
+	trace := p.Obs.New()
 	vb, err := core.New(core.Options{
 		Topology: spec,
 		Seed:     p.Seed,
 		Shards:   p.Shards,
+		Trace:    trace,
 		Rebalance: rebalance.Config{
 			Threshold:         p.Threshold,
 			UpdateInterval:    p.UpdateInterval,
@@ -122,7 +130,7 @@ func RunQoS(p QoSParams) (*QoSOutcome, error) {
 		return nil, err
 	}
 
-	out := &QoSOutcome{Params: p}
+	out := &QoSOutcome{Params: p, Trace: trace}
 	sipp := workload.NewSIPp(p.Seed + 7)
 
 	// The SIPp VM: modest reservation, generous ceiling — QoS depends on

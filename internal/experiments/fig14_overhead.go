@@ -7,7 +7,9 @@ import (
 
 	"vbundle/internal/aggregation"
 	"vbundle/internal/ids"
+	"vbundle/internal/obs"
 	"vbundle/internal/parallel"
+	"vbundle/internal/simnet"
 	"vbundle/internal/pastry"
 	"vbundle/internal/scribe"
 	"vbundle/internal/sim"
@@ -36,6 +38,10 @@ type AggLatencyParams struct {
 	// reference, K ≥ 1 = K-shard parallel engine); virtual-time results
 	// are identical at any setting.
 	Shards int
+	// Obs configures the flight recorder. Only the largest sweep point
+	// records (its trace is the one the outcome keeps). Recording never
+	// changes the measured latency.
+	Obs obs.Config
 }
 
 func (p AggLatencyParams) withDefaults() AggLatencyParams {
@@ -68,11 +74,14 @@ type AggLatencyPoint struct {
 type AggLatencyOutcome struct {
 	Params AggLatencyParams
 	Points []AggLatencyPoint
+	// Trace is the largest sweep point's flight recorder (nil when
+	// Params.Obs is disabled).
+	Trace *obs.Trace `json:"-"`
 }
 
 // buildOverheadStack creates a ring with scribes and aggregation managers
-// for overhead measurements.
-func buildOverheadStack(servers int, lanHop time.Duration, seed int64, shards int) (*sim.Engine, *pastry.Ring, []*scribe.Scribe, []*aggregation.Manager, error) {
+// for overhead measurements. tr, when non-nil, attaches a flight recorder.
+func buildOverheadStack(servers int, lanHop time.Duration, seed int64, shards int, tr *obs.Trace) (*sim.Engine, *pastry.Ring, []*scribe.Scribe, []*aggregation.Manager, error) {
 	spec := ScaledSpec(servers)
 	spec.LANHop = lanHop
 	topo, err := topology.New(spec)
@@ -85,7 +94,11 @@ func buildOverheadStack(servers int, lanHop time.Duration, seed int64, shards in
 	} else {
 		engine = sim.NewEngine(seed)
 	}
-	ring := pastry.NewRing(engine, topo, pastry.Config{}, pastry.HierarchyAssigner)
+	var netOpts []simnet.Option
+	if tr != nil {
+		netOpts = append(netOpts, simnet.WithTrace(tr))
+	}
+	ring := pastry.NewRing(engine, topo, pastry.Config{}, pastry.HierarchyAssigner, netOpts...)
 	ring.BuildStatic()
 	scribes := make([]*scribe.Scribe, ring.Size())
 	managers := make([]*aggregation.Manager, ring.Size())
@@ -103,20 +116,35 @@ func buildOverheadStack(servers int, lanHop time.Duration, seed int64, shards in
 func RunAggLatency(p AggLatencyParams) (*AggLatencyOutcome, error) {
 	p = p.withDefaults()
 	out := &AggLatencyOutcome{Params: p}
+	// Only the largest sweep point records: its trace is the one the outcome
+	// keeps, and tracing the smaller points would retain their whole stacks
+	// (the registry gauges hold the network) for nothing.
+	largest := 0
+	for i, n := range p.Sizes {
+		if n > p.Sizes[largest] {
+			largest = i
+		}
+	}
+	trace := p.Obs.New()
 	points, err := parallel.Map(len(p.Sizes), p.Parallelism, func(i int) (AggLatencyPoint, error) {
-		return aggLatencyPoint(p, p.Sizes[i])
+		var tr *obs.Trace
+		if i == largest {
+			tr = trace
+		}
+		return aggLatencyPoint(p, p.Sizes[i], tr)
 	})
 	if err != nil {
 		return nil, err
 	}
 	out.Points = points
+	out.Trace = trace
 	return out, nil
 }
 
 // aggLatencyPoint measures one ring size on a private simulation stack.
-func aggLatencyPoint(p AggLatencyParams, n int) (AggLatencyPoint, error) {
+func aggLatencyPoint(p AggLatencyParams, n int, tr *obs.Trace) (AggLatencyPoint, error) {
 	const topic = "BW_Demand"
-	engine, _, scribes, managers, err := buildOverheadStack(n, p.LANHop, p.Seed, p.Shards)
+	engine, _, scribes, managers, err := buildOverheadStack(n, p.LANHop, p.Seed, p.Shards, tr)
 	if err != nil {
 		return AggLatencyPoint{}, err
 	}

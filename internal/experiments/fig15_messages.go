@@ -8,6 +8,7 @@ import (
 
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
+	"vbundle/internal/obs"
 	"vbundle/internal/parallel"
 	"vbundle/internal/rebalance"
 )
@@ -33,6 +34,9 @@ type MessageOverheadParams struct {
 	// reference, K ≥ 1 = K-shard parallel engine); virtual-time results
 	// are identical at any setting.
 	Shards int
+	// Obs configures the flight recorder. Only the largest sweep point
+	// records (its trace is the one the outcome keeps).
+	Obs obs.Config
 }
 
 func (p MessageOverheadParams) withDefaults() MessageOverheadParams {
@@ -59,6 +63,9 @@ type MessageOverheadPoint struct {
 type MessageOverheadOutcome struct {
 	Params MessageOverheadParams
 	Points []MessageOverheadPoint
+	// Trace is the largest sweep point's flight recorder (nil when
+	// Params.Obs is disabled).
+	Trace *obs.Trace `json:"-"`
 }
 
 // RunMessageOverhead executes the sweep. Ring sizes are independent trials
@@ -67,24 +74,38 @@ type MessageOverheadOutcome struct {
 func RunMessageOverhead(p MessageOverheadParams) (*MessageOverheadOutcome, error) {
 	p = p.withDefaults()
 	out := &MessageOverheadOutcome{Params: p}
+	// Only the largest sweep point records (see RunAggLatency).
+	largest := 0
+	for i, n := range p.Sizes {
+		if n > p.Sizes[largest] {
+			largest = i
+		}
+	}
+	trace := p.Obs.New()
 	points, err := parallel.Map(len(p.Sizes), p.Parallelism, func(i int) (MessageOverheadPoint, error) {
-		return messageOverheadPoint(p, p.Sizes[i])
+		var tr *obs.Trace
+		if i == largest {
+			tr = trace
+		}
+		return messageOverheadPoint(p, p.Sizes[i], tr)
 	})
 	if err != nil {
 		return nil, err
 	}
 	out.Points = points
+	out.Trace = trace
 	return out, nil
 }
 
 // messageOverheadPoint measures one ring size on a private v-Bundle stack.
-func messageOverheadPoint(p MessageOverheadParams, n int) (MessageOverheadPoint, error) {
+func messageOverheadPoint(p MessageOverheadParams, n int, tr *obs.Trace) (MessageOverheadPoint, error) {
 	spec := ScaledSpec(n)
 	spec.LANHop = time.Millisecond
 	vb, err := core.New(core.Options{
 		Topology: spec,
 		Seed:     p.Seed,
 		Shards:   p.Shards,
+		Trace:    tr,
 		Rebalance: rebalance.Config{
 			Threshold:         0.183,
 			UpdateInterval:    p.Round,

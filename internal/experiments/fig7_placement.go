@@ -8,6 +8,7 @@ import (
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
+	"vbundle/internal/obs"
 	"vbundle/internal/parallel"
 	"vbundle/internal/placement"
 	"vbundle/internal/topology"
@@ -35,6 +36,9 @@ type PlacementParams struct {
 	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
 	// parallel engine); virtual-time results are identical at any setting.
 	Shards int
+	// Obs configures the flight recorder for this run. The zero value
+	// records nothing; recording never changes experiment metrics.
+	Obs obs.Config
 }
 
 func (p PlacementParams) withDefaults() PlacementParams {
@@ -76,21 +80,25 @@ type PlacementOutcome struct {
 	Params PlacementParams
 	Waves  []WaveOutcome
 	Engine string
+	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
+	Trace *obs.Trace `json:"-"`
 }
 
 // RunPlacement executes the placement experiment.
 func RunPlacement(p PlacementParams) (*PlacementOutcome, error) {
 	p = p.withDefaults()
+	trace := p.Obs.New()
 	vb, err := core.New(core.Options{
 		Topology: p.Spec,
 		Seed:     p.Seed,
 		Shards:   p.Shards,
 		Engine:   p.Engine,
+		Trace:    trace,
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := &PlacementOutcome{Params: p, Engine: vb.Placer.Name()}
+	out := &PlacementOutcome{Params: p, Engine: vb.Placer.Name(), Trace: trace}
 	rsv := cluster.Resources{CPU: 0.5, MemMB: 128, BandwidthMbps: p.ReservationMbps}
 	lim := cluster.Resources{CPU: 2, MemMB: 128, BandwidthMbps: p.ReservationMbps * 2}
 

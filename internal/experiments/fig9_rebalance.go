@@ -10,6 +10,7 @@ import (
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
 	"vbundle/internal/migration"
+	"vbundle/internal/obs"
 	"vbundle/internal/parallel"
 	"vbundle/internal/rebalance"
 	"vbundle/internal/topology"
@@ -48,6 +49,9 @@ type RebalanceParams struct {
 	// Shards selects the engine mode (0 = serial reference, K ≥ 1 = K-shard
 	// parallel engine); virtual-time results are identical at any setting.
 	Shards int
+	// Obs configures the flight recorder for this run. The zero value
+	// records nothing; recording never changes experiment metrics.
+	Obs obs.Config
 }
 
 func (p RebalanceParams) withDefaults() RebalanceParams {
@@ -96,6 +100,8 @@ type RebalanceOutcome struct {
 	Migrations, Queries int
 	// MigrationsCompleted counts arrivals.
 	MigrationsCompleted int
+	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
+	Trace *obs.Trace `json:"-"`
 }
 
 // seedSkewedLoad provisions VMs so each server's utilization is drawn
@@ -128,10 +134,12 @@ func seedSkewedLoad(vb *core.VBundle, vmsPerServer int, meanUtil, spread float64
 // RunRebalance executes the resource-shuffling experiment.
 func RunRebalance(p RebalanceParams) (*RebalanceOutcome, error) {
 	p = p.withDefaults()
+	trace := p.Obs.New()
 	vb, err := core.New(core.Options{
 		Topology: p.Spec,
 		Seed:     p.Seed,
 		Shards:   p.Shards,
+		Trace:    trace,
 		Rebalance: rebalance.Config{
 			Threshold:         p.Threshold,
 			UpdateInterval:    p.UpdateInterval,
@@ -147,7 +155,7 @@ func RunRebalance(p RebalanceParams) (*RebalanceOutcome, error) {
 		return nil, err
 	}
 
-	out := &RebalanceOutcome{Params: p}
+	out := &RebalanceOutcome{Params: p, Trace: trace}
 	out.Before = vb.UtilizationSnapshot()
 	out.MeanUtil = vb.Cluster.MeanUtilizationBW()
 

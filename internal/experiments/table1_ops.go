@@ -55,7 +55,7 @@ type Table1Outcome struct {
 // RunTable1 executes the micro-measurements.
 func RunTable1(p Table1Params) (*Table1Outcome, error) {
 	p = p.withDefaults()
-	engine, _, scribes, managers, err := buildOverheadStack(p.Servers, time.Millisecond, p.Seed, 0)
+	engine, _, scribes, managers, err := buildOverheadStack(p.Servers, time.Millisecond, p.Seed, 0, nil)
 	if err != nil {
 		return nil, err
 	}

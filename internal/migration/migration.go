@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vbundle/internal/cluster"
+	"vbundle/internal/obs"
 	"vbundle/internal/sim"
 )
 
@@ -149,6 +150,10 @@ type Manager struct {
 	// source server's clock is the migration's start time. Nil falls back to
 	// the manager's engine (always correct serially).
 	engineFor func(server int) *sim.Engine
+	// rootObs records migration completions. Completions run exclusively on
+	// the root engine in the keyed band (deterministic order), so they get
+	// the root recorder source rather than any node's.
+	rootObs *obs.Source
 }
 
 // New creates a migration manager.
@@ -173,6 +178,10 @@ func (m *Manager) SetLiveness(alive func(server int) bool) { m.alive = alive }
 // clock and stage completions; core wires it to the network's shard map when
 // the engine is sharded.
 func (m *Manager) SetEngineFor(engineFor func(server int) *sim.Engine) { m.engineFor = engineFor }
+
+// SetTrace attaches the run's flight recorder; completions are recorded on
+// its root source. A nil trace (recording off) is accepted.
+func (m *Manager) SetTrace(tr *obs.Trace) { m.rootObs = tr.Source(obs.RootSource) }
 
 func (m *Manager) serverAlive(s int) bool { return m.alive == nil || m.alive(s) }
 
@@ -203,6 +212,15 @@ func (m *Manager) InFlight(id cluster.VMID) bool {
 // the VM is unknown, unplaced, already migrating, or the destination cannot
 // admit it right now.
 func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error)) error {
+	return m.MigrateTraced(nil, obs.NoRef, id, dst, mode, onDone)
+}
+
+// MigrateTraced is Migrate with flight-recorder context: rec is the
+// caller's recorder source (the shedding node) and parent the span that
+// caused this move — the anycast that discovered the receiver. The
+// migration span begins on the caller's stream and ends on the root stream
+// (where completions execute); the shared span ref joins the two halves.
+func (m *Manager) MigrateTraced(rec *obs.Source, parent obs.Ref, id cluster.VMID, dst int, mode Mode, onDone func(error)) error {
 	vm := m.cluster.VM(id)
 	if vm == nil {
 		return fmt.Errorf("migration: unknown vm %d", id)
@@ -241,6 +259,7 @@ func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error
 	// by VM id in every engine mode. The start time is the caller's clock:
 	// the source server's shard clock under sharding.
 	caller := m.engineOf(src)
+	span := rec.Begin(caller.Now(), obs.KindMigration, parent, int64(id), int64(dst))
 	caller.AtKeyed(caller.Now()+d, uint64(id), func() {
 		if m.cfg.AccountBandwidth {
 			m.cluster.Server(src).AddExternalBW(-m.cfg.LinkMbps)
@@ -276,6 +295,18 @@ func (m *Manager) Migrate(id cluster.VMID, dst int, mode Mode, onDone func(error
 			m.stats.BusyTime += d
 		}
 		m.mu.Unlock()
+		var outcome int64
+		switch {
+		case errors.Is(err, ErrDestinationDead):
+			outcome = 1
+		case errors.Is(err, ErrSourceDead):
+			outcome = 2
+		case err != nil:
+			outcome = 3
+		}
+		if span != obs.NoRef {
+			m.rootObs.End(m.engine.Now(), obs.KindMigration, span, int64(id), outcome)
+		}
 		if onDone != nil {
 			onDone(err)
 		}

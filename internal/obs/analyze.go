@@ -1,0 +1,308 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// This file is the analysis half of the recorder: vb-trace reads a trace
+// file back with ReadChrome and uses the index here to answer "explain this
+// migration" by walking parent refs, and "why is the tail slow" via the
+// per-subsystem span statistics.
+
+// spanRec pairs the begin and end halves of an async span.
+type spanRec struct {
+	begin *Event
+	end   *Event
+}
+
+func (s *spanRec) duration() (time.Duration, bool) {
+	if s.begin == nil || s.end == nil {
+		return 0, false
+	}
+	return s.end.TS - s.begin.TS, true
+}
+
+// Index is a causal view over a canonical event slice: spans by ref and
+// point events grouped under their parent span.
+type Index struct {
+	events   []Event
+	spans    map[Ref]*spanRec
+	children map[Ref][]*Event
+	byKind   map[Kind][]*Event
+}
+
+// NewIndex builds the causal index (events must be in canonical order, as
+// returned by Trace.Events or ReadChrome on a WriteChrome file).
+func NewIndex(events []Event) *Index {
+	ix := &Index{
+		events:   events,
+		spans:    make(map[Ref]*spanRec),
+		children: make(map[Ref][]*Event),
+		byKind:   make(map[Kind][]*Event),
+	}
+	for i := range events {
+		ev := &events[i]
+		ix.byKind[ev.Kind] = append(ix.byKind[ev.Kind], ev)
+		switch ev.Phase {
+		case PhaseBegin:
+			rec := ix.spans[ev.Span]
+			if rec == nil {
+				rec = &spanRec{}
+				ix.spans[ev.Span] = rec
+			}
+			rec.begin = ev
+		case PhaseEnd:
+			rec := ix.spans[ev.Span]
+			if rec == nil {
+				rec = &spanRec{}
+				ix.spans[ev.Span] = rec
+			}
+			rec.end = ev
+		}
+		if ev.Parent != NoRef {
+			ix.children[ev.Parent] = append(ix.children[ev.Parent], ev)
+		}
+	}
+	return ix
+}
+
+func srcName(src int32) string {
+	if src >= RootSource {
+		return "root"
+	}
+	return fmt.Sprintf("node %d", src)
+}
+
+// migrationOutcome renders the B argument of a migration end event.
+func migrationOutcome(b int64) string {
+	switch b {
+	case 0:
+		return "arrived"
+	case 1:
+		return "failed: destination dead"
+	case 2:
+		return "failed: source dead"
+	case 3:
+		return "failed: admission rejected"
+	default:
+		return fmt.Sprintf("failed: code %d", b)
+	}
+}
+
+// ExplainMigrations reconstructs the causal chain of every migration span —
+// anycast discovery walk, receiver lease, transfer — and prints each as a
+// timeline. vm filters to one VM id (-1 for all); max bounds the output
+// (0 = unlimited). Returns the number of migrations explained.
+func (ix *Index) ExplainMigrations(w io.Writer, vm int64, max int) int {
+	migs := ix.byKind[KindMigration]
+	n := 0
+	for _, ev := range migs {
+		if ev.Phase != PhaseBegin || (vm >= 0 && ev.A != vm) {
+			continue
+		}
+		if max > 0 && n >= max {
+			fmt.Fprintf(w, "... (more migrations; raise -max or filter with -vm)\n")
+			break
+		}
+		if n > 0 {
+			fmt.Fprintln(w)
+		}
+		ix.explainOne(w, ev)
+		n++
+	}
+	if n == 0 {
+		if vm >= 0 {
+			fmt.Fprintf(w, "no migration of vm %d in trace\n", vm)
+		} else {
+			fmt.Fprintf(w, "no migrations in trace\n")
+		}
+	}
+	return n
+}
+
+func (ix *Index) explainOne(w io.Writer, begin *Event) {
+	rec := ix.spans[begin.Span]
+	fmt.Fprintf(w, "migration vm=%d: %s -> server %d, started %v\n",
+		begin.A, srcName(begin.Src), begin.B, begin.TS)
+	if d, ok := rec.duration(); ok {
+		fmt.Fprintf(w, "  transfer: %v in flight, %s at %v\n", d, migrationOutcome(rec.end.B), rec.end.TS)
+	} else {
+		fmt.Fprintf(w, "  transfer: still in flight at end of trace\n")
+	}
+
+	// Walk up to the anycast that discovered the receiver.
+	anyRef := begin.Parent
+	anyRec := ix.spans[anyRef]
+	if anyRec == nil || anyRec.begin == nil {
+		fmt.Fprintf(w, "  discovery: no anycast recorded (parent 0x%x)\n", uint64(anyRef))
+		return
+	}
+	ab := anyRec.begin
+	fmt.Fprintf(w, "  caused by anycast 0x%x from %s at %v:\n", uint64(anyRef), srcName(ab.Src), ab.TS)
+	steps, retries := 0, 0
+	for _, ch := range ix.children[anyRef] {
+		switch ch.Kind {
+		case KindAnycastStep:
+			steps++
+			fmt.Fprintf(w, "    visit %d: %s at %v (+%v)\n", ch.A, srcName(ch.Src), ch.TS, ch.TS-ab.TS)
+		case KindAnycastRetry:
+			retries++
+			fmt.Fprintf(w, "    retry at %v (%d attempts left)\n", ch.TS, ch.A)
+		}
+	}
+	if d, ok := anyRec.duration(); ok {
+		verdict := "rejected everywhere"
+		if anyRec.end.B != 0 {
+			verdict = "accepted"
+		}
+		fmt.Fprintf(w, "    resolved %s after %v (%d nodes visited, %d retries)\n",
+			verdict, d, anyRec.end.A, retries)
+	}
+
+	// The receiver-side lease granted inside this anycast's walk.
+	for _, ch := range ix.children[anyRef] {
+		if ch.Kind != KindLease || ch.Phase != PhaseBegin || ch.A != begin.A {
+			continue
+		}
+		lrec := ix.spans[ch.Span]
+		fmt.Fprintf(w, "  lease for vm=%d at %s: granted %v", ch.A, srcName(ch.Src), ch.TS)
+		if d, ok := lrec.duration(); ok {
+			how := "released"
+			if lrec.end.B != 0 {
+				how = "expired"
+			}
+			fmt.Fprintf(w, ", %s after %v", how, d)
+		}
+		renews := 0
+		for _, lc := range ix.children[ch.Span] {
+			if lc.Kind == KindLeaseRenew {
+				renews++
+			}
+		}
+		if renews > 0 {
+			fmt.Fprintf(w, " (%d renewals)", renews)
+		}
+		fmt.Fprintln(w)
+	}
+
+	// Per-subsystem latency breakdown for the whole chain.
+	if anyRec.end != nil {
+		fmt.Fprintf(w, "  breakdown: discovery %v", anyRec.end.TS-ab.TS)
+		fmt.Fprintf(w, ", decision-to-start %v", begin.TS-anyRec.end.TS)
+		if d, ok := rec.duration(); ok {
+			fmt.Fprintf(w, ", transfer %v, total %v", d, rec.end.TS-ab.TS)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// durStats is a tiny accumulator for the summary table.
+type durStats struct {
+	n          int
+	sum, max   time.Duration
+	incomplete int
+}
+
+func (d *durStats) add(v time.Duration) {
+	d.n++
+	d.sum += v
+	if v > d.max {
+		d.max = v
+	}
+}
+
+func (d durStats) mean() time.Duration {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / time.Duration(d.n)
+}
+
+// Summary prints event totals per kind, span latency statistics per
+// subsystem, and the counter registry snapshot.
+func (ix *Index) Summary(w io.Writer, counters map[string]int64) {
+	if len(ix.events) == 0 {
+		fmt.Fprintln(w, "empty trace")
+		return
+	}
+	first, last := ix.events[0].TS, ix.events[len(ix.events)-1].TS
+	fmt.Fprintf(w, "%d events over %v (virtual %v .. %v)\n\n", len(ix.events), last-first, first, last)
+
+	fmt.Fprintln(w, "events by kind:")
+	for k := KindRouteHop; k <= KindRevive; k++ {
+		if evs := ix.byKind[k]; len(evs) > 0 {
+			fmt.Fprintf(w, "  %-14s %8d  [%s]\n", k.String(), len(evs), k.Subsystem())
+		}
+	}
+
+	stats := map[Kind]*durStats{}
+	for _, rec := range ix.spans {
+		if rec.begin == nil {
+			continue
+		}
+		st := stats[rec.begin.Kind]
+		if st == nil {
+			st = &durStats{}
+			stats[rec.begin.Kind] = st
+		}
+		if d, ok := rec.duration(); ok {
+			st.add(d)
+		} else {
+			st.incomplete++
+		}
+	}
+	if len(stats) > 0 {
+		kinds := make([]Kind, 0, len(stats))
+		for k := range stats {
+			kinds = append(kinds, k)
+		}
+		sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+		fmt.Fprintln(w, "\nspan latency by subsystem:")
+		for _, k := range kinds {
+			st := stats[k]
+			fmt.Fprintf(w, "  %-14s n=%-6d mean=%-12v max=%-12v", k.String(), st.n, st.mean(), st.max)
+			if st.incomplete > 0 {
+				fmt.Fprintf(w, " open=%d", st.incomplete)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+
+	if len(counters) > 0 {
+		names := make([]string, 0, len(counters))
+		for name := range counters {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Fprintln(w, "\ncounters:")
+		for _, name := range names {
+			fmt.Fprintf(w, "  %-32s %d\n", name, counters[name])
+		}
+	}
+}
+
+// FormatEvent renders one event as a human-readable line for tail dumps.
+func FormatEvent(ev Event) string {
+	s := fmt.Sprintf("%-14v %-9s %c %-14s", ev.TS, srcName(ev.Src), ev.Phase, ev.Kind.String())
+	if ev.Span != NoRef {
+		s += fmt.Sprintf(" span=0x%x", uint64(ev.Span))
+	}
+	if ev.Parent != NoRef {
+		s += fmt.Sprintf(" parent=0x%x", uint64(ev.Parent))
+	}
+	return s + fmt.Sprintf(" a=%d b=%d", ev.A, ev.B)
+}
+
+// Tail prints the last n events — the crash-dump view of a ring recording.
+func (ix *Index) Tail(w io.Writer, n int) {
+	evs := ix.events
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	for _, ev := range evs {
+		fmt.Fprintln(w, FormatEvent(ev))
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Counter is a monotonically increasing event count. It is a plain int64,
+// not an atomic: every counter is owned by one component and bumped only
+// under the engine's single-owner execution discipline, exactly like the
+// ad-hoc ints it replaces. Counters work whether or not a trace is enabled;
+// registration in a Registry is what makes one visible in the run-end dump.
+type Counter struct {
+	v int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v }
+
+// Gauge is a sampled-at-dump-time reading, registered as a closure so the
+// registry never caches stale values.
+type Gauge func() int64
+
+// Registry is the hierarchical counter/gauge index for one trace. Names are
+// slash-separated paths ("scribe/anycasts_seen", "net/msgs_sent"); many
+// components may register under the same name (one per node) and the dump
+// sums them. All methods are nil-receiver safe so components can register
+// unconditionally against Trace.Registry().
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string][]*Counter
+	gauges   map[string][]Gauge
+}
+
+// Register attaches a counter under name. Called at component construction,
+// never on a hot path.
+func (r *Registry) Register(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string][]*Counter)
+	}
+	r.counters[name] = append(r.counters[name], c)
+}
+
+// RegisterGauge attaches a gauge closure under name.
+func (r *Registry) RegisterGauge(name string, g Gauge) {
+	if r == nil || g == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string][]Gauge)
+	}
+	r.gauges[name] = append(r.gauges[name], g)
+}
+
+// Snapshot returns the summed value of every registered name. The map form
+// serializes deterministically: encoding/json sorts map keys.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, cs := range r.counters {
+		var sum int64
+		for _, c := range cs {
+			sum += c.Value()
+		}
+		out[name] += sum
+	}
+	for name, gs := range r.gauges {
+		var sum int64
+		for _, g := range gs {
+			sum += g()
+		}
+		out[name] += sum
+	}
+	return out
+}
+
+// Names returns the registered names in sorted order.
+func (r *Registry) Names() []string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for name := range snap {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON dumps the summed registry as indented JSON (sorted keys, so the
+// dump is byte-stable across runs and shard counts).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = map[string]int64{}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,192 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleTrace builds a small fixed trace exercising every serialization
+// shape: cross-source async spans, instants with causal parents, the root
+// source, and registered counters/gauges.
+func sampleTrace() *Trace {
+	tr := New()
+	deliveries := &Counter{}
+	deliveries.Add(42)
+	tr.Registry().Register("pastry/deliveries", deliveries)
+	tr.Registry().RegisterGauge("net/msgs_sent", func() int64 { return 7 })
+
+	shedder := tr.Source(1)
+	receiver := tr.Source(2)
+	root := tr.Source(RootSource)
+
+	shedder.Instant(5*time.Millisecond, KindRouteHop, NoRef, 0, 2)
+	any := shedder.Begin(10*time.Millisecond, KindAnycast, NoRef, 7, 0)
+	receiver.Instant(12*time.Millisecond+345*time.Nanosecond, KindAnycastStep, any, 1, 1)
+	lease := receiver.Begin(13*time.Millisecond, KindLease, any, 231, 0)
+	shedder.End(15*time.Millisecond, KindAnycast, any, 1, 1)
+	mig := shedder.Begin(16*time.Millisecond, KindMigration, any, 231, 2)
+	root.End(20*time.Millisecond, KindMigration, mig, 231, 0)
+	receiver.End(21*time.Millisecond, KindLease, lease, 231, 0)
+	return tr
+}
+
+func TestRefPacking(t *testing.T) {
+	// Refs must survive the largest rings the repo simulates (8k+ servers)
+	// plus the root source, whose packed value exceeds float64's exact
+	// integer range — the reason refs serialize as hex strings.
+	for _, src := range []int32{0, 1, 8191, RootSource} {
+		tr := New()
+		s := tr.Source(src)
+		ref := s.Begin(time.Second, KindMigration, NoRef, 1, 2)
+		if ref.Src() != src || ref.Seq() != 1 {
+			t.Errorf("src %d: ref unpacked to (%d, %d)", src, ref.Src(), ref.Seq())
+		}
+	}
+	if NoRef.Src() != -1 {
+		t.Errorf("NoRef.Src() = %d, want -1", NoRef.Src())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := NewRing(4)
+	s := tr.Source(3)
+	for i := 0; i < 10; i++ {
+		s.Instant(time.Duration(i)*time.Millisecond, KindDeliver, NoRef, int64(i), 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring of 4 retained %d events", len(evs))
+	}
+	for i, ev := range evs {
+		want := int64(6 + i) // events 6..9 survive, in emission order
+		if ev.A != want || ev.Seq != uint64(want+1) {
+			t.Errorf("event %d: a=%d seq=%d, want a=%d seq=%d", i, ev.A, ev.Seq, want, want+1)
+		}
+	}
+	if d := s.Dropped(); d != 6 {
+		t.Errorf("Dropped() = %d, want 6", d)
+	}
+
+	// A ring that never fills behaves like a stream.
+	tr2 := NewRing(8)
+	s2 := tr2.Source(0)
+	s2.Instant(time.Millisecond, KindKill, NoRef, 0, 0)
+	if evs := tr2.Events(); len(evs) != 1 || s2.Dropped() != 0 {
+		t.Errorf("unfilled ring: %d events, %d dropped", len(evs), s2.Dropped())
+	}
+}
+
+func TestChromeGolden(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Serialization must be deterministic: a second pass over the same
+	// trace yields identical bytes.
+	var again bytes.Buffer
+	if err := tr.WriteChrome(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Error("two serializations of the same trace differ")
+	}
+
+	// The output must be plain valid JSON (what Perfetto parses).
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+
+	// ts must be monotone non-decreasing in file order.
+	events, _, err := ReadChrome(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].TS < events[i-1].TS {
+			t.Errorf("ts not monotone at event %d: %v after %v", i, events[i].TS, events[i-1].TS)
+		}
+	}
+
+	golden := filepath.Join("testdata", "sample_trace.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from %s (run with -update after intentional format changes)\ngot:\n%s", golden, buf.String())
+	}
+}
+
+func TestChromeRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	events, counters, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tr.Events(); !reflect.DeepEqual(events, want) {
+		t.Errorf("events did not round-trip:\ngot  %+v\nwant %+v", events, want)
+	}
+	want := map[string]int64{"pastry/deliveries": 42, "net/msgs_sent": 7}
+	if !reflect.DeepEqual(counters, want) {
+		t.Errorf("counters = %v, want %v", counters, want)
+	}
+}
+
+func TestDisabledPathAllocates(t *testing.T) {
+	var tr *Trace
+	src := tr.Source(9) // nil
+	if src.Enabled() {
+		t.Fatal("nil source reports enabled")
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ref := src.Begin(time.Second, KindMigration, NoRef, 1, 2)
+		src.Instant(time.Second, KindRouteHop, ref, 3, 4)
+		src.End(time.Second, KindMigration, ref, 1, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledSource pins the zero-overhead claim for the disabled
+// recorder: one nil check per site, no allocations. The CI bench smoke runs
+// this; the expectation is ≤2 ns/op, 0 allocs/op.
+func BenchmarkDisabledSource(b *testing.B) {
+	var tr *Trace
+	src := tr.Source(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.Instant(time.Duration(i), KindRouteHop, NoRef, 1, 2)
+	}
+}
+
+// BenchmarkRingSource measures the always-on crash-dump configuration — the
+// cost a run pays per event with -trace-ring enabled.
+func BenchmarkRingSource(b *testing.B) {
+	tr := NewRing(1024)
+	src := tr.Source(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.Instant(time.Duration(i), KindRouteHop, NoRef, 1, 2)
+	}
+}

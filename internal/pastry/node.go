@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"vbundle/internal/ids"
+	"vbundle/internal/obs"
 	"vbundle/internal/sim"
 	"vbundle/internal/simnet"
 )
@@ -90,8 +91,12 @@ type Node struct {
 	dirFree []*directEnvelope
 
 	// routeStats accumulates delivered-hops samples for overhead analysis.
-	deliveries int
-	totalHops  int
+	deliveries obs.Counter
+	totalHops  obs.Counter
+
+	// obs is the node's flight-recorder source (nil when tracing is off;
+	// every emit is then a single nil-receiver branch).
+	obs *obs.Source
 }
 
 // NewNode creates a node with the given identifier at the given network
@@ -113,6 +118,11 @@ func NewNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox 
 		apps:         make(map[string]App),
 		pendingPings: make(map[uint64]func(bool)),
 		suspicion:    make(map[simnet.Addr]int),
+		obs:          net.TraceSource(addr),
+	}
+	if reg := net.Trace().Registry(); reg != nil {
+		reg.Register("pastry/deliveries", &n.deliveries)
+		reg.Register("pastry/route_hops", &n.totalHops)
 	}
 	net.Attach(addr, n)
 	return n
@@ -661,11 +671,15 @@ func (n *Node) probe(target NodeHandle) {
 // RouteStats returns the number of messages this node delivered as final
 // destination and the mean number of hops they travelled.
 func (n *Node) RouteStats() (deliveries int, meanHops float64) {
-	if n.deliveries == 0 {
+	if n.deliveries.Value() == 0 {
 		return 0, 0
 	}
-	return n.deliveries, float64(n.totalHops) / float64(n.deliveries)
+	return int(n.deliveries.Value()), float64(n.totalHops.Value()) / float64(n.deliveries.Value())
 }
+
+// Obs returns the node's flight-recorder source, shared by the protocol
+// layers stacked on the node (nil when tracing is off).
+func (n *Node) Obs() *obs.Source { return n.obs }
 
 var _ simnet.Handler = (*Node)(nil)
 

@@ -2,6 +2,7 @@ package pastry
 
 import (
 	"vbundle/internal/ids"
+	"vbundle/internal/obs"
 	"vbundle/internal/simnet"
 )
 
@@ -48,14 +49,16 @@ func (n *Node) routeEnvelope(env *envelope) {
 			}
 		}
 		env.Hops++
+		n.obs.Instant(n.engine.Now(), obs.KindRouteHop, obs.NoRef, int64(env.Hops), int64(next.Addr))
 		n.net.Send(n.handle.Addr, next.Addr, env)
 		return
 	}
 }
 
 func (n *Node) deliver(env *envelope) {
-	n.deliveries++
-	n.totalHops += env.Hops
+	n.deliveries.Inc()
+	n.totalHops.Add(int64(env.Hops))
+	n.obs.Instant(n.engine.Now(), obs.KindDeliver, obs.NoRef, int64(env.Hops), 0)
 	if app, ok := n.app(env.App); ok {
 		app.Deliver(env.Key, env.Payload, RouteInfo{Hops: env.Hops, Source: env.Source})
 	}

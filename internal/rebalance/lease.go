@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"vbundle/internal/cluster"
+	"vbundle/internal/obs"
 )
 
 // reservation is one receiver-side hold: resources promised to an inbound
@@ -16,6 +17,9 @@ type reservation struct {
 	vm      cluster.VMID
 	demand  cluster.Resources
 	expires time.Duration
+	// trace is the hold's recorder span, opened at grant and closed at
+	// release or expiry.
+	trace obs.Ref
 }
 
 // reservationTable tracks a receiver's holds, sorted by VM id so every fold
@@ -57,14 +61,27 @@ func (t *reservationTable) release(vm cluster.VMID) bool {
 	return true
 }
 
+// get returns a pointer to vm's live entry (nil when absent); the pointer
+// is valid until the table next mutates.
+func (t *reservationTable) get(vm cluster.VMID) *reservation {
+	i, ok := t.index(vm)
+	if !ok {
+		return nil
+	}
+	return &t.entries[i]
+}
+
 // sweep removes entries whose lease expired at or before now, returning how
-// many it dropped.
-func (t *reservationTable) sweep(now time.Duration) int {
+// many it dropped. When expired is non-nil the dropped entries are appended
+// to it (callers reuse a scratch slice; sweep runs on utilization reads).
+func (t *reservationTable) sweep(now time.Duration, expired *[]reservation) int {
 	w := 0
 	for _, e := range t.entries {
 		if e.expires > now {
 			t.entries[w] = e
 			w++
+		} else if expired != nil {
+			*expired = append(*expired, e)
 		}
 	}
 	n := len(t.entries) - w

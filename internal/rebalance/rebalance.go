@@ -32,6 +32,7 @@ import (
 	"vbundle/internal/costbenefit"
 	"vbundle/internal/ids"
 	"vbundle/internal/migration"
+	"vbundle/internal/obs"
 	"vbundle/internal/pastry"
 	"vbundle/internal/scribe"
 	"vbundle/internal/simnet"
@@ -265,7 +266,7 @@ func (c *Coordinator) Roles() (shedders, receivers, neutral int) {
 func (c *Coordinator) MigrationsTriggered() int {
 	total := 0
 	for _, a := range c.agents {
-		total += a.migrationsTriggered
+		total += int(a.migrationsTriggered.Value())
 	}
 	return total
 }
@@ -274,7 +275,7 @@ func (c *Coordinator) MigrationsTriggered() int {
 func (c *Coordinator) QueriesSent() int {
 	total := 0
 	for _, a := range c.agents {
-		total += a.queriesSent
+		total += int(a.queriesSent.Value())
 	}
 	return total
 }
@@ -283,7 +284,7 @@ func (c *Coordinator) QueriesSent() int {
 func (c *Coordinator) VetoedByCost() int {
 	total := 0
 	for _, a := range c.agents {
-		total += a.vetoedByCost
+		total += int(a.vetoedByCost.Value())
 	}
 	return total
 }
@@ -345,9 +346,15 @@ type Agent struct {
 
 	updateTicker, rebalanceTicker *simTicker
 
-	migrationsTriggered int
-	queriesSent         int
-	vetoedByCost        int
+	migrationsTriggered obs.Counter
+	queriesSent         obs.Counter
+	vetoedByCost        obs.Counter
+
+	// obs is the node's flight-recorder source; expiredScratch is reused by
+	// sweepLeases to collect reclaimed holds for their lease-end events
+	// (sweeps run on every utilization read, so no per-sweep allocation).
+	obs            *obs.Source
+	expiredScratch []reservation
 }
 
 type releaseKey struct {
@@ -368,6 +375,12 @@ func newAgent(coord *Coordinator, server int, node *pastry.Node, agg *aggregatio
 		shedding:     make(map[cluster.VMID]bool),
 		shedDest:     make(map[cluster.VMID]pastry.NodeHandle),
 		releaseAwait: make(map[releaseKey]bool),
+		obs:          node.Obs(),
+	}
+	if reg := node.Network().Trace().Registry(); reg != nil {
+		reg.Register("rebalance/migrations_triggered", &a.migrationsTriggered)
+		reg.Register("rebalance/queries_sent", &a.queriesSent)
+		reg.Register("rebalance/vetoed_by_cost", &a.vetoedByCost)
 	}
 	node.Register(AppName, a)
 	// Late or duplicate accepts that the any-cast layer already gave up on
@@ -433,7 +446,17 @@ func (a *Agent) publishLocal() {
 // sweepLeases reclaims holds whose lease ran out; every read of the
 // reservation table goes through here, so expiry needs no engine events.
 func (a *Agent) sweepLeases() {
-	a.reserveStats.Expired += a.reserved.sweep(a.node.Engine().Now())
+	now := a.node.Engine().Now()
+	if !a.obs.Enabled() {
+		a.reserveStats.Expired += a.reserved.sweep(now, nil)
+		return
+	}
+	a.expiredScratch = a.expiredScratch[:0]
+	a.reserveStats.Expired += a.reserved.sweep(now, &a.expiredScratch)
+	for i := range a.expiredScratch {
+		e := &a.expiredScratch[i]
+		a.obs.End(now, obs.KindLease, e.trace, int64(e.vm), 1)
+	}
 }
 
 // utilizationOf is the server's utilization for one kind, including
@@ -490,15 +513,22 @@ func (a *Agent) reevaluate() {
 			allCool = false
 		}
 	}
+	var newRole Role
 	switch {
 	case anyHot:
-		a.role = RoleShedder
-		a.leaveGroup()
+		newRole = RoleShedder
 	case allCool:
-		a.role = RoleReceiver
-		a.joinGroup()
+		newRole = RoleReceiver
 	default:
-		a.role = RoleNeutral
+		newRole = RoleNeutral
+	}
+	if newRole != a.role {
+		a.obs.Instant(a.node.Engine().Now(), obs.KindRoleFlip, obs.NoRef, int64(newRole), int64(a.role))
+	}
+	a.role = newRole
+	if newRole == RoleReceiver {
+		a.joinGroup()
+	} else {
 		a.leaveGroup()
 	}
 }
@@ -558,10 +588,19 @@ func (a *Agent) considerQuery(_ ids.Id, payload simnet.Message, _ pastry.NodeHan
 	}
 	// One record per VM: a duplicate accept of a retried query refreshes
 	// the existing hold instead of double-counting its demand.
-	if a.reserved.upsert(q.VMID, q.Demand, a.node.Engine().Now()+a.coord.cfg.LeaseDuration) {
+	now := a.node.Engine().Now()
+	if a.reserved.upsert(q.VMID, q.Demand, now+a.coord.cfg.LeaseDuration) {
 		a.reserveStats.Accepted++
+		if a.obs.Enabled() {
+			// Parent the hold to the any-cast walk that is asking right now,
+			// completing the anycast -> lease causal link.
+			a.reserved.get(q.VMID).trace = a.obs.Begin(now, obs.KindLease, a.scribe().ActiveAnycastTrace(), int64(q.VMID), 0)
+		}
 	} else {
 		a.reserveStats.Renewed++
+		if a.obs.Enabled() {
+			a.obs.Instant(now, obs.KindLeaseRenew, a.reserved.get(q.VMID).trace, int64(q.VMID), 0)
+		}
 	}
 	return true
 }
@@ -655,12 +694,12 @@ func (a *Agent) shedChain(budget int) {
 			DeliveredMbps: a.deliveredBW(vm),
 		})
 		if !verdict.Approved {
-			a.vetoedByCost++
+			a.vetoedByCost.Inc()
 			return
 		}
 	}
 	a.shedding[vm.ID] = true
-	a.queriesSent++
+	a.queriesSent.Inc()
 	q := &shedQuery{
 		VMID:        vm.ID,
 		Customer:    vm.Customer,
@@ -674,8 +713,10 @@ func (a *Agent) shedChain(budget int) {
 		}
 		dst := int(res.By.Addr)
 		a.shedDest[vm.ID] = res.By
-		a.migrationsTriggered++
-		err := a.coord.mig.Migrate(vm.ID, dst, a.coord.cfg.Mode, func(error) {
+		a.migrationsTriggered.Inc()
+		// The migration span is parented to the any-cast that discovered
+		// the receiver, completing the anycast -> lease -> migration chain.
+		err := a.coord.mig.MigrateTraced(a.obs, res.Trace, vm.ID, dst, a.coord.cfg.Mode, func(error) {
 			delete(a.shedding, vm.ID)
 			delete(a.shedDest, vm.ID)
 			// Whatever the outcome, release the receiver's hold: on
@@ -808,9 +849,14 @@ func (a *Agent) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 	switch m := payload.(type) {
 	case *releaseMsg:
 		a.sweepLeases()
+		var leaseTrace obs.Ref
+		if e := a.reserved.get(m.VMID); e != nil {
+			leaseTrace = e.trace
+		}
 		switch {
 		case a.reserved.release(m.VMID):
 			a.reserveStats.Released++
+			a.obs.End(a.node.Engine().Now(), obs.KindLease, leaseTrace, int64(m.VMID), 0)
 			a.rememberRelease(m.VMID)
 		case a.wasReleased(m.VMID):
 			a.reserveStats.DuplicateRelease++
@@ -826,10 +872,19 @@ func (a *Agent) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 		a.sweepLeases()
 		// Upsert rather than refresh-if-present: a renew that raced with
 		// expiry restores the hold, demand vector and all.
-		if a.reserved.upsert(m.VMID, m.Demand, a.node.Engine().Now()+a.coord.cfg.LeaseDuration) {
+		now := a.node.Engine().Now()
+		if a.reserved.upsert(m.VMID, m.Demand, now+a.coord.cfg.LeaseDuration) {
 			a.reserveStats.Accepted++
+			if a.obs.Enabled() {
+				// A renew that restored a lapsed hold opens a fresh span:
+				// the original closed when it expired.
+				a.reserved.get(m.VMID).trace = a.obs.Begin(now, obs.KindLease, obs.NoRef, int64(m.VMID), 0)
+			}
 		} else {
 			a.reserveStats.Renewed++
+			if a.obs.Enabled() {
+				a.obs.Instant(now, obs.KindLeaseRenew, a.reserved.get(m.VMID).trace, int64(m.VMID), 0)
+			}
 		}
 	}
 }

@@ -2,6 +2,7 @@ package scribe
 
 import (
 	"vbundle/internal/ids"
+	"vbundle/internal/obs"
 	"vbundle/internal/pastry"
 	"vbundle/internal/simnet"
 )
@@ -79,6 +80,10 @@ type anycastMsg struct {
 	Origin  pastry.NodeHandle
 	Seq     uint64
 	Visited []ids.Id
+	// Trace is the originator's anycast span, carried along the walk so
+	// every step (and the acceptor's lease) can name its cause. Recorder
+	// metadata, deliberately excluded from WireSize.
+	Trace obs.Ref
 }
 
 // WireSize implements simnet.WireSizer.
@@ -107,6 +112,9 @@ type anycastVerdict struct {
 	Visited  int
 	Group    ids.Id
 	Payload  simnet.Message
+	// Trace echoes the query's span ref (recorder metadata, not on the wire
+	// for accounting purposes).
+	Trace obs.Ref
 }
 
 // WireSize implements simnet.WireSizer.

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"vbundle/internal/ids"
+	"vbundle/internal/obs"
 	"vbundle/internal/pastry"
 	"vbundle/internal/simnet"
 )
@@ -54,6 +55,10 @@ type AnycastResult struct {
 	By pastry.NodeHandle
 	// Visited is the number of tree nodes the search touched.
 	Visited int
+	// Trace is the query's flight-recorder span (NoRef when the recorder is
+	// off or the query was fire-and-forget), letting the caller parent its
+	// follow-up work — a migration — to the discovery that caused it.
+	Trace obs.Ref
 }
 
 // groupState is this node's view of one group's tree.
@@ -113,6 +118,9 @@ type pendingAnycast struct {
 	// attemptsLeft counts resends remaining; nextTimeout doubles per retry.
 	attemptsLeft int
 	nextTimeout  time.Duration
+	// trace is the query's recorder span; retries re-attach it to the
+	// resent message so the whole multi-attempt search shares one span.
+	trace obs.Ref
 }
 
 // wheelEntry is one deadline parked on the shared any-cast timeout wheel.
@@ -163,11 +171,18 @@ type Scribe struct {
 	keyScratch []ids.Id
 
 	// stats for the overhead experiments
-	joinsHandled      int
-	multicastsRelayed int
-	anycastsSeen      int
-	anycastsRetried   int
-	orphanAccepts     int
+	joinsHandled      obs.Counter
+	multicastsRelayed obs.Counter
+	anycastsSeen      obs.Counter
+	anycastsRetried   obs.Counter
+	orphanAccepts     obs.Counter
+
+	// obs is the node's flight-recorder source; curAnycast is the span of
+	// the any-cast whose OnAnycast handler is executing right now, exposed
+	// through ActiveAnycastTrace so the acceptor can parent its reservation
+	// to the search that found it.
+	obs        *obs.Source
+	curAnycast obs.Ref
 }
 
 // sortedGroupKeys returns the keys of s.groups in identifier order, in a
@@ -193,6 +208,14 @@ func New(node *pastry.Node) *Scribe {
 		pendingAnycast: make(map[uint64]pendingAnycast),
 		AnycastTimeout: 10 * time.Second,
 		AnycastRetries: 2,
+		obs:            node.Obs(),
+	}
+	if reg := node.Network().Trace().Registry(); reg != nil {
+		reg.Register("scribe/joins_handled", &s.joinsHandled)
+		reg.Register("scribe/multicasts_relayed", &s.multicastsRelayed)
+		reg.Register("scribe/anycasts_seen", &s.anycastsSeen)
+		reg.Register("scribe/anycasts_retried", &s.anycastsRetried)
+		reg.Register("scribe/orphan_accepts", &s.orphanAccepts)
 	}
 	node.Register(AppName, s)
 	node.OnNodeDead(s.handleNodeDead)
@@ -256,15 +279,19 @@ func (s *Scribe) IsRoot(group ids.Id) bool {
 // Stats returns operation counters for overhead analysis: joins processed,
 // multicast relays and any-cast visits at this node.
 func (s *Scribe) Stats() (joins, multicasts, anycasts int) {
-	return s.joinsHandled, s.multicastsRelayed, s.anycastsSeen
+	return int(s.joinsHandled.Value()), int(s.multicastsRelayed.Value()), int(s.anycastsSeen.Value())
 }
 
 // AnycastStats returns the originator-side reliability counters: queries
 // resent after a silent timeout, and accepted verdicts that arrived with no
 // pending callback (handed to OnOrphanAccept).
 func (s *Scribe) AnycastStats() (retried, orphans int) {
-	return s.anycastsRetried, s.orphanAccepts
+	return int(s.anycastsRetried.Value()), int(s.orphanAccepts.Value())
 }
+
+// ActiveAnycastTrace returns the recorder span of the any-cast whose
+// OnAnycast handler is currently executing (NoRef outside such a call).
+func (s *Scribe) ActiveAnycastTrace() obs.Ref { return s.curAnycast }
 
 // --- membership ------------------------------------------------------------
 
@@ -331,7 +358,7 @@ func (s *Scribe) Multicast(group ids.Id, payload simnet.Message) {
 // disseminate delivers a multicast locally (if member) and relays it to all
 // children.
 func (s *Scribe) disseminate(g *groupState, m *multicastDown) {
-	s.multicastsRelayed++
+	s.multicastsRelayed.Inc()
 	if g.member && g.handlers.OnMulticast != nil {
 		g.handlers.OnMulticast(g.group, m.Payload, m.From)
 	}
@@ -387,22 +414,25 @@ func (s *Scribe) OnParentData(group ids.Id, fn func(payload simnet.Message, from
 func (s *Scribe) Anycast(group ids.Id, payload simnet.Message, onResult func(AnycastResult)) {
 	s.anycastSeq++
 	seq := s.anycastSeq
+	var trace obs.Ref
 	if onResult != nil {
+		trace = s.obs.Begin(s.node.Engine().Now(), obs.KindAnycast, obs.NoRef, int64(seq), 0)
 		s.pendingAnycast[seq] = pendingAnycast{
 			group:        group,
 			payload:      payload,
 			cb:           onResult,
 			attemptsLeft: s.AnycastRetries,
 			nextTimeout:  s.AnycastTimeout,
+			trace:        trace,
 		}
 		s.wheelPush(s.node.Engine().Now()+s.AnycastTimeout, seq)
 	}
-	s.sendAnycast(group, payload, seq)
+	s.sendAnycast(group, payload, seq, trace)
 }
 
 // sendAnycast launches (or relaunches) the DFS for one attempt.
-func (s *Scribe) sendAnycast(group ids.Id, payload simnet.Message, seq uint64) {
-	m := &anycastMsg{Group: group, Payload: payload, Origin: s.node.Handle(), Seq: seq}
+func (s *Scribe) sendAnycast(group ids.Id, payload simnet.Message, seq uint64, trace obs.Ref) {
+	m := &anycastMsg{Group: group, Payload: payload, Origin: s.node.Handle(), Seq: seq, Trace: trace}
 	// Fast path: if we are already in the tree, start the DFS locally.
 	if _, ok := s.groups[group]; ok {
 		s.anycastStep(m)
@@ -488,20 +518,23 @@ func (s *Scribe) expireAnycast(seq uint64) {
 		p.attemptsLeft--
 		p.nextTimeout *= 2
 		s.pendingAnycast[seq] = p
-		s.anycastsRetried++
+		s.anycastsRetried.Inc()
+		s.obs.Instant(s.node.Engine().Now(), obs.KindAnycastRetry, p.trace, int64(p.attemptsLeft), 0)
 		s.wheelPush(s.node.Engine().Now()+p.nextTimeout, seq)
-		s.sendAnycast(p.group, p.payload, seq)
+		s.sendAnycast(p.group, p.payload, seq, p.trace)
 		return
 	}
 	delete(s.pendingAnycast, seq)
+	s.obs.End(s.node.Engine().Now(), obs.KindAnycast, p.trace, 0, 0)
 	if p.cb != nil {
-		p.cb(AnycastResult{})
+		p.cb(AnycastResult{Trace: p.trace})
 	}
 }
 
 // anycastStep runs the DFS decision at this node.
 func (s *Scribe) anycastStep(m *anycastMsg) {
-	s.anycastsSeen++
+	s.anycastsSeen.Inc()
+	s.obs.Instant(s.node.Engine().Now(), obs.KindAnycastStep, m.Trace, int64(len(m.Visited)+1), int64(m.Origin.Addr))
 	g, ok := s.groups[m.Group]
 	if !ok {
 		// Tree ended unexpectedly (stale pointer); report failure.
@@ -511,9 +544,16 @@ func (s *Scribe) anycastStep(m *anycastMsg) {
 	self := s.node.Handle().Id
 	if !m.visited(self) {
 		m.Visited = append(m.Visited, self)
-		if g.member && g.handlers.OnAnycast != nil && g.handlers.OnAnycast(m.Group, m.Payload, m.Origin) {
-			s.finishAnycast(m, true, s.node.Handle())
-			return
+		if g.member && g.handlers.OnAnycast != nil {
+			// Expose the walk's span while the member decides, so an accept
+			// can parent the resources it reserves to this very search.
+			s.curAnycast = m.Trace
+			accepted := g.handlers.OnAnycast(m.Group, m.Payload, m.Origin)
+			s.curAnycast = obs.NoRef
+			if accepted {
+				s.finishAnycast(m, true, s.node.Handle())
+				return
+			}
 		}
 	}
 	// Prefer the unvisited child topologically closest to the origin, so
@@ -548,20 +588,20 @@ func (s *Scribe) anycastStep(m *anycastMsg) {
 func (s *Scribe) finishAnycast(m *anycastMsg, accepted bool, by pastry.NodeHandle) {
 	if m.Origin.Addr == s.node.Addr() {
 		// Local resolution: no wire verdict needed.
-		s.resolveAnycast(m.Seq, m.Group, m.Payload, accepted, by, len(m.Visited))
+		s.resolveAnycast(m.Seq, m.Group, m.Payload, accepted, by, len(m.Visited), m.Trace)
 		return
 	}
 	s.node.SendDirect(m.Origin, AppName, &anycastVerdict{
 		Seq: m.Seq, Accepted: accepted, By: by, Visited: len(m.Visited),
-		Group: m.Group, Payload: m.Payload,
+		Group: m.Group, Payload: m.Payload, Trace: m.Trace,
 	})
 }
 
 func (s *Scribe) handleVerdict(v *anycastVerdict) {
-	s.resolveAnycast(v.Seq, v.Group, v.Payload, v.Accepted, v.By, v.Visited)
+	s.resolveAnycast(v.Seq, v.Group, v.Payload, v.Accepted, v.By, v.Visited, v.Trace)
 }
 
-func (s *Scribe) resolveAnycast(seq uint64, group ids.Id, payload simnet.Message, accepted bool, by pastry.NodeHandle, visited int) {
+func (s *Scribe) resolveAnycast(seq uint64, group ids.Id, payload simnet.Message, accepted bool, by pastry.NodeHandle, visited int, trace obs.Ref) {
 	p, ok := s.pendingAnycast[seq]
 	if !ok {
 		// No pending entry: the query was fire-and-forget, the originator
@@ -571,7 +611,8 @@ func (s *Scribe) resolveAnycast(seq uint64, group ids.Id, payload simnet.Message
 		// us — hand it to the orphan handler so they are released instead
 		// of leaking.
 		if accepted {
-			s.orphanAccepts++
+			s.orphanAccepts.Inc()
+			s.obs.Instant(s.node.Engine().Now(), obs.KindOrphanAccept, trace, 0, int64(by.Addr))
 			if s.OnOrphanAccept != nil {
 				s.OnOrphanAccept(group, payload, by)
 			}
@@ -579,8 +620,13 @@ func (s *Scribe) resolveAnycast(seq uint64, group ids.Id, payload simnet.Message
 		return
 	}
 	delete(s.pendingAnycast, seq)
+	var acceptedArg int64
+	if accepted {
+		acceptedArg = 1
+	}
+	s.obs.End(s.node.Engine().Now(), obs.KindAnycast, p.trace, int64(visited), acceptedArg)
 	if p.cb != nil {
-		p.cb(AnycastResult{Accepted: accepted, By: by, Visited: visited})
+		p.cb(AnycastResult{Accepted: accepted, By: by, Visited: visited, Trace: p.trace})
 	}
 }
 
@@ -725,7 +771,7 @@ func (s *Scribe) addChild(g *groupState, child pastry.NodeHandle) {
 	if child.Id == s.node.ID() {
 		return
 	}
-	s.joinsHandled++
+	s.joinsHandled.Inc()
 	g.putChild(child)
 	s.node.SendDirect(child, AppName, &joinAck{Group: g.group, Parent: s.node.Handle()})
 }

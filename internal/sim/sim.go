@@ -19,6 +19,15 @@
 // makes the sharded engine's output bit-identical to the serial engine's
 // (asserted by the sharded-equivalence property tests): the serial engine is
 // simply the K=1 special case that never pays a barrier.
+//
+// The equivalence contract is stronger than "same metrics": each node's
+// callbacks run in the same relative order in every mode, so any per-node
+// stream of observations is mode-invariant too. The internal/obs flight
+// recorder is built directly on this — it stamps events with (virtual time,
+// node, per-node sequence) and nothing else, which is why a serialized trace
+// is byte-identical between the serial and sharded engines at any shard
+// count (asserted by the trace shard-invariance test in
+// internal/experiments).
 package sim
 
 import (

@@ -14,6 +14,7 @@ import (
 	"slices"
 	"time"
 
+	"vbundle/internal/obs"
 	"vbundle/internal/sim"
 )
 
@@ -163,6 +164,12 @@ type Network struct {
 	// linkFaults holds the scheduled loss windows; Send consults them only
 	// while the slice is non-empty, so fault-free runs pay nothing.
 	linkFaults []LinkFault
+
+	// trace is the run's flight recorder (nil when disabled). obsSrc caches
+	// one recorder source per address; with recording off every entry is nil
+	// and each emit site costs a single nil-receiver branch.
+	trace  *obs.Trace
+	obsSrc []*obs.Source
 }
 
 // outMsg is one cross-shard message parked in its sender shard's outbox
@@ -312,6 +319,14 @@ func WithPerMessageDelivery() Option {
 	return func(n *Network) { n.perMessage = true }
 }
 
+// WithTrace attaches a flight recorder: message drops and fault injections
+// are recorded, per-address recorder sources become available through
+// TraceSource for the protocol layers above, and the network's traffic
+// totals register as gauges in the trace's counter registry.
+func WithTrace(tr *obs.Trace) Option {
+	return func(n *Network) { n.trace = tr }
+}
+
 // New creates a network of size nodes whose pairwise latency is given by
 // latency. Nodes are created dead; Attach brings them online.
 func New(engine *sim.Engine, size int, latency LatencyFunc, opts ...Option) *Network {
@@ -330,6 +345,17 @@ func New(engine *sim.Engine, size int, latency LatencyFunc, opts ...Option) *Net
 	}
 	for _, o := range opts {
 		o(n)
+	}
+	n.obsSrc = make([]*obs.Source, size)
+	if n.trace != nil {
+		for a := range n.obsSrc {
+			n.obsSrc[a] = n.trace.Source(int32(a))
+		}
+		reg := n.trace.Registry()
+		reg.RegisterGauge("net/msgs_sent", func() int64 { return n.sumCounters(func(c *Counters) int { return c.MsgsSent }) })
+		reg.RegisterGauge("net/msgs_received", func() int64 { return n.sumCounters(func(c *Counters) int { return c.MsgsReceived }) })
+		reg.RegisterGauge("net/bytes_sent", func() int64 { return n.sumCounters(func(c *Counters) int { return c.BytesSent }) })
+		reg.RegisterGauge("net/bytes_received", func() int64 { return n.sumCounters(func(c *Counters) int { return c.BytesReceived }) })
 	}
 	k := engine.ShardCount()
 	if engine.Sharded() {
@@ -419,8 +445,27 @@ func (n *Network) mergeOutboxes() {
 	}
 }
 
+func (n *Network) sumCounters(field func(*Counters) int) int64 {
+	var sum int64
+	for i := range n.counters {
+		sum += int64(field(&n.counters[i]))
+	}
+	return sum
+}
+
 // Engine returns the event engine driving the network.
 func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Trace returns the attached flight recorder (nil when recording is off).
+func (n *Network) Trace() *obs.Trace { return n.trace }
+
+// TraceSource returns addr's recorder source — the stream every protocol
+// layer on that node emits to. It is nil (a no-op recorder) when tracing is
+// disabled, so callers cache and use it unconditionally.
+func (n *Network) TraceSource(addr Addr) *obs.Source {
+	n.check(addr)
+	return n.obsSrc[addr]
+}
 
 // Size returns the number of addressable endpoints.
 func (n *Network) Size() int { return len(n.nodes) }
@@ -443,6 +488,11 @@ func (n *Network) Kill(addr Addr) {
 	n.check(addr)
 	was := n.nodes[addr].alive
 	n.nodes[addr].alive = false
+	if was {
+		// Fault injections run at exclusive global instants (or from idle
+		// test code), so writing the victim's own source is race-free.
+		n.obsSrc[addr].Instant(n.engine.Now(), obs.KindKill, obs.NoRef, 0, 0)
+	}
 	n.notifyLiveness(addr, was, false)
 }
 
@@ -455,6 +505,9 @@ func (n *Network) Revive(addr Addr) {
 	}
 	was := n.nodes[addr].alive
 	n.nodes[addr].alive = true
+	if !was {
+		n.obsSrc[addr].Instant(n.engine.Now(), obs.KindRevive, obs.NoRef, 0, 0)
+	}
 	n.notifyLiveness(addr, was, true)
 }
 
@@ -484,6 +537,9 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 		drop = n.dropProbability(src, dst)
 	}
 	if drop > 0 && n.dropDraw(src, idx) < drop {
+		// Recorded on the sender: the drop decision is made here, with the
+		// sender's clock, identically in every engine mode.
+		n.obsSrc[src].Instant(n.engineFor(src).Now(), obs.KindDrop, obs.NoRef, int64(dst), int64(size))
 		return
 	}
 	delay := n.latency(src, dst)

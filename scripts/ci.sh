@@ -46,7 +46,33 @@ go build -o /tmp/vb-overhead-ci ./cmd/vb-overhead
 /tmp/vb-overhead-ci -fig 14 -max-servers 512 -shards 1 -workers 1 > /tmp/vb-shards1.txt
 /tmp/vb-overhead-ci -fig 14 -max-servers 512 -shards 4 -workers 1 > /tmp/vb-shards4.txt
 diff /tmp/vb-shards1.txt /tmp/vb-shards4.txt
-rm -f /tmp/vb-overhead-ci /tmp/vb-shards1.txt /tmp/vb-shards4.txt
+
+# Tracing overhead gate: the always-on ring recorder must stay within 5%
+# wall time of a recording-free run (min of five, to shave scheduler noise;
+# a 2 ms absolute floor keeps timer jitter from failing runs this short)
+# and must not change one byte of the printed experiment metrics — the
+# recorder observes the simulation, it never participates in it.
+echo "== tracing overhead gate (Fig 14, 512 servers, ring recorder)"
+min_off=
+min_ring=
+for i in 1 2 3 4 5; do
+	start=$(date +%s%N)
+	/tmp/vb-overhead-ci -fig 14 -max-servers 512 -workers 1 > /tmp/vb-trace-off.txt
+	us=$(( ($(date +%s%N) - start) / 1000 ))
+	if [ -z "$min_off" ] || [ "$us" -lt "$min_off" ]; then min_off=$us; fi
+
+	start=$(date +%s%N)
+	/tmp/vb-overhead-ci -fig 14 -max-servers 512 -workers 1 -trace-ring 4096 > /tmp/vb-trace-ring.txt
+	us=$(( ($(date +%s%N) - start) / 1000 ))
+	if [ -z "$min_ring" ] || [ "$us" -lt "$min_ring" ]; then min_ring=$us; fi
+done
+diff /tmp/vb-trace-off.txt /tmp/vb-trace-ring.txt
+awk -v off="$min_off" -v ring="$min_ring" 'BEGIN {
+	printf "tracing off %.1f ms, ring %.1f ms (%+.1f%%)\n", off / 1000.0, ring / 1000.0, (ring - off) * 100.0 / off
+	if (ring > off * 1.05 && ring > off + 2000) { print "FAIL: ring recorder regresses wall time beyond 5%"; exit 1 }
+}'
+rm -f /tmp/vb-overhead-ci /tmp/vb-shards1.txt /tmp/vb-shards4.txt \
+	/tmp/vb-trace-off.txt /tmp/vb-trace-ring.txt
 
 # One iteration of every benchmark (a few seconds): catches benchmarks that
 # panic or fail to build without measuring anything. -short skips the
