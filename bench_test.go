@@ -416,6 +416,38 @@ func BenchmarkFig14Scale32768(b *testing.B) {
 	}
 }
 
+// benchFig14Point runs one aggregation-latency point of the given size on
+// the sharded engine: the shared body of the 131072/262144 ladder tops.
+func benchFig14Point(b *testing.B, servers int) {
+	if testing.Short() {
+		b.Skipf("%d-server ring; run without -short", servers)
+	}
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{
+			Sizes: []int{servers}, Seed: int64(i), Parallelism: 1, Shards: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		pt := out.Points[0]
+		b.ReportMetric(float64(pt.RawMean)/1e6, "msAgg")
+		b.ReportMetric(float64(pt.TreeHeight), "treeHeight")
+	}
+}
+
+// BenchmarkFig14Scale131072 and BenchmarkFig14Scale262144 extend the scale
+// ladder past 32768, the point of this PR's memory-layout and dynamic-window
+// work: pastry's handle arena and the cluster's chunked VM registry keep
+// per-node state flat, incremental aggregation keeps the per-round fold cost
+// proportional to churn, and the sharded engine's dynamically-sized windows
+// keep barrier overhead bounded as event density grows. 262144 servers is
+// 256× the paper's evaluation.
+func BenchmarkFig14Scale131072(b *testing.B) { benchFig14Point(b, 131072) }
+
+// BenchmarkFig14Scale262144 is the top of the ladder; see
+// BenchmarkFig14Scale131072.
+func BenchmarkFig14Scale262144(b *testing.B) { benchFig14Point(b, 262144) }
+
 // BenchmarkFig9Scale pins the shed/receive protocol's scale behavior: the
 // Fig. 9 rebalancing run at 2048 servers, serial versus 4 shards. Fig. 14/15
 // cover aggregation and overhead; this is the missing scale benchmark for

@@ -6,6 +6,7 @@
 //
 //	vb-bench [-bench regex] [-pkg pattern] [-benchtime 1x] [-count N] [-out file]
 //	vb-bench -compare old.json [-tolerance 0.10] ...
+//	vb-bench -compare latest                # newest BENCH_*.json by date+suffix order
 //	vb-bench -parse bench-output.txt [-out file]
 //	vb-bench -bench Fig14 -pkg . -cpuprofile cpu.out -memprofile mem.out
 //
@@ -14,9 +15,12 @@
 // single package, so combine them with a specific -pkg.
 //
 // With -compare, the freshly measured suite is checked against an earlier
-// JSON file and any benchmark whose ns/op or allocs/op grew by more than
-// the tolerance (default 10%) is reported; the exit status is 1 when
-// regressions are found. If the two snapshots record different machine
+// JSON file and any benchmark whose ns/op, B/op or allocs/op grew by more
+// than the tolerance (default 10%) is reported; the exit status is 1 when
+// regressions are found. The special value "latest" selects the newest
+// BENCH_*.json in the current directory deterministically (ISO date, then
+// the suffix's trailing number, so _pr4 beats _pr2 and a later date beats
+// any suffix), skipping the snapshot the run itself just wrote. If the two snapshots record different machine
 // shapes (GOMAXPROCS, NumCPU, GOARCH, GOOS) the deltas are printed as
 // warnings but never fail the run. With -parse, existing `go test -bench` output is
 // converted instead of running the suite (useful for archiving a run made
@@ -32,6 +36,7 @@ import (
 	"log"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -85,7 +90,7 @@ func main() {
 		count     = flag.Int("count", 1, "go test -count: samples per benchmark; costs are folded min-of-N")
 		out       = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
 		parseIn   = flag.String("parse", "", "parse an existing go test -bench output file instead of running")
-		compare   = flag.String("compare", "", "baseline JSON to compare against")
+		compare   = flag.String("compare", "", `baseline JSON to compare against ("latest" = newest BENCH_*.json)`)
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional growth before a regression is flagged")
 		quiet     = flag.Bool("q", false, "suppress the go test output echo")
 		cpuProf   = flag.String("cpuprofile", "", "forward to go test: write a CPU profile (single package only)")
@@ -146,6 +151,13 @@ func main() {
 
 	if *compare == "" {
 		return
+	}
+	if *compare == "latest" {
+		*compare = latestBaseline(path)
+		if *compare == "" {
+			log.Fatal("no BENCH_*.json baseline found for -compare latest")
+		}
+		fmt.Printf("comparing against latest snapshot %s\n", *compare)
 	}
 	var baseline Suite
 	if err := readJSON(*compare, &baseline); err != nil {
@@ -224,6 +236,25 @@ func readJSON(path string, v any) error {
 		return err
 	}
 	return json.Unmarshal(data, v)
+}
+
+// latestBaseline picks the newest BENCH_*.json snapshot in the current
+// directory, excluding the file this run just wrote. Selection goes through
+// benchparse.LatestSnapshot — date then suffix-number order — rather than
+// directory order, which ranked BENCH_2026-08-05.json against its _pr2/_pr4
+// siblings arbitrarily.
+func latestBaseline(exclude string) string {
+	matches, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return ""
+	}
+	candidates := matches[:0]
+	for _, m := range matches {
+		if m != exclude {
+			candidates = append(candidates, m)
+		}
+	}
+	return benchparse.LatestSnapshot(candidates)
 }
 
 // shared counts benchmarks present in both suites, for the success message.

@@ -86,6 +86,13 @@ type Config struct {
 	// ProcessingDelay models the per-node fold-and-forward cost; the paper
 	// measures 1–2 ms per node (§V.C). Defaults to 1.5ms.
 	ProcessingDelay time.Duration
+	// FullRefold disables the incremental fold cache: every flush re-folds
+	// the local tuples with the whole per-child info base, the original
+	// behaviour. It is the reference mode for the incremental-vs-full
+	// equivalence property tests; the results are bit-identical either way
+	// (the cache only skips re-folding subtrees whose inputs are unchanged,
+	// and the fold order over unchanged inputs is deterministic).
+	FullRefold bool
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +141,17 @@ type topicState struct {
 	sentOnce bool
 	flushing bool
 
+	// cached is the memoized subtree fold; cacheOK marks it current. The
+	// cache is invalidated only when a fold input actually changes — a local
+	// tuple takes a new value, a child pushes different values, or a child
+	// leaves the tree (reported by the scribe child-drop hook) — so the
+	// periodic refresh of an unchanged subtree costs O(1) instead of
+	// re-folding every child. Cached maps are never mutated in place; a
+	// re-fold always builds a fresh map (receivers of upMsg hold references
+	// to the old one).
+	cached  attrMap
+	cacheOK bool
+
 	global    map[string]Global
 	hasGlobal bool
 	onGlobal  map[string][]func(Global)
@@ -172,7 +190,17 @@ type tickerHandle struct{ stop func() }
 
 // New creates the aggregation manager for the given Scribe instance.
 func New(sc *scribe.Scribe, cfg Config) *Manager {
-	return &Manager{sc: sc, cfg: cfg.withDefaults(), topics: make(map[ids.Id]*topicState), obs: sc.Node().Obs()}
+	m := &Manager{sc: sc, cfg: cfg.withDefaults(), topics: make(map[ids.Id]*topicState), obs: sc.Node().Obs()}
+	// A departing child changes the subtree fold without any message
+	// arriving, so the drop hook is what keeps the fold cache honest: the
+	// next flush re-folds and compacts, exactly when the full re-fold would
+	// first have noticed the departure.
+	sc.OnChildDrop(func(group, _ ids.Id) {
+		if st, ok := m.topics[group]; ok {
+			st.cacheOK = false
+		}
+	})
+	return m
 }
 
 // Scribe returns the underlying Scribe instance.
@@ -225,7 +253,11 @@ func (m *Manager) SetLocalAttr(name, attr string, v float64) {
 	if !ok {
 		return
 	}
-	st.local[attr] = Sample(v)
+	s := Sample(v)
+	if old, had := st.local[attr]; !had || old != s {
+		st.local[attr] = s
+		st.cacheOK = false
+	}
 	m.markDirty(st, m.now())
 }
 
@@ -313,8 +345,14 @@ func (m *Manager) PublishNow(name string) {
 }
 
 // subtreeAggregates folds the local tuples with the info base, dropping
-// entries for children no longer in the tree.
+// entries for children no longer in the tree. Unchanged subtrees hit the
+// fold cache: the periodic upward refresh of a quiescent subtree then costs
+// nothing per child, so a round's total fold work scales with how much
+// actually changed, not with the tree size.
 func (m *Manager) subtreeAggregates(st *topicState) attrMap {
+	if st.cacheOK && !m.cfg.FullRefold {
+		return st.cached
+	}
 	agg := make(attrMap, len(st.local))
 	for attr, a := range st.local {
 		agg[attr] = a
@@ -332,6 +370,7 @@ func (m *Manager) subtreeAggregates(st *topicState) attrMap {
 		}
 	}
 	st.children = kept
+	st.cached, st.cacheOK = agg, true
 	return agg
 }
 
@@ -391,11 +430,15 @@ func (m *Manager) onChildUpdate(st *topicState, payload simnet.Message, from pas
 	}
 	i := sort.Search(len(st.children), func(i int) bool { return !st.children[i].id.Less(from.Id) })
 	if i < len(st.children) && st.children[i].id == from.Id {
+		if !st.children[i].vals.equal(up.Values) {
+			st.cacheOK = false
+		}
 		st.children[i].vals = up.Values
 	} else {
 		st.children = append(st.children, childAggregates{})
 		copy(st.children[i+1:], st.children[i:])
 		st.children[i] = childAggregates{id: from.Id, vals: up.Values}
+		st.cacheOK = false
 	}
 	m.markDirty(st, up.LeafSentAt)
 }

@@ -19,6 +19,10 @@ type fixture struct {
 }
 
 func newFixture(t *testing.T, racks, perRack int) *fixture {
+	return newFixtureCfg(t, racks, perRack, Config{UpdateInterval: time.Minute})
+}
+
+func newFixtureCfg(t *testing.T, racks, perRack int, cfg Config) *fixture {
 	t.Helper()
 	tp, err := topology.New(topology.Spec{
 		Racks:            racks,
@@ -37,7 +41,7 @@ func newFixture(t *testing.T, racks, perRack int) *fixture {
 	ring.BuildStatic()
 	f := &fixture{engine: engine, ring: ring, managers: make([]*Manager, ring.Size())}
 	for i, n := range ring.Nodes() {
-		f.managers[i] = New(scribe.New(n), Config{UpdateInterval: time.Minute})
+		f.managers[i] = New(scribe.New(n), cfg)
 	}
 	return f
 }

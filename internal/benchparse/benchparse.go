@@ -156,7 +156,7 @@ func MergeMin(results []Result) []Result {
 // two suites.
 type Regression struct {
 	Name string `json:"name"`
-	// Unit is the regressed quantity: "ns/op" or "allocs/op".
+	// Unit is the regressed quantity: "ns/op", "B/op" or "allocs/op".
 	Unit string  `json:"unit"`
 	Old  float64 `json:"old"`
 	New  float64 `json:"new"`
@@ -168,10 +168,10 @@ func (r Regression) String() string {
 	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", r.Name, r.Unit, r.Old, r.New, 100*(r.Ratio-1))
 }
 
-// Compare flags benchmarks present in both suites whose ns/op or allocs/op
-// grew by more than tolerance (0.10 = 10%). Benchmarks only in one suite
-// are skipped: adding or retiring a benchmark is not a regression.
-// Regressions come back sorted worst-first.
+// Compare flags benchmarks present in both suites whose ns/op, B/op or
+// allocs/op grew by more than tolerance (0.10 = 10%). Benchmarks only in
+// one suite are skipped: adding or retiring a benchmark is not a
+// regression. Regressions come back sorted worst-first.
 func Compare(old, cur []Result, tolerance float64) []Regression {
 	prev := make(map[string]Result, len(old))
 	for _, r := range old {
@@ -186,12 +186,81 @@ func Compare(old, cur []Result, tolerance float64) []Regression {
 		if o.NsPerOp > 0 && r.NsPerOp/o.NsPerOp > 1+tolerance {
 			regs = append(regs, Regression{Name: r.Name, Unit: "ns/op", Old: o.NsPerOp, New: r.NsPerOp, Ratio: r.NsPerOp / o.NsPerOp})
 		}
+		if o.HasMem && r.HasMem && o.BytesPerOp > 0 && r.BytesPerOp/o.BytesPerOp > 1+tolerance {
+			regs = append(regs, Regression{Name: r.Name, Unit: "B/op", Old: o.BytesPerOp, New: r.BytesPerOp, Ratio: r.BytesPerOp / o.BytesPerOp})
+		}
 		if o.HasMem && r.HasMem && o.AllocsPerOp > 0 && r.AllocsPerOp/o.AllocsPerOp > 1+tolerance {
 			regs = append(regs, Regression{Name: r.Name, Unit: "allocs/op", Old: o.AllocsPerOp, New: r.AllocsPerOp, Ratio: r.AllocsPerOp / o.AllocsPerOp})
 		}
 	}
 	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
 	return regs
+}
+
+// snapshotKey decomposes a BENCH_*.json snapshot filename into its sortable
+// parts: the ISO date and the trailing integer of the suffix (so _pr10
+// orders after _pr9, which plain string order would get wrong). ok is false
+// for names that are not snapshots.
+func snapshotKey(name string) (date string, seq int, ok bool) {
+	base := name
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if !strings.HasPrefix(base, "BENCH_") || !strings.HasSuffix(base, ".json") {
+		return "", 0, false
+	}
+	stem := base[len("BENCH_") : len(base)-len(".json")]
+	if len(stem) < 10 {
+		return "", 0, false
+	}
+	date, suffix := stem[:10], stem[10:]
+	// Trailing integer of the suffix, if any; suffixes without one (bare,
+	// "-seed") order before any numbered PR snapshot of the same date.
+	seq = -1
+	j := len(suffix)
+	for j > 0 && suffix[j-1] >= '0' && suffix[j-1] <= '9' {
+		j--
+	}
+	if j < len(suffix) {
+		if v, err := strconv.Atoi(suffix[j:]); err == nil {
+			seq = v
+		}
+	}
+	return date, seq, true
+}
+
+// SnapshotLess orders two snapshot filenames chronologically: by ISO date,
+// then by the suffix's trailing integer (_pr2 < _pr4 < _pr10), then by name.
+// Non-snapshot names order before every snapshot. This is the deterministic
+// order behind "latest baseline" selection — directory order is not.
+func SnapshotLess(a, b string) bool {
+	da, sa, oka := snapshotKey(a)
+	db, sb, okb := snapshotKey(b)
+	if oka != okb {
+		return !oka
+	}
+	if da != db {
+		return da < db
+	}
+	if sa != sb {
+		return sa < sb
+	}
+	return a < b
+}
+
+// LatestSnapshot returns the name that SnapshotLess orders last among the
+// given snapshot filenames, or "" when none parses as a snapshot.
+func LatestSnapshot(names []string) string {
+	best := ""
+	for _, n := range names {
+		if _, _, ok := snapshotKey(n); !ok {
+			continue
+		}
+		if best == "" || SnapshotLess(best, n) {
+			best = n
+		}
+	}
+	return best
 }
 
 // Diff reports benchmarks present in only one of the two suites: added is

@@ -105,11 +105,61 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+func TestCompareFlagsBytesPerOp(t *testing.T) {
+	old := []Result{{Name: "A", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 10, HasMem: true}}
+	cur := []Result{{Name: "A", NsPerOp: 100, BytesPerOp: 1500, AllocsPerOp: 10, HasMem: true}}
+	regs := Compare(old, cur, 0.10)
+	if len(regs) != 1 || regs[0].Unit != "B/op" || regs[0].Ratio != 1.5 {
+		t.Fatalf("B/op growth not flagged: %+v", regs)
+	}
+	// Without -benchmem columns on both sides there is nothing to gate.
+	old[0].HasMem, cur[0].HasMem = false, false
+	if regs := Compare(old, cur, 0.10); len(regs) != 0 {
+		t.Fatalf("memless suites flagged: %+v", regs)
+	}
+}
+
 func TestCompareWithinTolerance(t *testing.T) {
 	old := []Result{{Name: "A", NsPerOp: 100, AllocsPerOp: 10, HasMem: true}}
 	cur := []Result{{Name: "A", NsPerOp: 109, AllocsPerOp: 11, HasMem: true}}
 	if regs := Compare(old, cur, 0.10); len(regs) != 0 {
 		t.Errorf("9%% drift flagged as regression: %+v", regs)
+	}
+}
+
+func TestLatestSnapshot(t *testing.T) {
+	// The repository's actual snapshot lineage, deliberately shuffled: date
+	// first, then the suffix's trailing integer, with the un-suffixed (PR 1)
+	// and -seed snapshots ordering before any numbered one of the same day.
+	names := []string{
+		"BENCH_2026-08-05_pr4.json",
+		"BENCH_2026-08-05-seed.json",
+		"BENCH_2026-08-05_pr5.json",
+		"BENCH_2026-08-05.json",
+		"BENCH_2026-08-05_pr2.json",
+		"notes.txt",
+	}
+	if got := LatestSnapshot(names); got != "BENCH_2026-08-05_pr5.json" {
+		t.Fatalf("LatestSnapshot = %q, want BENCH_2026-08-05_pr5.json", got)
+	}
+	// A later date beats any suffix, and _pr10 beats _pr9 (numeric, not
+	// lexicographic, suffix order).
+	names = append(names, "BENCH_2026-08-04_pr9.json", "BENCH_2026-08-04_pr10.json")
+	if got := LatestSnapshot(names[6:]); got != "BENCH_2026-08-04_pr10.json" {
+		t.Fatalf("numeric suffix order: got %q", got)
+	}
+	if got := LatestSnapshot(names); got != "BENCH_2026-08-05_pr5.json" {
+		t.Fatalf("date precedence: got %q", got)
+	}
+	if !SnapshotLess("BENCH_2026-08-05-seed.json", "BENCH_2026-08-05.json") {
+		t.Fatal("seed snapshot must order before the bare same-day snapshot")
+	}
+	if got := LatestSnapshot([]string{"README.md"}); got != "" {
+		t.Fatalf("non-snapshots produced %q", got)
+	}
+	// Paths with directories compare by basename.
+	if got := LatestSnapshot([]string{"a/BENCH_2026-08-05.json", "b/BENCH_2026-08-06.json"}); got != "b/BENCH_2026-08-06.json" {
+		t.Fatalf("path handling: got %q", got)
 	}
 }
 

@@ -11,6 +11,7 @@ package cluster
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"vbundle/internal/ids"
@@ -187,13 +188,62 @@ func (s *Server) UtilizationBW() float64 {
 	return s.DemandBW() / s.Capacity.BandwidthMbps
 }
 
+// The VM arena grows in blocks that are allocated full-capacity and only
+// ever appended into, so they never reallocate and *VM pointers stay valid
+// for the life of the cluster. Block sizes double from vmChunkMin up to
+// vmChunkMax and stay there: small experiments (Fig. 12's 225 VMs) pay for
+// a 256-slot block instead of a 4096-slot one, while large ones still get
+// the flat-arena economics.
+const (
+	vmChunkMin = 256
+	vmChunkMax = 4096
+	// vmGeomChunks doubling blocks (256,512,1024,2048) cover the first
+	// vmGeomSlots slots; every block after them is vmChunkMax slots.
+	vmGeomChunks = 4 // log2(vmChunkMax/vmChunkMin)
+	vmGeomSlots  = vmChunkMin * ((1 << vmGeomChunks) - 1)
+)
+
+// vmChunkIndex maps a zero-based registry slot to its (chunk, offset) pair.
+// Inside the doubling region the chunk is found from the slot's magnitude:
+// slot i sits in doubling block j iff i/vmChunkMin+1 has j+1 bits.
+func vmChunkIndex(i int) (ci, off int) {
+	if i < vmGeomSlots {
+		j := bits.Len(uint(i/vmChunkMin+1)) - 1
+		return j, i - vmChunkMin*((1<<j)-1)
+	}
+	r := i - vmGeomSlots
+	return vmGeomChunks + r/vmChunkMax, r % vmChunkMax
+}
+
+// vmChunkCap is the fixed capacity of chunk ci.
+func vmChunkCap(ci int) int {
+	if ci < vmGeomChunks {
+		return vmChunkMin << ci
+	}
+	return vmChunkMax
+}
+
 // Cluster is the set of servers of one datacenter plus the VM registry.
+//
+// VM records live in a chunked arena and are addressed by their sequential
+// ID, so the registry is index arithmetic instead of a map: at experiment
+// scale (hundreds of thousands of VMs) this removes per-VM heap objects and
+// hashing from every lookup, and iteration walks memory in ID order —
+// deterministic and cache-friendly. Per-VM bookkeeping that changes at a
+// different rate than the record itself (placement, liveness) is kept in
+// parallel flat arrays rather than inside VM.
 type Cluster struct {
-	topo     *topology.Topology
-	servers  []*Server
-	vms      map[VMID]*VM
-	location map[VMID]int
-	nextID   VMID
+	topo    *topology.Topology
+	servers []*Server
+	// chunks is the VM arena: VM with ID id lives at the
+	// vmChunkIndex(int(id)-1) position.
+	chunks [][]VM
+	// location[id-1] is the server hosting the VM, or -1 while unplaced.
+	location []int32
+	// dead[id-1] marks destroyed VMs; arena slots are retired, never reused.
+	dead   []bool
+	nVMs   int // live (non-destroyed) VM count
+	nextID VMID
 }
 
 // New creates a cluster with one server per topology slot, each with the
@@ -204,10 +254,8 @@ func New(topo *topology.Topology, perServer Resources) *Cluster {
 		perServer.BandwidthMbps = topo.NICMbps()
 	}
 	c := &Cluster{
-		topo:     topo,
-		servers:  make([]*Server, topo.Servers()),
-		vms:      make(map[VMID]*VM),
-		location: make(map[VMID]int),
+		topo:    topo,
+		servers: make([]*Server, topo.Servers()),
 	}
 	for i := range c.servers {
 		c.servers[i] = NewServer(i, perServer)
@@ -234,94 +282,140 @@ func (c *Cluster) CreateVM(customer string, reservation, limit Resources) (*VM, 
 		return nil, fmt.Errorf("cluster: reservation %+v exceeds limit %+v", reservation, limit)
 	}
 	c.nextID++
-	vm := &VM{
+	i := int(c.nextID) - 1
+	ci, off := vmChunkIndex(i)
+	if ci == len(c.chunks) {
+		c.chunks = append(c.chunks, make([]VM, 0, vmChunkCap(ci)))
+	}
+	c.chunks[ci] = append(c.chunks[ci], VM{
 		ID:          c.nextID,
 		Name:        fmt.Sprintf("%s-vm%d", customer, c.nextID),
 		Customer:    customer,
 		Key:         ids.HashString(customer),
 		Reservation: reservation,
 		Limit:       limit,
-	}
-	c.vms[vm.ID] = vm
-	return vm, nil
+	})
+	c.location = append(c.location, -1)
+	c.dead = append(c.dead, false)
+	c.nVMs++
+	return &c.chunks[ci][off], nil
 }
 
 // VM returns the VM with the given id, or nil.
-func (c *Cluster) VM(id VMID) *VM { return c.vms[id] }
+func (c *Cluster) VM(id VMID) *VM {
+	i := int(id) - 1
+	if i < 0 || i >= len(c.dead) || c.dead[i] {
+		return nil
+	}
+	ci, off := vmChunkIndex(i)
+	return &c.chunks[ci][off]
+}
 
-// NumVMs returns the number of registered VMs.
-func (c *Cluster) NumVMs() int { return len(c.vms) }
+// eachVM calls fn for every live VM in ID order: a linear arena walk, no
+// sorting needed.
+func (c *Cluster) eachVM(fn func(*VM)) {
+	i := 0
+	for _, ch := range c.chunks {
+		for k := range ch {
+			if !c.dead[i] {
+				fn(&ch[k])
+			}
+			i++
+		}
+	}
+}
+
+// NumVMs returns the number of registered (non-destroyed) VMs.
+func (c *Cluster) NumVMs() int { return c.nVMs }
+
+// slot returns the registry index of id, or -1 when the id was never issued
+// or the VM is destroyed.
+func (c *Cluster) slot(id VMID) int {
+	i := int(id) - 1
+	if i < 0 || i >= len(c.dead) || c.dead[i] {
+		return -1
+	}
+	return i
+}
 
 // Place admits the VM on the given server; the VM must not be placed yet.
 func (c *Cluster) Place(vm *VM, server int) error {
-	if cur, placed := c.location[vm.ID]; placed {
+	i := c.slot(vm.ID)
+	if i < 0 {
+		return fmt.Errorf("cluster: vm %d is not registered", vm.ID)
+	}
+	if cur := c.location[i]; cur >= 0 {
 		return fmt.Errorf("cluster: vm %d already placed on server %d", vm.ID, cur)
 	}
 	if err := c.servers[server].Admit(vm); err != nil {
 		return err
 	}
-	c.location[vm.ID] = server
+	c.location[i] = int32(server)
 	return nil
 }
 
 // Migrate moves a placed VM to another server, enforcing admission at the
 // destination. On failure the VM stays where it was.
 func (c *Cluster) Migrate(id VMID, to int) error {
-	from, placed := c.location[id]
-	if !placed {
+	i := c.slot(id)
+	if i < 0 || c.location[i] < 0 {
 		return fmt.Errorf("cluster: vm %d is not placed", id)
 	}
+	from := int(c.location[i])
 	if from == to {
 		return nil
 	}
-	vm := c.vms[id]
+	vm := c.VM(id)
 	if err := c.servers[to].Admit(vm); err != nil {
 		return err
 	}
 	c.servers[from].Remove(id)
-	c.location[id] = to
+	c.location[i] = int32(to)
 	return nil
 }
 
 // Destroy removes a VM entirely: off its server (if placed) and out of the
 // registry. Destroying an unknown id is a no-op; it reports whether the VM
-// existed.
+// existed. The arena slot is retired, never reused.
 func (c *Cluster) Destroy(id VMID) bool {
-	if _, known := c.vms[id]; !known {
+	i := c.slot(id)
+	if i < 0 {
 		return false
 	}
-	if server, placed := c.location[id]; placed {
-		c.servers[server].Remove(id)
-		delete(c.location, id)
+	if s := c.location[i]; s >= 0 {
+		c.servers[s].Remove(id)
+		c.location[i] = -1
 	}
-	delete(c.vms, id)
+	c.dead[i] = true
+	c.nVMs--
 	return true
 }
 
 // LocationOf returns the server hosting the VM.
 func (c *Cluster) LocationOf(id VMID) (server int, placed bool) {
-	server, placed = c.location[id]
-	return server, placed
+	i := c.slot(id)
+	if i < 0 || c.location[i] < 0 {
+		return 0, false
+	}
+	return int(c.location[i]), true
 }
 
-// VMsOf returns the customer's VMs sorted by ID.
+// VMsOf returns the customer's VMs sorted by ID (the arena walk is already
+// in ID order).
 func (c *Cluster) VMsOf(customer string) []*VM {
 	var out []*VM
-	for _, vm := range c.vms {
+	c.eachVM(func(vm *VM) {
 		if vm.Customer == customer {
 			out = append(out, vm)
 		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	})
 	return out
 }
 
 // Customers returns the distinct customer names, sorted.
 func (c *Cluster) Customers() []string {
 	seen := make(map[string]bool)
-	for _, vm := range c.vms {
-		seen[vm.Customer] = true
-	}
+	c.eachVM(func(vm *VM) { seen[vm.Customer] = true })
 	out := make([]string, 0, len(seen))
 	for name := range seen {
 		out = append(out, name)

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"testing"
 
 	"vbundle/internal/ids"
@@ -218,5 +219,56 @@ func TestEffectiveDemandBW(t *testing.T) {
 	vm.Demand.BandwidthMbps = 150
 	if vm.EffectiveDemandBW() != 100 {
 		t.Fatal("demand above limit should cap")
+	}
+}
+
+// TestVMChunkIndex walks the slot space across every doubling-region
+// boundary and checks the (chunk, offset) mapping is a bijection onto
+// consecutive arena positions with the advertised capacities.
+func TestVMChunkIndex(t *testing.T) {
+	wantCaps := []int{256, 512, 1024, 2048, 4096, 4096}
+	ci, off := 0, 0
+	for i := 0; i < vmGeomSlots+2*vmChunkMax; i++ {
+		gc, goff := vmChunkIndex(i)
+		if gc != ci || goff != off {
+			t.Fatalf("vmChunkIndex(%d) = (%d,%d), want (%d,%d)", i, gc, goff, ci, off)
+		}
+		if off++; off == vmChunkCap(ci) {
+			ci, off = ci+1, 0
+		}
+	}
+	for i, want := range wantCaps {
+		if got := vmChunkCap(i); got != want {
+			t.Errorf("vmChunkCap(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+// TestVMPointerStabilityAcrossChunks creates enough VMs to span several
+// arena blocks and checks earlier *VM pointers still resolve to the same
+// records afterwards — the stable-address contract the blocks exist for.
+func TestVMPointerStabilityAcrossChunks(t *testing.T) {
+	c := testCluster(t)
+	var early []*VM
+	const total = vmGeomSlots + vmChunkMax + 7
+	for i := 0; i < total; i++ {
+		vm, err := c.CreateVM(fmt.Sprintf("cust%d", i), Resources{}, Resources{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i < 300 {
+			early = append(early, vm)
+		}
+	}
+	for i, vm := range early {
+		if got := c.VM(VMID(i + 1)); got != vm {
+			t.Fatalf("VM %d moved: %p vs %p", i+1, got, vm)
+		}
+		if vm.ID != VMID(i+1) {
+			t.Fatalf("VM %d record corrupted: ID %d", i+1, vm.ID)
+		}
+	}
+	if c.NumVMs() != total {
+		t.Fatalf("NumVMs = %d, want %d", c.NumVMs(), total)
 	}
 }

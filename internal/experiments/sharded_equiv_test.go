@@ -39,6 +39,32 @@ func TestShardedEquivalence(t *testing.T) {
 		}
 	})
 
+	t.Run("Fig14AggLatencyLarge", func(t *testing.T) {
+		// The dynamic drain windows reshape per-shard execution most at
+		// larger rings (more in-window events per shard, more self-caps), so
+		// the matrix is replayed at sizes where windows actually stretch.
+		if testing.Short() {
+			t.Skip("large-ring equivalence matrix skipped with -short")
+		}
+		params := func(shards int) AggLatencyParams {
+			return AggLatencyParams{Sizes: []int{512, 2048}, Seed: 11, Parallelism: 1, Shards: shards}
+		}
+		ref, err := RunAggLatency(params(0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range shardCounts {
+			got, err := RunAggLatency(params(k))
+			if err != nil {
+				t.Fatalf("shards %d: %v", k, err)
+			}
+			got.Params.Shards = 0
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("shards %d: outcome diverged from serial reference\nserial: %+v\nsharded: %+v", k, ref, got)
+			}
+		}
+	})
+
 	t.Run("Fig15MessageOverhead", func(t *testing.T) {
 		params := func(shards int) MessageOverheadParams {
 			return MessageOverheadParams{Sizes: []int{64}, Round: 30 * time.Second,

@@ -103,6 +103,14 @@ type Node struct {
 // address and attaches it to the network. The node is not joined yet: call
 // Join (or let Ring.BuildStatic populate its tables).
 func NewNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox simnet.LatencyFunc) *Node {
+	return newNode(net, addr, id, cfg, prox, nil, 0)
+}
+
+// newNode is NewNode plus an optional arena: when ar is non-nil the node's
+// leaf halves, neighborhood set and first rtRows routing-table rows are
+// carved out of it instead of allocated individually (Ring does this for
+// every node of a large ring).
+func newNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox simnet.LatencyFunc, ar *handleArena, rtRows int) *Node {
 	cfg = cfg.withDefaults()
 	// The routing table starts empty and grows by whole rows on first
 	// insert (rtSlot): a ring of n nodes only populates about log2(n)/B of
@@ -119,6 +127,19 @@ func NewNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox 
 		pendingPings: make(map[uint64]func(bool)),
 		suspicion:    make(map[simnet.Addr]int),
 		obs:          net.TraceSource(addr),
+	}
+	if ar != nil {
+		// Leaf halves carry one slot of insertion scratch beyond their
+		// steady-state bound (insertSortedByDist appends before truncating),
+		// so the chunks never outgrow the arena; same for the neighborhood
+		// set.
+		half := cfg.LeafSize / 2
+		n.leafCW = ar.take(half + 1)
+		n.leafCCW = ar.take(half + 1)
+		n.neighbors = ar.take(cfg.NeighborhoodSize + 1)
+		if rtRows > 0 {
+			n.rt = ar.take(rtRows * cfg.cols())
+		}
 	}
 	if reg := net.Trace().Registry(); reg != nil {
 		reg.Register("pastry/deliveries", &n.deliveries)
@@ -212,12 +233,22 @@ func (n *Node) markJoined() {
 func (n *Node) rtSlot(l, d int) *NodeHandle {
 	cols := n.cfg.cols()
 	if l >= n.rtRows {
-		grown := make([]NodeHandle, (l+1)*cols)
-		copy(grown, n.rt)
-		for i := len(n.rt); i < len(grown); i++ {
-			grown[i] = NoHandle // the zero NodeHandle is a real node, not "empty"
+		need := (l + 1) * cols
+		if need <= cap(n.rt) {
+			// Arena-backed (or previously grown) table: extend in place.
+			old := len(n.rt)
+			n.rt = n.rt[:need]
+			for i := old; i < need; i++ {
+				n.rt[i] = NoHandle // the zero NodeHandle is a real node, not "empty"
+			}
+		} else {
+			grown := make([]NodeHandle, need)
+			copy(grown, n.rt)
+			for i := len(n.rt); i < need; i++ {
+				grown[i] = NoHandle
+			}
+			n.rt = grown
 		}
-		n.rt = grown
 		n.rtRows = l + 1
 	}
 	return &n.rt[l*cols+d]

@@ -319,8 +319,13 @@ type Agent struct {
 	node   *pastry.Node
 	agg    *aggregation.Manager
 
-	role     Role
-	means    map[cluster.Kind]float64
+	role Role
+	// means holds the last computed cluster mean per kind, indexed by
+	// cluster.Kind (a dense 1..3 range): a fixed array instead of a map,
+	// because every agent reads it on the rebalance hot path and a cluster
+	// has one agent per server.
+	means    [kindSlots]float64
+	meansSet [kindSlots]bool
 	haveMean bool
 	inGroup  bool
 
@@ -333,12 +338,13 @@ type Agent struct {
 	// recentReleases remembers the last few released VM ids so a retried
 	// release whose ack was lost is counted as a duplicate, not unknown.
 	recentReleases []cluster.VMID
-	// shedding tracks outbound VMs already committed this round.
-	shedding map[cluster.VMID]bool
-	// shedDest maps an outbound VM to its accepted destination while the
-	// exchange is live, so an orphaned duplicate accept from the same
-	// receiver is not released out from under the running migration.
-	shedDest map[cluster.VMID]pastry.NodeHandle
+	// sheds tracks outbound VMs already committed this round, each with its
+	// accepted destination once the any-cast resolves (so an orphaned
+	// duplicate accept from the same receiver is not released out from
+	// under the running migration). A flat slice replaces the former two
+	// maps: entries number at most MaxShedsPerRound, so a linear scan is
+	// cheaper than hashing and the state is two pointers, not two tables.
+	sheds []shedState
 	// releaseAwait tracks releases sent but not yet acknowledged, keyed by
 	// (vm, receiver) so concurrent releases of one VM to different
 	// receivers (live exchange plus an orphaned accept) stay independent.
@@ -362,6 +368,49 @@ type releaseKey struct {
 	addr simnet.Addr
 }
 
+// kindSlots sizes per-kind arrays indexed directly by cluster.Kind.
+const kindSlots = int(cluster.KindMemory) + 1
+
+// shedState is one outbound VM committed this round.
+type shedState struct {
+	vm       cluster.VMID
+	dest     pastry.NodeHandle
+	haveDest bool
+}
+
+// shedEntry returns the committed-shed record for vm, or nil.
+func (a *Agent) shedEntry(vm cluster.VMID) *shedState {
+	for i := range a.sheds {
+		if a.sheds[i].vm == vm {
+			return &a.sheds[i]
+		}
+	}
+	return nil
+}
+
+func (a *Agent) isShedding(vm cluster.VMID) bool { return a.shedEntry(vm) != nil }
+
+func (a *Agent) addShed(vm cluster.VMID) {
+	a.sheds = append(a.sheds, shedState{vm: vm})
+}
+
+func (a *Agent) dropShed(vm cluster.VMID) {
+	for i := range a.sheds {
+		if a.sheds[i].vm == vm {
+			a.sheds = append(a.sheds[:i], a.sheds[i+1:]...)
+			return
+		}
+	}
+}
+
+// shedDestOf returns the accepted destination of a live exchange for vm.
+func (a *Agent) shedDestOf(vm cluster.VMID) (pastry.NodeHandle, bool) {
+	if e := a.shedEntry(vm); e != nil && e.haveDest {
+		return e.dest, true
+	}
+	return pastry.NodeHandle{}, false
+}
+
 type simTicker struct{ stop func() }
 
 func newAgent(coord *Coordinator, server int, node *pastry.Node, agg *aggregation.Manager) *Agent {
@@ -371,9 +420,6 @@ func newAgent(coord *Coordinator, server int, node *pastry.Node, agg *aggregatio
 		node:         node,
 		agg:          agg,
 		role:         RoleNeutral,
-		means:        make(map[cluster.Kind]float64),
-		shedding:     make(map[cluster.VMID]bool),
-		shedDest:     make(map[cluster.VMID]pastry.NodeHandle),
 		releaseAwait: make(map[releaseKey]bool),
 		obs:          node.Obs(),
 	}
@@ -395,14 +441,12 @@ func (a *Agent) Role() Role { return a.role }
 // MeanUtilization returns the last cluster-mean bandwidth utilization the
 // agent computed (the paper's "average utilization line").
 func (a *Agent) MeanUtilization() (float64, bool) {
-	m, ok := a.means[cluster.KindBandwidth]
-	return m, ok && a.haveMean
+	return a.means[cluster.KindBandwidth], a.meansSet[cluster.KindBandwidth] && a.haveMean
 }
 
 // MeanFor returns the cluster mean for one tracked resource kind.
 func (a *Agent) MeanFor(k cluster.Kind) (float64, bool) {
-	m, ok := a.means[k]
-	return m, ok
+	return a.means[k], a.meansSet[k]
 }
 
 func (a *Agent) start() {
@@ -483,6 +527,7 @@ func (a *Agent) reevaluate() {
 			return // wait until every tracked kind has a global
 		}
 		a.means[k] = dem.Sum / cap.Sum
+		a.meansSet[k] = true
 	}
 	a.haveMean = true
 	thr := a.coord.cfg.Threshold
@@ -664,7 +709,7 @@ func (a *Agent) projectedUtilOf(k cluster.Kind) float64 {
 	}
 	demand := srv.DemandOf(k)
 	for _, vm := range srv.VMs() {
-		if a.shedding[vm.ID] {
+		if a.isShedding(vm.ID) {
 			demand -= vm.EffectiveDemand(k)
 		}
 	}
@@ -698,7 +743,7 @@ func (a *Agent) shedChain(budget int) {
 			return
 		}
 	}
-	a.shedding[vm.ID] = true
+	a.addShed(vm.ID)
 	a.queriesSent.Inc()
 	q := &shedQuery{
 		VMID:        vm.ID,
@@ -708,25 +753,25 @@ func (a *Agent) shedChain(budget int) {
 	}
 	a.scribe().Anycast(scribe.GroupKey(LessLoadedGroup), q, func(res scribe.AnycastResult) {
 		if !res.Accepted {
-			delete(a.shedding, vm.ID)
+			a.dropShed(vm.ID)
 			return // no receiver this round; retry next interval
 		}
 		dst := int(res.By.Addr)
-		a.shedDest[vm.ID] = res.By
+		if e := a.shedEntry(vm.ID); e != nil {
+			e.dest, e.haveDest = res.By, true
+		}
 		a.migrationsTriggered.Inc()
 		// The migration span is parented to the any-cast that discovered
 		// the receiver, completing the anycast -> lease -> migration chain.
 		err := a.coord.mig.MigrateTraced(a.obs, res.Trace, vm.ID, dst, a.coord.cfg.Mode, func(error) {
-			delete(a.shedding, vm.ID)
-			delete(a.shedDest, vm.ID)
+			a.dropShed(vm.ID)
 			// Whatever the outcome, release the receiver's hold: on
 			// success the VM's demand now counts directly there; on
 			// failure (dead endpoint included) nothing will arrive.
 			a.sendRelease(res.By, vm.ID)
 		})
 		if err != nil {
-			delete(a.shedding, vm.ID)
-			delete(a.shedDest, vm.ID)
+			a.dropShed(vm.ID)
 			a.sendRelease(res.By, vm.ID)
 			return
 		}
@@ -765,7 +810,7 @@ func (a *Agent) trySendRelease(to pastry.NodeHandle, key releaseKey, retriesLeft
 // from under a live exchange.
 func (a *Agent) renewWhileInFlight(to pastry.NodeHandle, vm cluster.VMID, demand cluster.Resources) {
 	a.node.Engine().After(a.coord.cfg.RenewInterval, func() {
-		cur, live := a.shedDest[vm]
+		cur, live := a.shedDestOf(vm)
 		if !live || cur.Id != to.Id || !a.coord.mig.InFlight(vm) {
 			return
 		}
@@ -783,7 +828,7 @@ func (a *Agent) handleOrphanAccept(_ ids.Id, payload simnet.Message, by pastry.N
 	if !ok {
 		return
 	}
-	if dst, live := a.shedDest[q.VMID]; live && dst.Id == by.Id {
+	if dst, live := a.shedDestOf(q.VMID); live && dst.Id == by.Id {
 		// The live exchange's own release arrives at migration end; a
 		// duplicate accept only refreshed the same per-VM hold.
 		return
@@ -831,7 +876,7 @@ func (a *Agent) pickVictim(k cluster.Kind) *cluster.VM {
 	srv := a.coord.cl.Server(a.server)
 	var best *cluster.VM
 	for _, vm := range srv.VMs() {
-		if a.shedding[vm.ID] || a.coord.mig.InFlight(vm.ID) {
+		if a.isShedding(vm.ID) || a.coord.mig.InFlight(vm.ID) {
 			continue
 		}
 		if vm.EffectiveDemand(k) <= 0 {

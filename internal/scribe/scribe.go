@@ -161,6 +161,11 @@ type Scribe struct {
 	// resources for this verdict; the handler must release them.
 	OnOrphanAccept func(group ids.Id, payload simnet.Message, by pastry.NodeHandle)
 
+	// onChildDrop observers are told whenever a child edge is removed from a
+	// group tree (leave, failure, stale-edge prune). The aggregation layer
+	// uses it to invalidate cached subtree folds that included the child.
+	onChildDrop []func(group, child ids.Id)
+
 	maintenance *simTicker
 
 	// keyScratch is reused by sortedGroupKeys. Maps deliver their entries
@@ -707,7 +712,7 @@ func (s *Scribe) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 		g.missedBeats = 0
 	case *leaveMsg:
 		if g, ok := s.groups[m.Group]; ok {
-			g.dropChild(m.Child.Id)
+			s.dropChildOf(g, m.Child.Id)
 			s.maybePrune(g)
 		}
 	case *multicastDown:
@@ -767,6 +772,26 @@ func (s *Scribe) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 	}
 }
 
+// OnChildDrop registers fn to be called whenever a child edge is removed
+// from one of this node's group trees, with the group key and the departed
+// child's identifier. Additions are not reported: a new child has no effect
+// on derived per-child state until its first upward message.
+func (s *Scribe) OnChildDrop(fn func(group, child ids.Id)) {
+	s.onChildDrop = append(s.onChildDrop, fn)
+}
+
+// dropChildOf removes a child edge and notifies the drop observers; it
+// reports whether the edge was present.
+func (s *Scribe) dropChildOf(g *groupState, id ids.Id) bool {
+	if !g.dropChild(id) {
+		return false
+	}
+	for _, fn := range s.onChildDrop {
+		fn(g.group, id)
+	}
+	return true
+}
+
 func (s *Scribe) addChild(g *groupState, child pastry.NodeHandle) {
 	if child.Id == s.node.ID() {
 		return
@@ -792,7 +817,7 @@ func (s *Scribe) handleNodeDead(h pastry.NodeHandle) {
 				s.sendJoin(g)
 			}
 		}
-		if g.dropChild(h.Id) {
+		if s.dropChildOf(g, h.Id) {
 			s.maybePrune(g)
 		}
 	}

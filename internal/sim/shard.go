@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"time"
@@ -13,15 +14,39 @@ import (
 // state is partitioned across the shards (simnet assigns each node to the
 // shard of a deterministic hash of its address), and every cross-shard
 // interaction is a message with a nonzero link latency. That latency is the
-// lookahead: during a time window [T, T+lookahead) no shard can affect
-// another within the window, so all shards drain their own queues in
-// parallel, each on its own goroutine. At the window barrier, cross-shard
-// sends (parked in per-shard outboxes) are merged into the destination
-// queues, ordered by their band-0 keys — which were assigned at send time
-// from the traffic itself, so the merged order is identical to the order the
-// serial engine would have produced.
+// lookahead L: a shard executing an event at time t cannot affect another
+// shard before t+L, so all shards drain their own queues in parallel, each
+// on its own goroutine, up to a per-shard horizon no other shard can reach
+// into. At the window barrier, cross-shard sends (parked in per-shard
+// outboxes) are merged into the destination queues, ordered by their band-0
+// keys — which were assigned at send time from the traffic itself, so the
+// merged order is identical to the order the serial engine would have
+// produced.
 //
-// Windows end early at the next root-engine event (global drivers, keyed
+// Windows are sized dynamically. Shard i's horizon for a window is
+//
+//	H_i = min(m_{-i} + L, next root event, deadline+1)
+//
+// where m_{-i} is the earliest pending event on any *other* shard: whatever
+// the others do from m_{-i} onward, no consequence can land on shard i
+// before m_{-i}+L, so everything earlier is safe to run now. A shard far
+// ahead of its peers — or the only busy shard — gets an unbounded horizon
+// instead of barrier-stepping every L, which is what lets a hot shard (or
+// K=1) drain long stretches without serializing on the barrier.
+//
+// Two in-window actions shrink a shard's own horizon after the fact
+// (self-capping, always on the shard's own goroutine):
+//
+//   - Parking a cross-shard send arriving at a: the earliest consequence
+//     for the sender (a reply, or a longer causal chain) is a+L, so the
+//     shard caps its window at a+L.
+//   - Staging a root event at g (AtGlobal/AtKeyed from shard context): the
+//     root event must run exclusively before any node work at or after g,
+//     so the shard caps at g. Other shards are protected by the staging
+//     contract g ≥ now+L (enforced at the call site): their horizons are
+//     at most m_i + L ≤ now_i + L ≤ g.
+//
+// Windows still end at the next root-engine event (global drivers, keyed
 // completions): those run exclusively between windows, with every shard
 // clock raised to the instant, exactly where the serial engine would run
 // them (bands 2 and 3 sort after all same-instant node work).
@@ -31,8 +56,85 @@ type workerPool struct {
 }
 
 type shardCmd struct {
+	// limit is the instant to drain in instant mode; window mode reads the
+	// shard's own drainLimit field instead (it is mutable mid-drain).
 	limit   time.Duration
 	instant bool
+}
+
+// infTime is the "no bound" horizon.
+const infTime = time.Duration(math.MaxInt64)
+
+// Shard drain modes, tracked per shard engine so scheduling calls can tell
+// whether they run inside a parallel window (drainModeWindow) where the
+// staging contract and self-capping apply.
+const (
+	drainModeIdle = iota
+	drainModeWindow
+	drainModeInstant
+)
+
+// ShardStats reports one shard's share of a sharded run's work: how many
+// events it executed, how many windows it participated in, and how often it
+// shortened its own window (cross-shard sends and staged root events).
+type ShardStats struct {
+	Events  uint64
+	Windows uint64
+	Caps    uint64
+}
+
+// ShardWork returns per-shard work counters, index-aligned with Shard(i).
+// On a serial engine it returns nil. The counters accumulate across runs.
+func (e *Engine) ShardWork() []ShardStats {
+	r := e.Root()
+	if len(r.shards) == 0 {
+		return nil
+	}
+	out := make([]ShardStats, len(r.shards))
+	for i, s := range r.shards {
+		out[i] = ShardStats{Events: s.statEvents, Windows: s.statWindows, Caps: s.statCaps}
+	}
+	return out
+}
+
+// capDrain shortens the shard's current drain window to end at t. It is only
+// meaningful mid-drain on the shard's own goroutine; t is always beyond the
+// event being executed (arrivals and staged instants are at least one
+// lookahead ahead), so capping never prevents progress.
+func (e *Engine) capDrain(t time.Duration) {
+	if t < e.drainLimit {
+		e.drainLimit = t
+		e.statCaps++
+	}
+}
+
+// NoteCrossShardSend tells the sending shard's engine that a message bound
+// for another shard was parked with arrival time at. The earliest consequence
+// that can come back to this shard is at+lookahead, so the current window is
+// capped there. Outside a parallel window (setup, exclusive instants, serial
+// engines) this is a no-op: parked messages are merged before the next
+// window's horizons are computed.
+func (e *Engine) NoteCrossShardSend(at time.Duration) {
+	if e.root == nil || e.draining != drainModeWindow {
+		return
+	}
+	e.capDrain(at + e.root.lookahead)
+}
+
+// noteStaged enforces the staging contract for root events scheduled from
+// shard context and self-caps the window at the staged instant. With the
+// contract g ≥ now+lookahead every other shard's horizon already ends at or
+// before g, so after the self-cap no shard runs node work at or beyond the
+// staged instant — the root event executes in exactly the serial position.
+func (e *Engine) noteStaged(at time.Duration, band string) {
+	if e.draining != drainModeWindow {
+		return
+	}
+	if at < e.now+e.root.lookahead {
+		panic(fmt.Sprintf("sim: %s event staged at %v from shard context at %v (events staged mid-window must be scheduled at least one lookahead %v ahead)",
+			band, at, e.now, e.root.lookahead))
+	}
+	e.capDrain(at)
 }
 
 // staging collects events scheduled onto the root from shard context
@@ -186,28 +288,37 @@ func (r *Engine) mergeStaged() {
 	r.staging.giveBack(evs[:0])
 }
 
-// drainWindow runs every pending event with at < end (worker goroutine).
-func (s *Engine) drainWindow(end time.Duration) {
+// drainWindow runs every pending event with at < drainLimit (worker
+// goroutine). The limit is re-read every iteration: the events themselves
+// shrink it when they park cross-shard sends or stage root events.
+func (s *Engine) drainWindow() {
+	s.draining = drainModeWindow
+	s.statWindows++
 	for {
 		ev := s.events.front()
-		if ev == nil || ev.at >= end {
-			return
+		if ev == nil || ev.at >= s.drainLimit {
+			break
 		}
 		s.events.pop()
 		s.runEvent(ev)
+		s.statEvents++
 	}
+	s.draining = drainModeIdle
 }
 
 // drainInstant runs every pending event at exactly g (worker goroutine).
 func (s *Engine) drainInstant(g time.Duration) {
+	s.draining = drainModeInstant
 	for {
 		ev := s.events.front()
 		if ev == nil || ev.at != g {
-			return
+			break
 		}
 		s.events.pop()
 		s.runEvent(ev)
+		s.statEvents++
 	}
+	s.draining = drainModeIdle
 }
 
 func (p *workerPool) start(r *Engine) {
@@ -221,7 +332,7 @@ func (p *workerPool) start(r *Engine) {
 				if cmd.instant {
 					s.drainInstant(cmd.limit)
 				} else {
-					s.drainWindow(cmd.limit)
+					s.drainWindow()
 				}
 				p.done <- struct{}{}
 			}
@@ -259,7 +370,7 @@ func (r *Engine) dispatch(cmd shardCmd, busy func(*Engine) bool) {
 		if cmd.instant {
 			s.drainInstant(cmd.limit)
 		} else {
-			s.drainWindow(cmd.limit)
+			s.drainWindow()
 		}
 	}
 	for ; sent > 0; sent-- {
@@ -322,16 +433,45 @@ func (r *Engine) runWindows(deadline time.Duration, drainAll bool) {
 			// work first, then global/keyed events — the serial order.
 			r.runInstant(tMin)
 		} else {
-			end := tMin + r.lookahead
-			if rootEv != nil && rootEv.at < end {
-				end = rootEv.at
+			// Dynamic windows: shard i may safely run everything before
+			// m_{-i} + lookahead, the earliest instant any other shard could
+			// reach into it. The two smallest shard minima give m_{-i} for
+			// every i: the min-holder sees the second minimum, everyone else
+			// the minimum. A shard with no busy peers gets an unbounded
+			// horizon (bounded only by root events and the deadline);
+			// self-caps shrink it mid-drain as cross-shard effects appear.
+			min1, min2 := infTime, infTime
+			min1Idx := -1
+			for i, s := range r.shards {
+				if at, has := s.events.nextAt(); has {
+					if at < min1 {
+						min2 = min1
+						min1, min1Idx = at, i
+					} else if at < min2 {
+						min2 = at
+					}
+				}
 			}
-			if !drainAll && end > deadline+1 {
-				end = deadline + 1 // the window must include events at the deadline itself
+			for i, s := range r.shards {
+				other := min1
+				if i == min1Idx {
+					other = min2
+				}
+				h := infTime
+				if other != infTime {
+					h = other + r.lookahead
+				}
+				if rootEv != nil && rootEv.at < h {
+					h = rootEv.at
+				}
+				if !drainAll && deadline+1 < h {
+					h = deadline + 1 // the window must include events at the deadline itself
+				}
+				s.drainLimit = h
 			}
-			r.dispatch(shardCmd{limit: end}, func(s *Engine) bool {
+			r.dispatch(shardCmd{}, func(s *Engine) bool {
 				at, has := s.events.nextAt()
-				return has && at < end
+				return has && at < s.drainLimit
 			})
 		}
 		r.runBarriers()

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestShardWorkAccounting drives a two-shard engine through a known event
+// load and checks the per-shard work counters: every executed event is
+// attributed to its shard, windows are counted, and a serial engine reports
+// no per-shard stats at all.
+func TestShardWorkAccounting(t *testing.T) {
+	root := NewShardedEngine(1, 2)
+	root.SetLookahead(time.Millisecond)
+	const perShard = 101 // initial event plus 100 rescheduled ticks
+	var ran [2]int
+	for i := 0; i < 2; i++ {
+		i := i
+		s := root.Shard(i)
+		var tick func(k int)
+		tick = func(k int) {
+			ran[i]++
+			if k < perShard-1 {
+				s.After(100*time.Microsecond, func() { tick(k + 1) })
+			}
+		}
+		s.At(0, func() { tick(0) })
+	}
+	root.Run()
+
+	stats := root.ShardWork()
+	if len(stats) != 2 {
+		t.Fatalf("ShardWork returned %d entries, want 2", len(stats))
+	}
+	var total uint64
+	for i, st := range stats {
+		if ran[i] != perShard {
+			t.Errorf("shard %d ran %d events, want %d", i, ran[i], perShard)
+		}
+		if st.Events == 0 || st.Windows == 0 {
+			t.Errorf("shard %d stats empty: %+v", i, st)
+		}
+		total += st.Events
+	}
+	if total != 2*perShard {
+		t.Errorf("total attributed events = %d, want %d", total, 2*perShard)
+	}
+	// Shard engines resolve to the root's view; a serial engine has none.
+	if got := root.Shard(1).ShardWork(); len(got) != 2 {
+		t.Errorf("ShardWork via shard engine returned %d entries, want 2", len(got))
+	}
+	if NewEngine(1).ShardWork() != nil {
+		t.Error("serial engine reported per-shard stats")
+	}
+}
+
+// TestShardWorkCountsCaps checks the self-cap counter: a shard that stages a
+// root event mid-window shortens its own window and must record the cap.
+func TestShardWorkCountsCaps(t *testing.T) {
+	root := NewShardedEngine(1, 2)
+	lookahead := time.Millisecond
+	root.SetLookahead(lookahead)
+	s := root.Shard(0)
+	fired := false
+	// Two shard events in one window; the first stages a root event one
+	// lookahead ahead, which self-caps the rest of the window.
+	s.At(0, func() {
+		s.AtGlobal(s.Now()+lookahead, func() { fired = true })
+	})
+	s.At(100*time.Microsecond, func() {})
+	root.Run()
+	if !fired {
+		t.Fatal("staged root event never ran")
+	}
+	stats := root.ShardWork()
+	if stats[0].Caps == 0 {
+		t.Errorf("staging shard recorded no self-caps: %+v", stats[0])
+	}
+}

@@ -12,8 +12,9 @@
 //     of its own. This is the default and the reference implementation.
 //   - Sharded (NewShardedEngine): a root engine coordinating K shard
 //     engines, each drained by its own goroutine inside barrier-synchronized
-//     time windows whose width is the configured lookahead (the minimum
-//     cross-shard link latency). See shard.go.
+//     time windows sized dynamically from the shards' queues and the
+//     configured lookahead (the minimum cross-shard link latency). See
+//     shard.go.
 //
 // Both modes order same-instant events by the same key bands, which is what
 // makes the sharded engine's output bit-identical to the serial engine's
@@ -118,6 +119,18 @@ type Engine struct {
 	barriers  []func()
 	staging   staging
 	workers   workerPool
+
+	// Per-shard dynamic-window state (see shard.go). drainLimit is the
+	// exclusive end of the shard's current window, written by the root while
+	// the shard is quiescent and shrunk by the shard's own events
+	// (self-capping); draining records the shard's drain mode so scheduling
+	// calls know whether they run inside a parallel window. The stat counters
+	// feed ShardWork.
+	drainLimit  time.Duration
+	draining    int
+	statEvents  uint64
+	statWindows uint64
+	statCaps    uint64
 }
 
 // NewEngine returns a serial engine whose clock starts at zero and whose
@@ -268,6 +281,9 @@ func (e *Engine) AtGlobal(t time.Duration, fn func()) {
 	e.mustInit()
 	r := e.Root()
 	if len(r.shards) > 0 {
+		if e != r {
+			e.noteStaged(t, "global")
+		}
 		r.staging.add(t, keyGlobal, fn)
 		return
 	}
@@ -288,13 +304,17 @@ func (e *Engine) AfterGlobal(delay time.Duration, fn func()) {
 // the caller's key, so the execution order is identical however many shards
 // staged them. The canonical user is migration completion, keyed by VM id.
 //
-// In sharded mode the event's timestamp must lie at or beyond the end of the
-// current window (callers schedule completions at least one lookahead ahead;
-// in practice migration durations are orders of magnitude larger).
+// In sharded mode an event staged from shard context mid-window must lie at
+// least one lookahead beyond the staging shard's clock (enforced by a panic;
+// in practice migration durations are orders of magnitude larger), which
+// keeps it beyond every shard's window horizon.
 func (e *Engine) AtKeyed(t time.Duration, key uint64, fn func()) {
 	e.mustInit()
 	r := e.Root()
 	if len(r.shards) > 0 {
+		if e != r {
+			e.noteStaged(t, "keyed")
+		}
 		r.staging.add(t, keyKeyed|(key&keyPayloadMax), fn)
 		return
 	}

@@ -559,11 +559,14 @@ func (n *Network) Send(src, dst Addr, msg Message) {
 	at := n.engineFor(src).Now() + delay
 	if n.engines != nil && n.shardID[src] != n.shardID[dst] {
 		// Cross-shard: park in the sender shard's outbox. The latency is at
-		// least the engine's lookahead, so the message lands beyond the
-		// current window and the barrier merge schedules it in time.
+		// least the engine's lookahead, so the message lands beyond every
+		// shard's window horizon and the barrier merge schedules it in time.
+		// The sender's own window is capped so it does not outrun the
+		// consequences (a reply chain can reach back from at+lookahead).
 		sh := n.shardID[src]
 		n.outboxes[sh] = append(n.outboxes[sh], outMsg{dst: dst,
 			p: pending{at: at, key: key, from: src, size: size, msg: msg}})
+		n.engines[src].NoteCrossShardSend(at)
 		return
 	}
 	box := &n.inboxes[dst]

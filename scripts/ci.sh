@@ -47,6 +47,25 @@ go build -o /tmp/vb-overhead-ci ./cmd/vb-overhead
 /tmp/vb-overhead-ci -fig 14 -max-servers 512 -shards 4 -workers 1 > /tmp/vb-shards4.txt
 diff /tmp/vb-shards1.txt /tmp/vb-shards4.txt
 
+# The same gate at 2048 servers and the widest shard spread (1 vs 8): the
+# dynamically-sized drain windows stretch furthest at larger rings — a
+# lookahead bug that 512 servers and 4 shards would mask (few in-window
+# events per shard) has to survive this point too.
+echo "== sharded determinism diff (Fig 14, 2048 servers, dynamic windows, 1 vs 8 shards)"
+/tmp/vb-overhead-ci -fig 14 -max-servers 2048 -shards 1 -workers 1 > /tmp/vb-shards1.txt
+/tmp/vb-overhead-ci -fig 14 -max-servers 2048 -shards 8 -workers 1 > /tmp/vb-shards4.txt
+diff /tmp/vb-shards1.txt /tmp/vb-shards4.txt
+
+# Heap-profile smoke on the 32768-server point: -memprofile must produce a
+# non-empty pprof through internal/profiling while the arena-backed ring
+# builds and runs. Catches profiling-path rot and any allocation explosion
+# at the scale the memory-layout work targets.
+echo "== heap profile smoke (Fig 14, 32768 servers)"
+/tmp/vb-overhead-ci -fig 14 -max-servers 32768 -shards 4 -workers 1 \
+	-memprofile /tmp/vb-heap.pprof > /dev/null
+test -s /tmp/vb-heap.pprof || { echo "FAIL: empty heap profile"; exit 1; }
+rm -f /tmp/vb-heap.pprof
+
 # Tracing overhead gate: the always-on ring recorder must stay within 5%
 # wall time of a recording-free run (min of five, to shave scheduler noise;
 # a 2 ms absolute floor keeps timer jitter from failing runs this short)
