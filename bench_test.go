@@ -703,6 +703,90 @@ func BenchmarkChurnLocality(b *testing.B) {
 	}
 }
 
+// --- Boot-query serving layer -----------------------------------------------
+
+func bootServeParams(servers int, rate float64, cache, batch bool, shards int, seed int64) experiments.ServeParams {
+	return experiments.ServeParams{
+		Spec:       experiments.ScaledSpec(servers),
+		RatePerSec: rate,
+		Duration:   10 * time.Second,
+		Prewarm:    2,
+		Cache:      cache,
+		Batch:      batch,
+		Seed:       seed,
+		Shards:     shards,
+	}
+}
+
+func reportBootServe(b *testing.B, out *experiments.ServeOutcome, elapsed time.Duration) {
+	b.Helper()
+	placed := out.Stats.Placed
+	if placed > 0 {
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(placed), "ns/placement")
+	}
+	b.ReportMetric(out.PlacedPerSec, "placements/s")
+	b.ReportMetric(out.MsgsPerPlacement, "msgs/placement")
+	b.ReportMetric(out.P50, "p50ms")
+	b.ReportMetric(out.P99, "p99ms")
+	if out.LeakedReservations != 0 || out.Unresolved != 0 {
+		b.Fatalf("hygiene: %d leaked, %d unresolved", out.LeakedReservations, out.Unresolved)
+	}
+}
+
+// BenchmarkBootServe is the serving-layer ladder: the same repeat-heavy
+// boot/terminate stream (a handful of large customers dominating arrivals)
+// against the optimization gates. The headline comparison is msgs/placement
+// and wall ns/placement for baseline vs cached+batched at 512 servers — the
+// coalesced direct-hop path serves an order of magnitude cheaper (the
+// deterministic ≥5× gate lives in TestServeCacheAndBatchingCutServingCost).
+// The 2048- and 32768-server rungs report virtual-time placement-latency
+// percentiles at scale.
+func BenchmarkBootServe(b *testing.B) {
+	run := func(b *testing.B, p experiments.ServeParams) {
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			out, err := experiments.RunServe(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reportBootServe(b, out, time.Since(start))
+		}
+	}
+	b.Run("512/baseline", func(b *testing.B) { run(b, bootServeParams(512, 200, false, false, 0, 7)) })
+	b.Run("512/cached", func(b *testing.B) { run(b, bootServeParams(512, 200, true, false, 0, 7)) })
+	b.Run("512/cached-batched", func(b *testing.B) { run(b, bootServeParams(512, 200, true, true, 0, 7)) })
+	b.Run("2048/cached-batched", func(b *testing.B) { run(b, bootServeParams(2048, 400, true, true, 0, 7)) })
+	b.Run("32768/cached-batched", func(b *testing.B) {
+		if testing.Short() {
+			b.Skip("32768-server serving rung; run without -short")
+		}
+		run(b, bootServeParams(32768, 800, true, true, 4, 7))
+	})
+}
+
+// BenchmarkBootServeFlash measures the admission-control path under a flash
+// crowd: a 10× arrival spike into a fixed in-flight budget. Shed fraction
+// inside the flash window is the figure of merit; hygiene (no leaked
+// reservation, no unresolved boot) is asserted every iteration.
+func BenchmarkBootServeFlash(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := bootServeParams(512, 200, true, true, 0, 7)
+		p.FlashMultiplier = 10
+		p.FlashStart = 3 * time.Second
+		p.FlashLength = 3 * time.Second
+		p.MaxInFlight = 256
+		start := time.Now()
+		out, err := experiments.RunServe(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportBootServe(b, out, time.Since(start))
+		if out.FlashRequests > 0 {
+			b.ReportMetric(float64(out.FlashShed)/float64(out.FlashRequests), "flashShedFrac")
+		}
+	}
+}
+
 // BenchmarkAblationShaperMode compares the two surplus-sharing policies of
 // the tc shaper (equal-share vs HTB's rate-proportional) on a saturated
 // NIC with mixed class sizes.

@@ -374,21 +374,46 @@ func (c *Cluster) Migrate(id VMID, to int) error {
 	return nil
 }
 
+// Unplace evicts a placed VM from its server without destroying it: the VM
+// stays registered and can be placed again. It reports the server whose
+// capacity it freed; ok is false when the VM is unknown or was not placed.
+func (c *Cluster) Unplace(id VMID) (server int, ok bool) {
+	i := c.slot(id)
+	if i < 0 || c.location[i] < 0 {
+		return -1, false
+	}
+	server = int(c.location[i])
+	c.servers[server].Remove(id)
+	c.location[i] = -1
+	return server, true
+}
+
 // Destroy removes a VM entirely: off its server (if placed) and out of the
 // registry. Destroying an unknown id is a no-op; it reports whether the VM
 // existed. The arena slot is retired, never reused.
 func (c *Cluster) Destroy(id VMID) bool {
+	_, existed := c.Terminate(id)
+	return existed
+}
+
+// Terminate is Destroy for the serving layer's terminate path: it
+// additionally reports which server's capacity the VM freed (-1 when the VM
+// was never placed), so callers can attribute the release without a second
+// lookup.
+func (c *Cluster) Terminate(id VMID) (server int, existed bool) {
 	i := c.slot(id)
 	if i < 0 {
-		return false
+		return -1, false
 	}
+	server = -1
 	if s := c.location[i]; s >= 0 {
+		server = int(s)
 		c.servers[s].Remove(id)
 		c.location[i] = -1
 	}
 	c.dead[i] = true
 	c.nVMs--
-	return true
+	return server, true
 }
 
 // LocationOf returns the server hosting the VM.

@@ -73,6 +73,9 @@ type WaveOutcome struct {
 	Placed, Failed int
 	// MeanHops is the mean boot-query cost this wave (DHT only).
 	MeanHops float64
+	// HopP50 and HopP99 are quantiles of the cumulative per-placement hop
+	// distribution up to this wave (DHT only).
+	HopP50, HopP99 int
 }
 
 // PlacementOutcome is the result of RunPlacement.
@@ -122,6 +125,10 @@ func RunPlacement(p PlacementParams) (*PlacementOutcome, error) {
 		if placed > 0 {
 			wo.MeanHops = float64(hops) / float64(placed)
 		}
+		if dht, ok := vb.Placer.(*placement.DHT); ok {
+			wo.HopP50 = dht.HopQuantile(0.50)
+			wo.HopP99 = dht.HopQuantile(0.99)
+		}
 		wo.Snapshot = placement.Snapshot(vb.Cluster)
 		wo.Quality = vb.PlacementQuality()
 		out.Waves = append(out.Waves, wo)
@@ -159,8 +166,8 @@ func (o *PlacementOutcome) Report(w io.Writer) {
 	writeHeader(w, fig, fmt.Sprintf("VM/PM mappings, engine=%s, %d wave(s) × %d VMs × %d customers",
 		o.Engine, o.Params.Waves, o.Params.VMsPerWavePerCustomer, len(o.Params.Customers)))
 	for wi, wave := range o.Waves {
-		fmt.Fprintf(w, "after wave %d: placed=%d failed=%d meanQueryHops=%.1f\n",
-			wi+1, wave.Placed, wave.Failed, wave.MeanHops)
+		fmt.Fprintf(w, "after wave %d: placed=%d failed=%d meanQueryHops=%.1f hopP50=%d hopP99=%d\n",
+			wi+1, wave.Placed, wave.Failed, wave.MeanHops, wave.HopP50, wave.HopP99)
 		customers := make([]string, 0, len(wave.Quality.PerCustomer))
 		for c := range wave.Quality.PerCustomer {
 			customers = append(customers, c)

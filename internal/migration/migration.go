@@ -154,7 +154,16 @@ type Manager struct {
 	// the root engine in the keyed band (deterministic order), so they get
 	// the root recorder source rather than any node's.
 	rootObs *obs.Source
+	// hooks run after every migration attempt finishes, in registration
+	// order, inside the keyed completion band (exclusive on the root, so
+	// deterministic for any shard count). The serving layer registers one to
+	// evict its customer→rendezvous cache when a VM moves.
+	hooks []CompletionHook
 }
+
+// CompletionHook observes a finished migration attempt: the VM, where it
+// moved from and to, and the outcome (nil = the VM now runs on dst).
+type CompletionHook func(vm *cluster.VM, src, dst int, err error)
 
 // New creates a migration manager.
 func New(engine *sim.Engine, cl *cluster.Cluster, cfg Config) *Manager {
@@ -182,6 +191,11 @@ func (m *Manager) SetEngineFor(engineFor func(server int) *sim.Engine) { m.engin
 // SetTrace attaches the run's flight recorder; completions are recorded on
 // its root source. A nil trace (recording off) is accepted.
 func (m *Manager) SetTrace(tr *obs.Trace) { m.rootObs = tr.Source(obs.RootSource) }
+
+// AddOnComplete registers a completion hook. Hooks run before the caller's
+// onDone, in the keyed completion band. Not safe to call while migrations
+// are in flight.
+func (m *Manager) AddOnComplete(h CompletionHook) { m.hooks = append(m.hooks, h) }
 
 func (m *Manager) serverAlive(s int) bool { return m.alive == nil || m.alive(s) }
 
@@ -306,6 +320,9 @@ func (m *Manager) MigrateTraced(rec *obs.Source, parent obs.Ref, id cluster.VMID
 		}
 		if span != obs.NoRef {
 			m.rootObs.End(m.engine.Now(), obs.KindMigration, span, int64(id), outcome)
+		}
+		for _, h := range m.hooks {
+			h(vm, src, dst, err)
 		}
 		if onDone != nil {
 			onDone(err)

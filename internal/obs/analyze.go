@@ -232,7 +232,7 @@ func (ix *Index) Summary(w io.Writer, counters map[string]int64) {
 	fmt.Fprintf(w, "%d events over %v (virtual %v .. %v)\n\n", len(ix.events), last-first, first, last)
 
 	fmt.Fprintln(w, "events by kind:")
-	for k := KindRouteHop; k <= KindRevive; k++ {
+	for k := KindRouteHop; k <= KindTerminate; k++ {
 		if evs := ix.byKind[k]; len(evs) > 0 {
 			fmt.Fprintf(w, "  %-14s %8d  [%s]\n", k.String(), len(evs), k.Subsystem())
 		}

@@ -93,6 +93,19 @@ const (
 	// KindKill and KindRevive are node fault injections.
 	KindKill
 	KindRevive
+	// KindBoot spans one boot request through the serving layer, from
+	// submission to placement or failure (A = VM id; B at begin: 1 if the
+	// resolution cache was hot for the customer; B at end: accepting server,
+	// -1 on failure). Begins on the root source (submissions run at
+	// exclusive instants) and ends on the gateway node's source, joined by
+	// the span ref — the same split the migration span uses.
+	KindBoot
+	// KindBootShed is an admission-control rejection (A = in-flight boots at
+	// the decision, B = the configured limit).
+	KindBootShed
+	// KindTerminate is a serve-layer terminate request (A = VM id,
+	// B = the server whose capacity it freed, -1 on a miss).
+	KindTerminate
 )
 
 // String returns the kind's trace_event name.
@@ -126,6 +139,12 @@ func (k Kind) String() string {
 		return "kill"
 	case KindRevive:
 		return "revive"
+	case KindBoot:
+		return "boot"
+	case KindBootShed:
+		return "boot_shed"
+	case KindTerminate:
+		return "terminate"
 	default:
 		return "unknown"
 	}
@@ -147,6 +166,8 @@ func (k Kind) Subsystem() string {
 		return "migration"
 	case KindDrop, KindKill, KindRevive:
 		return "net"
+	case KindBoot, KindBootShed, KindTerminate:
+		return "serve"
 	default:
 		return "other"
 	}
@@ -154,7 +175,7 @@ func (k Kind) Subsystem() string {
 
 // kindFromName inverts String for the trace reader.
 func kindFromName(name string) Kind {
-	for k := KindRouteHop; k <= KindRevive; k++ {
+	for k := KindRouteHop; k <= KindTerminate; k++ {
 		if k.String() == name {
 			return k
 		}

@@ -1,0 +1,96 @@
+package placement
+
+import (
+	"testing"
+	"time"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/pastry"
+	"vbundle/internal/sim"
+	"vbundle/internal/topology"
+)
+
+func benchWorld(b *testing.B, servers int) (*sim.Engine, *cluster.Cluster, *DHT) {
+	b.Helper()
+	tp, err := topology.New(topology.Spec{
+		Racks:            (servers + 7) / 8,
+		ServersPerRack:   8,
+		RacksPerPod:      2,
+		NICMbps:          1000,
+		Oversubscription: 8,
+		LANHop:           time.Millisecond,
+		LocalDelivery:    10 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.NewEngine(1)
+	ring := pastry.NewRing(engine, tp, pastry.Config{}, pastry.HierarchyAssigner)
+	ring.BuildStatic()
+	cl := cluster.New(tp, cluster.Resources{CPU: 64, MemMB: 1 << 20})
+	return engine, cl, NewDHT(ring, cl, DHTConfig{})
+}
+
+// BenchmarkBootQuerySteadyState measures the full boot hot path — query
+// envelope, overlay route, region walk, admission, reply — in its steady
+// state: one VM is placed and removed again each iteration, so every query
+// resolves against the same cluster. Envelope pooling, pre-sized walk
+// buffers and the single-timer timeout wheel make the loop nearly
+// allocation-free; allocs/op is the figure of merit here, reported so
+// regressions show up in vb-bench snapshots.
+func BenchmarkBootQuerySteadyState(b *testing.B) {
+	engine, cl, d := benchWorld(b, 256)
+	vm, err := cl.CreateVM("bench", cluster.Resources{CPU: 1, MemMB: 128, BandwidthMbps: 100},
+		cluster.Resources{CPU: 2, MemMB: 256, BandwidthMbps: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := func(r Result, err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	place := func() {
+		d.Place(vm, done)
+		engine.Run()
+	}
+	// Warm the pools and the route before measuring.
+	place()
+	cl.Unplace(vm.ID)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		place()
+		cl.Unplace(vm.ID)
+	}
+}
+
+// BenchmarkBootQueryCached is the same loop with the resolution cache
+// attached: after the first routed query every placement skips the overlay
+// route and reaches the rendezvous in one direct hop.
+func BenchmarkBootQueryCached(b *testing.B) {
+	engine, cl, d := benchWorld(b, 256)
+	d.SetCache(NewResolutionCache())
+	vm, err := cl.CreateVM("bench", cluster.Resources{CPU: 1, MemMB: 128, BandwidthMbps: 100},
+		cluster.Resources{CPU: 2, MemMB: 256, BandwidthMbps: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := func(r Result, err error) {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	place := func() {
+		d.Place(vm, done)
+		engine.Run()
+	}
+	place()
+	cl.Unplace(vm.ID)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		place()
+		cl.Unplace(vm.ID)
+	}
+}

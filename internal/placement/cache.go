@@ -1,0 +1,90 @@
+package placement
+
+import "vbundle/internal/pastry"
+
+// ResolutionCache remembers each customer's rendezvous node — where the
+// overlay route for hash(customer) delivers — so repeat boots can skip the
+// multi-hop route and reach the customer's region in one direct hop.
+//
+// Coherence rule: the rendezvous is a function of the customer key and ring
+// membership, not of where the customer's VMs sit, so a spill walk started
+// from a cached rendezvous admits exactly where the routed walk would have.
+// Entries are still invalidated whenever a migration moves one of the
+// customer's VMs (wired through the migration and rebalance completion
+// hooks) and whenever a direct query times out: the first guards rendezvous
+// staleness against membership or liveness change around the footprint, the
+// second detects a dead rendezvous outright. Only a full routed query may
+// (re)populate an entry, so an in-flight direct answer can never resurrect
+// an entry that was just evicted.
+//
+// The cache is engine-state: it is only touched from simulation contexts
+// (gateway deliveries, exclusive root instants), which the engine already
+// serializes in a deterministic order for any shard count.
+type ResolutionCache struct {
+	entries map[string]pastry.NodeHandle
+
+	hits      uint64
+	misses    uint64
+	stores    uint64
+	evictions uint64
+}
+
+// CacheStats is a counter snapshot.
+type CacheStats struct {
+	Hits, Misses, Stores, Evictions uint64
+	Size                            int
+}
+
+// NewResolutionCache creates an empty cache.
+func NewResolutionCache() *ResolutionCache {
+	return &ResolutionCache{entries: make(map[string]pastry.NodeHandle)}
+}
+
+// Lookup returns the cached rendezvous for the customer and counts the
+// hit or miss.
+func (c *ResolutionCache) Lookup(customer string) (pastry.NodeHandle, bool) {
+	h, ok := c.entries[customer]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return h, ok
+}
+
+// Peek is Lookup without touching the hit/miss counters, for observers
+// that must not perturb the stats.
+func (c *ResolutionCache) Peek(customer string) (pastry.NodeHandle, bool) {
+	h, ok := c.entries[customer]
+	return h, ok
+}
+
+// Store records the rendezvous a routed query resolved for the customer.
+func (c *ResolutionCache) Store(customer string, home pastry.NodeHandle) {
+	if home.IsNil() {
+		return
+	}
+	c.entries[customer] = home
+	c.stores++
+}
+
+// Invalidate drops the customer's entry. Idempotent: only an actual
+// removal counts as an eviction.
+func (c *ResolutionCache) Invalidate(customer string) {
+	if _, ok := c.entries[customer]; !ok {
+		return
+	}
+	delete(c.entries, customer)
+	c.evictions++
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *ResolutionCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Stores:    c.stores,
+		Evictions: c.evictions,
+		Size:      len(c.entries),
+	}
+}

@@ -18,6 +18,7 @@ package placement
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"vbundle/internal/cluster"
@@ -124,8 +125,7 @@ const AppName = "vb-place"
 // DHTConfig tunes the DHT engine.
 type DHTConfig struct {
 	// MaxSpillHops bounds the spill walk after the rendezvous server; a
-	// query that exhausts it fails. Defaults to 4 × the cluster size's
-	// square root, generously above any realistic spill.
+	// query that exhausts it fails. Defaults to the cluster size.
 	MaxSpillHops int
 	// Gateway is the server index that originates boot queries (the cloud
 	// front end submits through it). Defaults to 0.
@@ -150,25 +150,59 @@ func (c DHTConfig) withDefaults(clusterSize int) DHTConfig {
 
 // DHT is the topology-aware engine. One agent runs on every Pastry node;
 // the engine's Place routes a boot query from the gateway toward
-// hash(customer).
+// hash(customer). PlaceBatch admits several VMs of one customer along a
+// single walk, and an optional ResolutionCache lets repeat boots skip the
+// overlay route entirely (one direct hop to the customer's rendezvous).
 type DHT struct {
-	ring *pastry.Ring
-	cl   *cluster.Cluster
-	cfg  DHTConfig
+	ring   *pastry.Ring
+	cl     *cluster.Cluster
+	cfg    DHTConfig
+	agents []*dhtAgent
+	cache  *ResolutionCache // nil = no fast path
 
 	seq     uint64
-	pending map[uint64]*pendingQuery
+	pending map[uint64]pendingQuery
+
+	// Timeout wheel: queries share one outstanding timer. QueryTimeout is
+	// constant, so deadlines are FIFO; completed queries are skipped lazily
+	// when their slot fires. This replaces one scheduled closure per query
+	// with one armed timer total — the boot hot path allocates nothing for
+	// timeout tracking.
+	tq         []qTimeout
+	tqHead     int
+	timerArmed bool
+	timerFn    func()
 
 	// stats
 	placed     int
 	totalHops  int
 	maxHops    int
 	spillFails int
+	timeouts   int
+	hopHist    []int // hopHist[h] = placements whose query took h hops
 }
 
+type qTimeout struct {
+	seq uint64
+	at  time.Duration
+}
+
+// pendingQuery is the gateway-side record of an in-flight query. Exactly one
+// of single/batch is set.
 type pendingQuery struct {
-	vm     *cluster.VM
-	onDone func(Result, error)
+	single   func(Result, error)
+	batch    func(int, Result, error)
+	customer string
+	n        int
+	direct   bool // served via the cache fast path (evict on timeout)
+}
+
+func (pq pendingQuery) deliver(i int, r Result, err error) {
+	if pq.batch != nil {
+		pq.batch(i, r, err)
+		return
+	}
+	pq.single(r, err)
 }
 
 // NewDHT builds the engine and registers its agent on every ring node.
@@ -180,10 +214,14 @@ func NewDHT(ring *pastry.Ring, cl *cluster.Cluster, cfg DHTConfig) *DHT {
 		ring:    ring,
 		cl:      cl,
 		cfg:     cfg.withDefaults(cl.Size()),
-		pending: make(map[uint64]*pendingQuery),
+		agents:  make([]*dhtAgent, ring.Size()),
+		pending: make(map[uint64]pendingQuery),
 	}
+	d.timerFn = d.onTimer
 	for i, node := range ring.Nodes() {
-		node.Register(AppName, &dhtAgent{d: d, server: i, node: node})
+		a := &dhtAgent{d: d, server: i, node: node}
+		d.agents[i] = a
+		node.Register(AppName, a)
 	}
 	return d
 }
@@ -191,19 +229,124 @@ func NewDHT(ring *pastry.Ring, cl *cluster.Cluster, cfg DHTConfig) *DHT {
 // Name implements Engine.
 func (d *DHT) Name() string { return "vbundle-dht" }
 
+// SetCache attaches a customer→rendezvous resolution cache. Subsequent
+// boots for a cached customer skip the overlay route and go straight to the
+// recorded rendezvous in one hop; the spill walk from there is identical to
+// the routed walk, so the placement outcome does not change. Nil detaches.
+func (d *DHT) SetCache(c *ResolutionCache) { d.cache = c }
+
+// Cache returns the attached resolution cache, if any.
+func (d *DHT) Cache() *ResolutionCache { return d.cache }
+
 // Place implements Engine: route a boot query toward hash(customer).
 func (d *DHT) Place(vm *cluster.VM, onDone func(Result, error)) {
-	d.seq++
-	seq := d.seq
-	d.pending[seq] = &pendingQuery{vm: vm, onDone: onDone}
-	gateway := d.ring.Node(d.cfg.Gateway)
-	gateway.Engine().After(d.cfg.QueryTimeout, func() {
-		if pq, ok := d.pending[seq]; ok {
-			delete(d.pending, seq)
-			pq.onDone(Result{}, fmt.Errorf("placement: query %d for vm %d timed out", seq, vm.ID))
+	q := acquireQuery()
+	q.VMs = append(q.VMs, vm)
+	q.Servers = append(q.Servers, -1)
+	q.HopsAt = append(q.HopsAt, 0)
+	d.launch(q, pendingQuery{single: onDone})
+}
+
+// PlaceBatch admits a batch of VMs — all belonging to one customer — along a
+// single query walk: the walk admits as many VMs as each visited server can
+// take and keeps spilling while any remain. onDone fires once per VM, in
+// batch order, when the query resolves. Panics on an empty batch or mixed
+// customers (a programming error: batches coalesce one customer's boots).
+func (d *DHT) PlaceBatch(vms []*cluster.VM, onDone func(int, Result, error)) {
+	if len(vms) == 0 {
+		panic("placement: empty batch")
+	}
+	q := acquireQuery()
+	for _, vm := range vms {
+		if vm.Customer != vms[0].Customer {
+			panic("placement: batch mixes customers")
 		}
-	})
-	gateway.Route(vm.Key, AppName, &bootQuery{Seq: seq, VM: vm, Origin: gateway.Handle()})
+		q.VMs = append(q.VMs, vm)
+		q.Servers = append(q.Servers, -1)
+		q.HopsAt = append(q.HopsAt, 0)
+	}
+	d.launch(q, pendingQuery{batch: onDone})
+}
+
+func (d *DHT) launch(q *bootQuery, pq pendingQuery) {
+	vm0 := q.VMs[0]
+	q.Customer = vm0.Customer
+	q.Key = vm0.Key
+	d.seq++
+	q.Seq = d.seq
+	pq.customer = vm0.Customer
+	pq.n = len(q.VMs)
+	gateway := d.ring.Node(d.cfg.Gateway)
+	q.Origin = gateway.Handle()
+	d.armTimeout(q.Seq)
+	if d.cache != nil {
+		if home, ok := d.cache.Lookup(vm0.Customer); ok {
+			// Fast path: skip the overlay route, one direct hop to the
+			// remembered rendezvous. Routed = false keeps a direct walk
+			// from re-populating the cache (a stale entry must only be
+			// refreshed by a full route).
+			pq.direct = true
+			d.pending[q.Seq] = pq
+			q.Home = home
+			if home.Addr == gateway.Addr() {
+				// The gateway is the rendezvous: admit synchronously, the
+				// same short-circuit replies use.
+				q.Spill++
+				d.agents[d.cfg.Gateway].tryAdmit(q)
+				return
+			}
+			gateway.SendDirect(home, AppName, q)
+			return
+		}
+	}
+	q.Routed = true
+	d.pending[q.Seq] = pq
+	gateway.Route(q.Key, AppName, q)
+}
+
+func (d *DHT) armTimeout(seq uint64) {
+	eng := d.ring.Node(d.cfg.Gateway).Engine()
+	d.tq = append(d.tq, qTimeout{seq: seq, at: eng.Now() + d.cfg.QueryTimeout})
+	if !d.timerArmed {
+		d.timerArmed = true
+		eng.After(d.cfg.QueryTimeout, d.timerFn)
+	}
+}
+
+func (d *DHT) onTimer() {
+	d.timerArmed = false
+	eng := d.ring.Node(d.cfg.Gateway).Engine()
+	now := eng.Now()
+	for d.tqHead < len(d.tq) && d.tq[d.tqHead].at <= now {
+		seq := d.tq[d.tqHead].seq
+		d.tqHead++
+		pq, ok := d.pending[seq]
+		if !ok {
+			continue // resolved long ago
+		}
+		delete(d.pending, seq)
+		d.timeouts++
+		if pq.direct && d.cache != nil {
+			// The rendezvous we trusted never answered — it may be dead.
+			// Drop the entry so the next boot takes the full route.
+			d.cache.Invalidate(pq.customer)
+		}
+		err := fmt.Errorf("placement: query %d for customer %s timed out", seq, pq.customer)
+		for i := 0; i < pq.n; i++ {
+			pq.deliver(i, Result{}, err)
+		}
+	}
+	if d.tqHead == len(d.tq) {
+		d.tq = d.tq[:0]
+		d.tqHead = 0
+		return
+	}
+	if d.tqHead > 1024 && d.tqHead > len(d.tq)/2 {
+		d.tq = append(d.tq[:0], d.tq[d.tqHead:]...)
+		d.tqHead = 0
+	}
+	d.timerArmed = true
+	eng.After(d.tq[d.tqHead].at-now, d.timerFn)
 }
 
 // Stats reports placements completed, mean and max query hops, and spill
@@ -216,39 +359,106 @@ func (d *DHT) Stats() (placed int, meanHops float64, maxHops, failures int) {
 	return d.placed, mean, d.maxHops, d.spillFails
 }
 
-func (d *DHT) finish(seq uint64, server, hops int, ok bool) {
-	pq, pending := d.pending[seq]
-	if !pending {
-		return // timed out
+// Timeouts reports queries that expired unanswered.
+func (d *DHT) Timeouts() int { return d.timeouts }
+
+// HopQuantile returns the q-quantile (0 < q ≤ 1, nearest-rank) of the
+// per-placement hop distribution, or 0 when nothing has been placed.
+func (d *DHT) HopQuantile(q float64) int {
+	if d.placed == 0 {
+		return 0
 	}
-	delete(d.pending, seq)
-	if ok {
-		d.placed++
-		d.totalHops += hops
-		if hops > d.maxHops {
-			d.maxHops = hops
+	rank := int(q*float64(d.placed) + 0.9999999)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > d.placed {
+		rank = d.placed
+	}
+	cum := 0
+	for h, n := range d.hopHist {
+		cum += n
+		if cum >= rank {
+			return h
 		}
-		pq.onDone(Result{Server: server, Hops: hops}, nil)
-		return
 	}
-	d.spillFails++
-	pq.onDone(Result{}, fmt.Errorf("placement: spill walk exhausted for vm %d", pq.vm.ID))
+	return d.maxHops
 }
 
-// bootQuery carries a VM boot request toward its customer key and then
-// along the spill walk. The VM pointer is an in-process simulation shortcut
-// for the attribute bundle a real query would serialize.
+func (d *DHT) recordHops(h int) {
+	for h >= len(d.hopHist) {
+		d.hopHist = append(d.hopHist, 0)
+	}
+	d.hopHist[h]++
+}
+
+// finish resolves a returned query at the gateway: record stats, refresh the
+// cache, fire callbacks, recycle the envelope.
+func (d *DHT) finish(q *bootQuery) {
+	pq, ok := d.pending[q.Seq]
+	if !ok {
+		releaseQuery(q) // timed out before the answer arrived
+		return
+	}
+	delete(d.pending, q.Seq)
+	if d.cache != nil && q.Routed {
+		for _, s := range q.Servers {
+			if s >= 0 {
+				d.cache.Store(q.Customer, q.Home)
+				break
+			}
+		}
+	}
+	for i := range q.VMs {
+		if s := q.Servers[i]; s >= 0 {
+			hops := int(q.HopsAt[i])
+			d.placed++
+			d.totalHops += hops
+			if hops > d.maxHops {
+				d.maxHops = hops
+			}
+			d.recordHops(hops)
+			pq.deliver(i, Result{Server: int(s), Hops: hops}, nil)
+		} else {
+			d.spillFails++
+			pq.deliver(i, Result{}, fmt.Errorf("placement: spill walk exhausted for vm %d", q.VMs[i].ID))
+		}
+	}
+	releaseQuery(q)
+}
+
+// bootQuery carries a batch of one customer's VM boot requests toward the
+// customer key and then along the spill walk; with Done set, the same
+// envelope carries the per-VM answers back to the origin. The VM pointers
+// are an in-process simulation shortcut for the attribute bundles a real
+// query would serialize. Envelopes are pooled: the final replier hands the
+// envelope back to the gateway, which recycles it after the callbacks run.
 type bootQuery struct {
-	Seq     uint64
-	VM      *cluster.VM
+	Seq      uint64
+	Customer string
+	Key      ids.Id
+	VMs      []*cluster.VM
+	// Servers[i] is the server that admitted VMs[i], -1 while unplaced.
+	Servers []int32
+	// HopsAt[i] is the walk's hop count when VMs[i] was admitted.
+	HopsAt  []int32
 	Origin  pastry.NodeHandle
+	Home    pastry.NodeHandle // rendezvous where the route delivered
+	Routed  bool              // took the full overlay route (may refresh the cache)
+	Done    bool              // answer leg: heading back to Origin
 	Spill   int
 	Visited []ids.Id
 }
 
 // WireSize implements simnet.WireSizer: a realistic boot request carries the
-// VM attribute tuple, origin and the visited list.
-func (q *bootQuery) WireSize() int { return 64 + 20 + 16*len(q.Visited) }
+// per-VM attribute tuples, origin and the visited list; the answer carries a
+// (server, hops) pair per VM.
+func (q *bootQuery) WireSize() int {
+	if q.Done {
+		return 24 + 8*len(q.VMs)
+	}
+	return 64 + 20 + 24*len(q.VMs) + 16*len(q.Visited)
+}
 
 func (q *bootQuery) visited(id ids.Id) bool {
 	for _, v := range q.Visited {
@@ -259,16 +469,40 @@ func (q *bootQuery) visited(id ids.Id) bool {
 	return false
 }
 
-// bootReply reports the accepting server (or failure) to the gateway.
-type bootReply struct {
-	Seq    uint64
-	Server int
-	Hops   int
-	OK     bool
-}
+// queryPool recycles boot envelopes. Pre-sizing Visited for a generous walk
+// and the VM vectors for a typical batch makes the steady-state boot path
+// allocation-free; sync.Pool keeps recycling safe when shards run on
+// separate goroutines (an envelope released on one shard may be reused on
+// another only through the pool's synchronization).
+var queryPool = sync.Pool{New: func() any {
+	return &bootQuery{
+		VMs:     make([]*cluster.VM, 0, 8),
+		Servers: make([]int32, 0, 8),
+		HopsAt:  make([]int32, 0, 8),
+		Visited: make([]ids.Id, 0, 64),
+	}
+}}
 
-// WireSize implements simnet.WireSizer.
-func (bootReply) WireSize() int { return 8 + 4 + 4 + 1 }
+func acquireQuery() *bootQuery { return queryPool.Get().(*bootQuery) }
+
+func releaseQuery(q *bootQuery) {
+	for i := range q.VMs {
+		q.VMs[i] = nil
+	}
+	q.VMs = q.VMs[:0]
+	q.Servers = q.Servers[:0]
+	q.HopsAt = q.HopsAt[:0]
+	q.Visited = q.Visited[:0]
+	q.Seq = 0
+	q.Customer = ""
+	q.Key = ids.Id{}
+	q.Origin = pastry.NoHandle
+	q.Home = pastry.NoHandle
+	q.Routed = false
+	q.Done = false
+	q.Spill = 0
+	queryPool.Put(q)
+}
 
 // dhtAgent is the per-server protocol handler.
 type dhtAgent struct {
@@ -285,36 +519,49 @@ func (a *dhtAgent) Deliver(_ ids.Id, payload simnet.Message, info pastry.RouteIn
 	if !ok {
 		return
 	}
+	q.Home = a.node.Handle()
 	q.Spill += info.Hops
 	a.tryAdmit(q)
 }
 
-// HandleDirect implements pastry.App: spill-walk forwarding and replies.
+// HandleDirect implements pastry.App: spill-walk forwarding and answers.
 func (a *dhtAgent) HandleDirect(_ pastry.NodeHandle, payload simnet.Message) {
-	switch m := payload.(type) {
-	case *bootQuery:
-		m.Spill++
-		a.tryAdmit(m)
-	case *bootReply:
-		a.d.finish(m.Seq, m.Server, m.Hops, m.OK)
+	m, ok := payload.(*bootQuery)
+	if !ok {
+		return
 	}
+	if m.Done {
+		a.d.finish(m)
+		return
+	}
+	m.Spill++
+	a.tryAdmit(m)
 }
 
 func (a *dhtAgent) tryAdmit(q *bootQuery) {
 	q.Visited = append(q.Visited, a.node.ID())
-	if a.d.cl.Server(a.server).CanAdmit(q.VM) {
-		if err := a.d.cl.Place(q.VM, a.server); err == nil {
-			a.reply(q, true)
-			return
+	srv := a.d.cl.Server(a.server)
+	unplaced := 0
+	for i, vm := range q.VMs {
+		if q.Servers[i] >= 0 {
+			continue
 		}
+		if srv.CanAdmit(vm) {
+			if err := a.d.cl.Place(vm, a.server); err == nil {
+				q.Servers[i] = int32(a.server)
+				q.HopsAt[i] = int32(q.Spill)
+				continue
+			}
+		}
+		unplaced++
 	}
-	if q.Spill >= a.d.cfg.MaxSpillHops {
-		a.reply(q, false)
+	if unplaced == 0 || q.Spill >= a.d.cfg.MaxSpillHops {
+		a.reply(q)
 		return
 	}
 	next := a.nextSpillTarget(q)
 	if next.IsNil() {
-		a.reply(q, false)
+		a.reply(q)
 		return
 	}
 	a.node.SendDirect(next, AppName, q)
@@ -336,7 +583,7 @@ func (a *dhtAgent) nextSpillTarget(q *bootQuery) pastry.NodeHandle {
 		switch {
 		case best.IsNil(), lat < bestLat:
 			best, bestLat = h, lat
-		case lat == bestLat && ids.CloserTo(q.VM.Key, h.Id, best.Id):
+		case lat == bestLat && ids.CloserTo(q.Key, h.Id, best.Id):
 			best = h
 		}
 	}
@@ -353,13 +600,14 @@ func (a *dhtAgent) nextSpillTarget(q *bootQuery) pastry.NodeHandle {
 	return best
 }
 
-func (a *dhtAgent) reply(q *bootQuery, ok bool) {
-	msg := &bootReply{Seq: q.Seq, Server: a.server, Hops: q.Spill, OK: ok}
+// reply sends the query envelope back to the origin as the answer.
+func (a *dhtAgent) reply(q *bootQuery) {
+	q.Done = true
 	if q.Origin.Addr == a.node.Addr() {
-		a.HandleDirect(q.Origin, msg)
+		a.d.finish(q)
 		return
 	}
-	a.node.SendDirect(q.Origin, AppName, msg)
+	a.node.SendDirect(q.Origin, AppName, q)
 }
 
 var _ Engine = (*DHT)(nil)

@@ -200,6 +200,11 @@ type Coordinator struct {
 	analyzer *costbenefit.Analyzer // nil when cost-benefit is disabled
 	agents   []*Agent
 
+	// onMigrated, when set, observes every rebalance-driven migration
+	// attempt as its shed chain completes (keyed band, deterministic
+	// order). The serving layer evicts its resolution cache here.
+	onMigrated func(vm *cluster.VM, err error)
+
 	started bool
 }
 
@@ -220,6 +225,10 @@ func NewCoordinator(ring *pastry.Ring, cl *cluster.Cluster, mig *migration.Manag
 
 // Config returns the effective configuration.
 func (c *Coordinator) Config() Config { return c.cfg }
+
+// SetOnMigrated installs the hook observing rebalance-driven migration
+// completions (nil err = the VM moved). Set it before Start.
+func (c *Coordinator) SetOnMigrated(fn func(vm *cluster.VM, err error)) { c.onMigrated = fn }
 
 // Agent returns the agent for server i.
 func (c *Coordinator) Agent(i int) *Agent { return c.agents[i] }
@@ -763,12 +772,15 @@ func (a *Agent) shedChain(budget int) {
 		a.migrationsTriggered.Inc()
 		// The migration span is parented to the any-cast that discovered
 		// the receiver, completing the anycast -> lease -> migration chain.
-		err := a.coord.mig.MigrateTraced(a.obs, res.Trace, vm.ID, dst, a.coord.cfg.Mode, func(error) {
+		err := a.coord.mig.MigrateTraced(a.obs, res.Trace, vm.ID, dst, a.coord.cfg.Mode, func(merr error) {
 			a.dropShed(vm.ID)
 			// Whatever the outcome, release the receiver's hold: on
 			// success the VM's demand now counts directly there; on
 			// failure (dead endpoint included) nothing will arrive.
 			a.sendRelease(res.By, vm.ID)
+			if cb := a.coord.onMigrated; cb != nil {
+				cb(vm, merr)
+			}
 		})
 		if err != nil {
 			a.dropShed(vm.ID)

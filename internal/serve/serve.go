@@ -1,0 +1,375 @@
+// Package serve is the boot-query serving layer: the cloud front end that
+// turns a sustained stream of boot and terminate requests into placement
+// queries against the live DHT engine (paper §II), on the simulation clock.
+//
+// Three hot-path optimizations, each individually gated by Config:
+//
+//   - Resolution cache: repeat boots for a customer skip the overlay route
+//     and reach the customer's rendezvous in one direct hop. The cache is
+//     invalidated whenever a migration moves one of the customer's VMs
+//     (wired into the migration and rebalance completion paths) and on
+//     direct-query timeouts; only a full routed query repopulates it.
+//   - Batching: boots for a customer that arrive while that customer
+//     already has a query in flight are coalesced and flushed as a single
+//     walked query that admits the whole batch; group boots (one request,
+//     several VMs) ride one query from the start.
+//   - Admission control: beyond MaxInFlight outstanding boot VMs the front
+//     end sheds new requests with a typed *OverloadError before any VM or
+//     reservation exists, so overload degrades into explicit rejections —
+//     never a collapse, never a leaked reservation.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"vbundle/internal/cluster"
+	"vbundle/internal/core"
+	"vbundle/internal/metrics"
+	"vbundle/internal/obs"
+	"vbundle/internal/placement"
+	"vbundle/internal/sim"
+)
+
+// ErrOverloaded is the sentinel matched by errors.Is for admission-control
+// rejections.
+var ErrOverloaded = errors.New("serve: boot shed: serving capacity exceeded")
+
+// OverloadError reports a shed boot request with the admission state at the
+// decision. It wraps ErrOverloaded.
+type OverloadError struct {
+	Customer string
+	InFlight int
+	Limit    int
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: boot for %s shed: %d boots in flight, limit %d", e.Customer, e.InFlight, e.Limit)
+}
+
+// Unwrap makes errors.Is(err, ErrOverloaded) true.
+func (e *OverloadError) Unwrap() error { return ErrOverloaded }
+
+// Config gates the serving-layer optimizations.
+type Config struct {
+	// Cache enables the customer→rendezvous resolution cache.
+	Cache bool
+	// Batch coalesces concurrent boots per customer into batched queries.
+	Batch bool
+	// MaxBatch caps how many VMs one query carries. Defaults to 32.
+	MaxBatch int
+	// MaxInFlight bounds outstanding (submitted or queued) boot VMs before
+	// admission control sheds new requests. 0 disables shedding.
+	MaxInFlight int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	return c
+}
+
+// Stats is a snapshot of the front end's counters. All values are exact
+// virtual-time quantities, so they are identical for any shard count.
+type Stats struct {
+	// Requested counts boot VMs submitted (admitted + shed).
+	Requested int
+	// Shed counts boot VMs rejected by admission control.
+	Shed int
+	// Placed and Failed count resolved boot VMs.
+	Placed, Failed int
+	// Terminated counts destroyed VMs; TerminateMisses are terminate
+	// requests for customers with nothing running.
+	Terminated, TerminateMisses int
+	// Queries counts placement queries launched; Batches those carrying
+	// more than one VM; BatchedVMs the VMs that rode them.
+	Queries, Batches, BatchedVMs int
+}
+
+// customerState is the per-customer serving record.
+type customerState struct {
+	// queued boots await coalescing onto the next query.
+	queued []*cluster.VM
+	// inFlightQueries counts this customer's outstanding queries; with
+	// batching on it stays ≤ 1 and arrivals beyond it queue.
+	inFlightQueries int
+	// live holds the customer's running VMs ordered by id, so terminates
+	// free the oldest VM regardless of query completion order.
+	live []cluster.VMID
+}
+
+// Frontend is the serving layer over one VBundle instance.
+//
+// Boot and Terminate must be called from exclusive simulation contexts
+// (global-band callbacks or between runs); completions arrive on the
+// gateway node's context. Both are serialized by the engine's barriers, so
+// the front end needs no locks and behaves identically at any shard count.
+type Frontend struct {
+	cfg     Config
+	cl      *cluster.Cluster
+	dht     *placement.DHT
+	gateway *sim.Engine
+	cache   *placement.ResolutionCache
+
+	inFlight  int
+	customers map[string]*customerState
+	submitAt  map[cluster.VMID]time.Duration
+	bootSpans map[cluster.VMID]obs.Ref
+
+	latency metrics.CDF // placement latency, ms of virtual time
+
+	requested, shed, placed, failed obs.Counter
+	terminated, termMisses          obs.Counter
+	queries, batches, batchedVMs    obs.Counter
+	rootObs, gwObs                  *obs.Source
+}
+
+// New wires a front end onto the instance's DHT placer. The cache gate
+// attaches a resolution cache to the DHT and registers invalidation hooks on
+// the migration manager and the rebalance coordinator. Counters are
+// registered on the trace registry when tracing is on.
+func New(vb *core.VBundle, cfg Config) (*Frontend, error) {
+	dht, ok := vb.Placer.(*placement.DHT)
+	if !ok {
+		return nil, fmt.Errorf("serve: front end requires the DHT engine, got %s", vb.Placer.Name())
+	}
+	cfg = cfg.withDefaults()
+	gw := vb.Ring.Node(vb.Options().DHT.Gateway)
+	f := &Frontend{
+		cfg:       cfg,
+		cl:        vb.Cluster,
+		dht:       dht,
+		gateway:   gw.Engine(),
+		customers: make(map[string]*customerState),
+		submitAt:  make(map[cluster.VMID]time.Duration),
+		bootSpans: make(map[cluster.VMID]obs.Ref),
+	}
+	if tr := vb.Options().Trace; tr != nil {
+		f.rootObs = tr.Source(obs.RootSource)
+		f.gwObs = gw.Obs()
+		reg := tr.Registry()
+		reg.Register("serve/requested", &f.requested)
+		reg.Register("serve/shed", &f.shed)
+		reg.Register("serve/placed", &f.placed)
+		reg.Register("serve/failed", &f.failed)
+		reg.Register("serve/terminated", &f.terminated)
+		reg.Register("serve/terminate_misses", &f.termMisses)
+		reg.Register("serve/queries", &f.queries)
+		reg.Register("serve/batches", &f.batches)
+		reg.Register("serve/batched_vms", &f.batchedVMs)
+	}
+	if cfg.Cache {
+		f.cache = placement.NewResolutionCache()
+		dht.SetCache(f.cache)
+		invalidate := func(vm *cluster.VM, err error) {
+			if err == nil {
+				f.cache.Invalidate(vm.Customer)
+			}
+		}
+		vb.Migration.AddOnComplete(func(vm *cluster.VM, _, _ int, err error) { invalidate(vm, err) })
+		vb.Rebalancer.SetOnMigrated(invalidate)
+	}
+	return f, nil
+}
+
+// Cache returns the attached resolution cache (nil when the gate is off).
+func (f *Frontend) Cache() *placement.ResolutionCache { return f.cache }
+
+// Unresolved counts boot VMs still queued or in flight; after a drain it
+// must be zero or the front end leaked a boot.
+func (f *Frontend) Unresolved() int { return f.inFlight }
+
+// Latency returns the virtual-time placement latency distribution
+// (milliseconds, submission to admission, successful placements only).
+func (f *Frontend) Latency() *metrics.CDF { return &f.latency }
+
+// Stats snapshots the counters.
+func (f *Frontend) Stats() Stats {
+	return Stats{
+		Requested:       int(f.requested.Value()),
+		Shed:            int(f.shed.Value()),
+		Placed:          int(f.placed.Value()),
+		Failed:          int(f.failed.Value()),
+		Terminated:      int(f.terminated.Value()),
+		TerminateMisses: int(f.termMisses.Value()),
+		Queries:         int(f.queries.Value()),
+		Batches:         int(f.batches.Value()),
+		BatchedVMs:      int(f.batchedVMs.Value()),
+	}
+}
+
+func (f *Frontend) state(customer string) *customerState {
+	cs, ok := f.customers[customer]
+	if !ok {
+		cs = &customerState{}
+		f.customers[customer] = cs
+	}
+	return cs
+}
+
+// Boot submits one boot request of group VMs for the customer. It returns
+// how many were admitted; when admission control sheds the rest the error
+// is a *OverloadError and no VM (or reservation) exists for the shed part.
+func (f *Frontend) Boot(customer string, group int, reservation, limit cluster.Resources) (int, error) {
+	cs := f.state(customer)
+	now := f.gateway.Now()
+	admitted := make([]*cluster.VM, 0, group)
+	for i := 0; i < group; i++ {
+		f.requested.Inc()
+		if f.cfg.MaxInFlight > 0 && f.inFlight >= f.cfg.MaxInFlight {
+			shedCount := group - i
+			f.shed.Add(int64(shedCount))
+			f.requested.Add(int64(shedCount - 1))
+			f.rootObs.Instant(now, obs.KindBootShed, obs.NoRef, int64(f.inFlight), int64(f.cfg.MaxInFlight))
+			f.submit(customer, cs, admitted)
+			return len(admitted), &OverloadError{Customer: customer, InFlight: f.inFlight, Limit: f.cfg.MaxInFlight}
+		}
+		vm, err := f.cl.CreateVM(customer, reservation, limit)
+		if err != nil {
+			f.submit(customer, cs, admitted)
+			return len(admitted), err
+		}
+		// The booted workload immediately exerts its reserved demand, so
+		// the rebalancer has real load to shuffle.
+		vm.Demand = reservation
+		f.inFlight++
+		f.submitAt[vm.ID] = now
+		if f.rootObs.Enabled() {
+			hot := int64(0)
+			if f.cache != nil {
+				if _, ok := f.cache.Peek(customer); ok {
+					hot = 1
+				}
+			}
+			f.bootSpans[vm.ID] = f.rootObs.Begin(now, obs.KindBoot, obs.NoRef, int64(vm.ID), hot)
+		}
+		admitted = append(admitted, vm)
+	}
+	f.submit(customer, cs, admitted)
+	return len(admitted), nil
+}
+
+// submit routes freshly admitted boots: coalesce behind an in-flight query
+// when batching is on, otherwise launch immediately.
+func (f *Frontend) submit(customer string, cs *customerState, vms []*cluster.VM) {
+	if len(vms) == 0 {
+		return
+	}
+	if !f.cfg.Batch {
+		for _, vm := range vms {
+			f.launch(customer, cs, nil, vm)
+		}
+		return
+	}
+	cs.queued = append(cs.queued, vms...)
+	// Launch immediately when nothing is in flight (no coalescing partner
+	// exists yet), and whenever a full batch has accumulated — so one slow
+	// query never caps a busy customer's throughput at MaxBatch per
+	// round-trip.
+	for cs.inFlightQueries == 0 && len(cs.queued) > 0 || len(cs.queued) >= f.cfg.MaxBatch {
+		f.flush(customer, cs)
+	}
+}
+
+// flush launches one query carrying up to MaxBatch queued VMs.
+func (f *Frontend) flush(customer string, cs *customerState) {
+	n := len(cs.queued)
+	if n == 0 {
+		return
+	}
+	if n > f.cfg.MaxBatch {
+		n = f.cfg.MaxBatch
+	}
+	batch := make([]*cluster.VM, n)
+	copy(batch, cs.queued)
+	rest := copy(cs.queued, cs.queued[n:])
+	for i := rest; i < len(cs.queued); i++ {
+		cs.queued[i] = nil
+	}
+	cs.queued = cs.queued[:rest]
+	f.launch(customer, cs, batch, nil)
+}
+
+// launch starts one placement query for either a prepared batch or a single
+// VM and tracks its completion.
+func (f *Frontend) launch(customer string, cs *customerState, batch []*cluster.VM, single *cluster.VM) {
+	if single != nil {
+		batch = append(batch, single)
+	}
+	f.queries.Inc()
+	if len(batch) > 1 {
+		f.batches.Inc()
+		f.batchedVMs.Add(int64(len(batch)))
+	}
+	cs.inFlightQueries++
+	remaining := len(batch)
+	f.dht.PlaceBatch(batch, func(i int, r placement.Result, err error) {
+		f.resolve(batch[i], r, err)
+		remaining--
+		if remaining == 0 {
+			cs.inFlightQueries--
+			if f.cfg.Batch {
+				f.flush(customer, cs)
+			}
+		}
+	})
+}
+
+// resolve finishes one boot VM: stats, latency, live list — or destroy on
+// failure so nothing stays half-booted.
+func (f *Frontend) resolve(vm *cluster.VM, r placement.Result, err error) {
+	f.inFlight--
+	now := f.gateway.Now()
+	submitted := f.submitAt[vm.ID]
+	delete(f.submitAt, vm.ID)
+	span, hasSpan := f.bootSpans[vm.ID]
+	if hasSpan {
+		delete(f.bootSpans, vm.ID)
+	}
+	if err != nil {
+		f.failed.Inc()
+		f.cl.Destroy(vm.ID)
+		if hasSpan {
+			f.gwObs.End(now, obs.KindBoot, span, int64(vm.ID), -1)
+		}
+		return
+	}
+	f.placed.Inc()
+	f.latency.AddDuration(now - submitted)
+	cs := f.state(vm.Customer)
+	cs.live = append(cs.live, vm.ID)
+	for i := len(cs.live) - 1; i > 0 && cs.live[i-1] > cs.live[i]; i-- {
+		cs.live[i-1], cs.live[i] = cs.live[i], cs.live[i-1]
+	}
+	if hasSpan {
+		f.gwObs.End(now, obs.KindBoot, span, int64(vm.ID), int64(r.Server))
+	}
+}
+
+// Terminate destroys the customer's oldest running VM, freeing its
+// reservation. It reports the VM and the server whose capacity it freed;
+// ok is false (a counted miss) when the customer has nothing running.
+func (f *Frontend) Terminate(customer string) (id cluster.VMID, server int, ok bool) {
+	cs := f.state(customer)
+	if len(cs.live) == 0 {
+		f.termMisses.Inc()
+		return 0, -1, false
+	}
+	id = cs.live[0]
+	copy(cs.live, cs.live[1:])
+	cs.live = cs.live[:len(cs.live)-1]
+	server, _ = f.cl.Terminate(id)
+	f.terminated.Inc()
+	f.rootObs.Instant(f.gateway.Now(), obs.KindTerminate, obs.NoRef, int64(id), int64(server))
+	return id, server, true
+}
+
+// Live counts the customer's running VMs.
+func (f *Frontend) Live(customer string) int {
+	if cs, ok := f.customers[customer]; ok {
+		return len(cs.live)
+	}
+	return 0
+}

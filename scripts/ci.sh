@@ -93,6 +93,29 @@ awk -v off="$min_off" -v ring="$min_ring" 'BEGIN {
 rm -f /tmp/vb-overhead-ci /tmp/vb-shards1.txt /tmp/vb-shards4.txt \
 	/tmp/vb-trace-off.txt /tmp/vb-trace-ring.txt
 
+# Serving-layer smoke: a Poisson stream and a flash crowd at 512 servers
+# end to end through vb-serve (the binary exits nonzero on any leaked
+# reservation or unresolved boot), then the sharded-determinism gate on the
+# serving path — the rendered serve report at -shards 1 and -shards 4 must
+# be byte-identical. The hygiene lines are also asserted explicitly so a
+# future change to the binary's exit behaviour cannot silently weaken this.
+echo "== vb-serve smoke (Poisson + flash crowd, 512 servers, shard diff)"
+go build -o /tmp/vb-serve-ci ./cmd/vb-serve
+/tmp/vb-serve-ci -servers 512 -rate 100 -duration 20s -prewarm 2 \
+	-cache -batch -seed 7 -shards 1 > /tmp/vb-serve1.txt
+/tmp/vb-serve-ci -servers 512 -rate 100 -duration 20s -prewarm 2 \
+	-cache -batch -seed 7 -shards 4 > /tmp/vb-serve4.txt
+diff /tmp/vb-serve1.txt /tmp/vb-serve4.txt
+grep -q '^leaked reservations: 0$' /tmp/vb-serve1.txt || { echo "FAIL: leaked reservations"; exit 1; }
+grep -q '^unresolved boots: 0$' /tmp/vb-serve1.txt || { echo "FAIL: unresolved boots"; exit 1; }
+/tmp/vb-serve-ci -servers 512 -rate 100 -duration 20s -prewarm 2 \
+	-cache -batch -flash-mult 10 -flash-start 6s -flash-len 5s -max-inflight 64 \
+	-seed 7 > /tmp/vb-serve-flash.txt
+grep -q 'flash window: requests=[0-9]* shed=[1-9]' /tmp/vb-serve-flash.txt || { echo "FAIL: flash crowd shed nothing"; exit 1; }
+grep -q '^leaked reservations: 0$' /tmp/vb-serve-flash.txt || { echo "FAIL: leaked reservations under flash"; exit 1; }
+grep -q '^unresolved boots: 0$' /tmp/vb-serve-flash.txt || { echo "FAIL: unresolved boots under flash"; exit 1; }
+rm -f /tmp/vb-serve-ci /tmp/vb-serve1.txt /tmp/vb-serve4.txt /tmp/vb-serve-flash.txt
+
 # One iteration of every benchmark (a few seconds): catches benchmarks that
 # panic or fail to build without measuring anything. -short skips the
 # 2048–8192 scale sweeps.
