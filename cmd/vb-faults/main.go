@@ -5,11 +5,18 @@
 // reservations still held once the protocol stops and every lease has had
 // time to expire — the leak counter, which must read zero.
 //
+// With -crash the kills become true crashes: each victim's handler and all
+// its soft state are discarded, and the node reboots -restart-after minutes
+// later from its durable store, rejoining the live ring. The sweep then
+// gates on full recovery — no VM lost, no reservation leaked across the
+// restart — and exits nonzero if any run fails it.
+//
 // Usage:
 //
 //	vb-faults [-servers N] [-vms-per-server N] [-threshold X]
 //	          [-duration MIN] [-lease MIN] [-drop-rates 0,0.01,0.02,0.05]
 //	          [-kill N] [-kill-at MIN] [-seed N] [-workers N]
+//	          [-crash] [-restart-after MIN] [-crash-forever N]
 package main
 
 import (
@@ -42,6 +49,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent sweep variants (0 = all cores, 1 = sequential)")
 		shards    = flag.Int("shards", 0, "engine shards per run (0 = serial reference engine)")
 		verbose   = flag.Bool("v", false, "print the full per-run report, not just the sweep table")
+
+		crash        = flag.Bool("crash", false, "crash receivers for real (blank handler + durable-store reboot) instead of pausing them")
+		restartAfter = flag.Int("restart-after", 0, "crash downtime in minutes before the reboot (0 = 2x update interval)")
+		crashForever = flag.Int("crash-forever", 0, "additional receivers crashed with no restart at all")
 	)
 	var prof profiling.Config
 	prof.AddFlags(flag.CommandLine)
@@ -57,6 +68,16 @@ func main() {
 	drops, err := parseRates(*rates)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *crash {
+		runCrashSweep(drops, crashArgs{
+			servers: *servers, perServer: *perServer, threshold: *threshold,
+			duration: *duration, lease: *lease, kill: *kill, killAt: *killAt,
+			restartAfter: *restartAfter, crashForever: *crashForever,
+			seed: *seed, workers: *workers, shards: *shards,
+			verbose: *verbose, oflags: &oflags,
+		})
+		return
 	}
 	variants := make([]experiments.ResilienceParams, len(drops))
 	for i, d := range drops {
@@ -98,6 +119,65 @@ func main() {
 		log.Fatalf("%d reservations leaked across the sweep", leaked)
 	}
 	fmt.Println("no reservations leaked at quiesce in any run")
+}
+
+type crashArgs struct {
+	servers, perServer            int
+	threshold                     float64
+	duration, lease, kill, killAt int
+	restartAfter, crashForever    int
+	seed                          int64
+	workers, shards               int
+	verbose                       bool
+	oflags                        *obs.Flags
+}
+
+// runCrashSweep is the -crash mode: one crash-restart-recover run per drop
+// rate, gated on full recovery.
+func runCrashSweep(drops []float64, a crashArgs) {
+	variants := make([]experiments.CrashRestartParams, len(drops))
+	for i, d := range drops {
+		variants[i] = experiments.CrashRestartParams{
+			Spec:          experiments.ScaledSpec(a.servers),
+			VMsPerServer:  a.perServer,
+			Threshold:     a.threshold,
+			Duration:      time.Duration(a.duration) * time.Minute,
+			LeaseDuration: time.Duration(a.lease) * time.Minute,
+			DropRate:      d,
+			CrashNodes:    a.kill,
+			CrashForever:  a.crashForever,
+			CrashAt:       time.Duration(a.killAt) * time.Minute,
+			RestartAfter:  time.Duration(a.restartAfter) * time.Minute,
+			Seed:          a.seed,
+			Shards:        a.shards,
+			Obs:           a.oflags.Config(),
+		}
+	}
+	outs, err := experiments.RunCrashRestartSweep(variants, a.workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if a.verbose {
+		for _, out := range outs {
+			out.WriteCrashRestart(os.Stdout)
+		}
+	}
+	experiments.WriteCrashRestartTable(os.Stdout, outs)
+	if err := a.oflags.Write(outs[len(outs)-1].Trace); err != nil {
+		log.Fatal(err)
+	}
+	failed := 0
+	for _, out := range outs {
+		if !out.GatePassed() {
+			failed++
+			log.Printf("gate FAILED at %.1f%% loss: lost VMs=%d, lost placements=%d, leaked=%d",
+				out.Params.DropRate*100, out.LostVMs, out.Recovery.LostPlacements, out.Leaked)
+		}
+	}
+	if failed != 0 {
+		log.Fatalf("%d of %d crash-restart runs failed the recovery gate", failed, len(outs))
+	}
+	fmt.Println("every crash-restart run recovered fully: no VM lost, no reservation leaked")
 }
 
 func parseRates(s string) ([]float64, error) {

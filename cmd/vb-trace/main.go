@@ -6,9 +6,10 @@
 //
 // Usage:
 //
-//	vb-trace explain [-vm N] [-max N] trace.json   # causal chain per migration
-//	vb-trace summary trace.json                    # event totals, span latency, counters
-//	vb-trace tail [-n N] trace.json                # last N events (crash-dump view)
+//	vb-trace explain [-vm N] [-max N] trace.json            # causal chain per migration
+//	vb-trace explain -crashes [-node N] [-max N] trace.json # crash→restart→rejoin chains
+//	vb-trace summary trace.json                             # event totals, span latency, counters
+//	vb-trace tail [-n N] trace.json                         # last N events (crash-dump view)
 package main
 
 import (
@@ -31,10 +32,16 @@ func main() {
 	case "explain":
 		fs := flag.NewFlagSet("explain", flag.ExitOnError)
 		vm := fs.Int64("vm", -1, "explain only this VM id (-1 = all)")
-		max := fs.Int("max", 10, "migrations to explain at most (0 = unlimited)")
+		max := fs.Int("max", 10, "chains to explain at most (0 = unlimited)")
+		crashes := fs.Bool("crashes", false, "explain crash→restart→rejoin chains instead of migrations")
+		node := fs.Int64("node", -1, "with -crashes: explain only this node (-1 = all)")
 		fs.Parse(args)
 		ix, _ := load(fs.Args())
-		ix.ExplainMigrations(os.Stdout, *vm, *max)
+		if *crashes {
+			ix.ExplainCrashes(os.Stdout, *node, *max)
+		} else {
+			ix.ExplainMigrations(os.Stdout, *vm, *max)
+		}
 	case "summary":
 		fs := flag.NewFlagSet("summary", flag.ExitOnError)
 		fs.Parse(args)
@@ -72,6 +79,7 @@ func load(args []string) (*obs.Index, map[string]int64) {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   vb-trace explain [-vm N] [-max N] trace.json
+  vb-trace explain -crashes [-node N] [-max N] trace.json
   vb-trace summary trace.json
   vb-trace tail [-n N] trace.json`)
 	os.Exit(2)

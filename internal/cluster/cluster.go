@@ -244,6 +244,22 @@ type Cluster struct {
 	dead   []bool
 	nVMs   int // live (non-destroyed) VM count
 	nextID VMID
+	// onServerChange, when set, fires after every placement mutation with
+	// each server whose VM set changed (destination then source for a
+	// migration). The durability layer checkpoints per-server placement
+	// maps here.
+	onServerChange func(server int)
+}
+
+// OnServerChange installs the hook observing placement-map mutations; fn is
+// called once per affected server after the change lands. Set it before any
+// placements happen (or immediately snapshot existing servers).
+func (c *Cluster) OnServerChange(fn func(server int)) { c.onServerChange = fn }
+
+func (c *Cluster) serverChanged(server int) {
+	if c.onServerChange != nil && server >= 0 {
+		c.onServerChange(server)
+	}
 }
 
 // New creates a cluster with one server per topology slot, each with the
@@ -351,6 +367,7 @@ func (c *Cluster) Place(vm *VM, server int) error {
 		return err
 	}
 	c.location[i] = int32(server)
+	c.serverChanged(server)
 	return nil
 }
 
@@ -371,6 +388,8 @@ func (c *Cluster) Migrate(id VMID, to int) error {
 	}
 	c.servers[from].Remove(id)
 	c.location[i] = int32(to)
+	c.serverChanged(to)
+	c.serverChanged(from)
 	return nil
 }
 
@@ -385,6 +404,7 @@ func (c *Cluster) Unplace(id VMID) (server int, ok bool) {
 	server = int(c.location[i])
 	c.servers[server].Remove(id)
 	c.location[i] = -1
+	c.serverChanged(server)
 	return server, true
 }
 
@@ -413,6 +433,7 @@ func (c *Cluster) Terminate(id VMID) (server int, existed bool) {
 	}
 	c.dead[i] = true
 	c.nVMs--
+	c.serverChanged(server)
 	return server, true
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"vbundle/internal/aggregation"
 	"vbundle/internal/cluster"
+	"vbundle/internal/ids"
 	"vbundle/internal/metrics"
 	"vbundle/internal/migration"
 	"vbundle/internal/obs"
@@ -28,6 +29,7 @@ import (
 	"vbundle/internal/scribe"
 	"vbundle/internal/sim"
 	"vbundle/internal/simnet"
+	"vbundle/internal/store"
 	"vbundle/internal/tcshape"
 	"vbundle/internal/topology"
 	"vbundle/internal/workload"
@@ -101,6 +103,18 @@ type Options struct {
 	// into it. Nil disables recording; the disabled path is a single nil
 	// check per site and simulation results are identical either way.
 	Trace *obs.Trace
+	// Store, when set, gives every node a durable store: placement maps,
+	// lease tables and peer snapshots are written through as they change,
+	// and a crash (simnet.NodeFault{Crash: true} or Network.Crash) is a
+	// real crash — the restarted node rebuilds a blank stack from whatever
+	// the store held and reconciles with the live ring. Nil keeps nodes
+	// purely in-memory; crash-restart schedules then panic for want of a
+	// restarter.
+	Store store.Store
+	// PeerCheckpointInterval is how often each live node's peer snapshot
+	// is refreshed in the store while maintenance runs (routing state
+	// drifts as nodes fail and rejoin). Defaults to 5 minutes.
+	PeerCheckpointInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -119,7 +133,34 @@ func (o Options) withDefaults() Options {
 	if o.JoinStagger == 0 {
 		o.JoinStagger = 500 * time.Millisecond
 	}
+	if o.PeerCheckpointInterval == 0 {
+		o.PeerCheckpointInterval = 5 * time.Minute
+	}
 	return o
+}
+
+// RecoveryStats accumulates crash-recovery outcomes across every restart
+// this instance performed.
+type RecoveryStats struct {
+	// Restarts counts crash-restarts served by the restarter.
+	Restarts int
+	// BlankBoots counts restarts that found no durable state at all.
+	BlankBoots int
+	// AdoptedLeases counts persisted holds re-adopted during rejoin (lease
+	// unexpired, VM still in flight).
+	AdoptedLeases int
+	// ReleasedLeases counts persisted holds dropped during rejoin — the
+	// orphan releases the crashed node could never perform.
+	ReleasedLeases int
+	// VerifiedPlacements counts persisted placement records the cluster
+	// confirmed after restart (VM still on this server).
+	VerifiedPlacements int
+	// StalePlacements counts records whose VM legitimately moved on while
+	// the node was down (migrated away or destroyed).
+	StalePlacements int
+	// LostPlacements counts records whose VM still exists but is placed
+	// nowhere — a VM lost across the restart. Must stay zero.
+	LostPlacements int
 }
 
 // VBundle is a fully wired v-Bundle datacenter simulation.
@@ -136,6 +177,16 @@ type VBundle struct {
 	Rebalancer *rebalance.Coordinator
 	Placer     placement.Engine
 	Workloads  *workload.Driver
+
+	// Recovery accumulates crash-restart outcomes (Options.Store only).
+	Recovery RecoveryStats
+
+	aggCfg aggregation.Config
+	// maintenance bookkeeping so a restarted node rejoins with the same
+	// self-repair posture as its peers.
+	maintOn        bool
+	maintHeartbeat time.Duration
+	peerTicker     *sim.Ticker
 }
 
 // New builds a v-Bundle instance. The overlay is constructed immediately
@@ -193,10 +244,10 @@ func New(opts Options) (*VBundle, error) {
 	if opts.Trace != nil {
 		vb.Migration.SetTrace(opts.Trace)
 	}
-	aggCfg := aggregation.Config{UpdateInterval: opts.Rebalance.UpdateInterval}
+	vb.aggCfg = aggregation.Config{UpdateInterval: opts.Rebalance.UpdateInterval}
 	for i, node := range ring.Nodes() {
 		vb.Scribes[i] = scribe.New(node)
-		vb.Aggs[i] = aggregation.New(vb.Scribes[i], aggCfg)
+		vb.Aggs[i] = aggregation.New(vb.Scribes[i], vb.aggCfg)
 	}
 	vb.Rebalancer = rebalance.NewCoordinator(ring, cl, vb.Migration, vb.Aggs, opts.Rebalance)
 	vb.Workloads = workload.NewDriver(engine, cl)
@@ -211,7 +262,124 @@ func New(opts Options) (*VBundle, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown engine kind %d", opts.Engine)
 	}
+	if opts.Store != nil {
+		vb.Rebalancer.SetStore(opts.Store)
+		cl.OnServerChange(vb.checkpointPlacements)
+		ring.Network().SetRestarter(vb.restartNode)
+		// Seed the store with the freshly built overlay's peer snapshots so
+		// even a node that crashes before any maintenance ran can rejoin.
+		for i := range ring.Nodes() {
+			vb.checkpointPeers(i)
+		}
+	}
 	return vb, nil
+}
+
+// checkpointPlacements writes server i's placement map through to the
+// durable store; the cluster invokes it after every placement mutation.
+func (vb *VBundle) checkpointPlacements(server int) {
+	vms := vb.Cluster.Server(server).VMs()
+	recs := make([]store.PlacementRecord, 0, len(vms))
+	for _, vm := range vms {
+		recs = append(recs, store.PlacementRecord{VM: int64(vm.ID), Customer: vm.Customer, Server: server})
+	}
+	if err := vb.opts.Store.SavePlacements(server, recs); err != nil {
+		panic(fmt.Sprintf("core: checkpointing placements of server %d: %v", server, err))
+	}
+}
+
+// checkpointPeers snapshots node i's current routing state (leaf sets,
+// routing table, neighbors) into the store as flat peer records.
+func (vb *VBundle) checkpointPeers(i int) {
+	hs := vb.Ring.Node(i).Peers()
+	recs := make([]store.PeerRecord, 0, len(hs))
+	for _, h := range hs {
+		recs = append(recs, store.PeerRecord{IdHi: h.Id.Hi(), IdLo: h.Id.Lo(), Addr: int(h.Addr)})
+	}
+	if err := vb.opts.Store.SavePeers(i, recs); err != nil {
+		panic(fmt.Sprintf("core: checkpointing peers of node %d: %v", i, err))
+	}
+}
+
+// restartNode is the simnet restarter: a crashed node reboots here with a
+// blank stack. It loads whatever the durable store held, rebuilds the whole
+// per-node tower (pastry node, scribe, aggregation, placement agent,
+// rebalance agent), then reconciles with the live ring — re-announce to
+// surviving peers, re-adopt still-valid leases, drop orphaned holds, and
+// verify the persisted placement map against the cluster. The whole
+// sequence runs at one exclusive global instant, so it is deterministic at
+// any shard count.
+func (vb *VBundle) restartNode(addr simnet.Addr) {
+	i := int(addr)
+	st, hadState, err := vb.opts.Store.Load(i)
+	if err != nil {
+		panic(fmt.Sprintf("core: restart of node %d: loading durable state: %v", i, err))
+	}
+
+	// Quiesce the dead stack's tickers, then rebuild bottom-up. Each layer
+	// re-registers its app on the fresh node.
+	vb.Scribes[i].StopMaintenance()
+	node := vb.Ring.RebuildNode(i)
+	sc := scribe.New(node)
+	vb.Scribes[i] = sc
+	agg := aggregation.New(sc, vb.aggCfg)
+	vb.Aggs[i] = agg
+	if d, ok := vb.Placer.(*placement.DHT); ok {
+		d.RebindNode(i)
+	}
+	agent := vb.Rebalancer.ReplaceAgent(i, node, agg)
+
+	src := vb.Ring.Network().TraceSource(addr)
+	now := vb.Engine.Now()
+	durable := int64(0)
+	if hadState {
+		durable = 1
+	}
+	rejoin := src.Begin(now, obs.KindRejoin, obs.NoRef, 0, durable)
+
+	peers := make([]pastry.NodeHandle, 0, len(st.Peers))
+	for _, p := range st.Peers {
+		peers = append(peers, pastry.NodeHandle{Id: ids.New(p.IdHi, p.IdLo), Addr: simnet.Addr(p.Addr)})
+	}
+	node.Rejoin(peers)
+
+	adopted, released := agent.AdoptLeases(st.Leases, rejoin)
+
+	verified, stale, lost := 0, 0, 0
+	for _, rec := range st.Placements {
+		vmid := cluster.VMID(rec.VM)
+		if srv, placed := vb.Cluster.LocationOf(vmid); placed {
+			if srv == rec.Server {
+				verified++
+			} else {
+				stale++ // migrated away while we were down
+			}
+		} else if vb.Cluster.VM(vmid) != nil {
+			lost++ // still registered but placed nowhere
+		} else {
+			stale++ // destroyed while we were down
+		}
+	}
+	src.End(now, obs.KindRejoin, rejoin, int64(adopted), int64(released))
+
+	// The rebuilt node's view is the new durable truth.
+	vb.checkpointPlacements(i)
+	vb.checkpointPeers(i)
+
+	if vb.maintOn {
+		node.StartMaintenance()
+		sc.StartMaintenance(vb.maintHeartbeat)
+	}
+
+	vb.Recovery.Restarts++
+	if !hadState {
+		vb.Recovery.BlankBoots++
+	}
+	vb.Recovery.AdoptedLeases += adopted
+	vb.Recovery.ReleasedLeases += released
+	vb.Recovery.VerifiedPlacements += verified
+	vb.Recovery.StalePlacements += stale
+	vb.Recovery.LostPlacements += lost
 }
 
 // Options returns the effective options the instance was built with.
@@ -263,17 +431,36 @@ func (vb *VBundle) StopServices() { vb.Rebalancer.Stop() }
 // server failures or message loss; pure-performance experiments leave it
 // off to keep their traffic budgets clean.
 func (vb *VBundle) StartMaintenance(heartbeat time.Duration) {
+	vb.maintOn = true
+	vb.maintHeartbeat = heartbeat
 	vb.Ring.StartMaintenance()
 	for _, s := range vb.Scribes {
 		s.StartMaintenance(heartbeat)
+	}
+	// Routing state drifts under maintenance (failures heal, rejoiners are
+	// re-adopted), so refresh every live node's durable peer snapshot
+	// periodically in the global band.
+	if vb.opts.Store != nil && vb.peerTicker == nil {
+		vb.peerTicker = vb.Engine.EveryGlobal(vb.opts.PeerCheckpointInterval, func() {
+			for i := 0; i < vb.Ring.Size(); i++ {
+				if vb.Ring.Network().Alive(simnet.Addr(i)) {
+					vb.checkpointPeers(i)
+				}
+			}
+		})
 	}
 }
 
 // StopMaintenance halts the self-repair machinery.
 func (vb *VBundle) StopMaintenance() {
+	vb.maintOn = false
 	vb.Ring.StopMaintenance()
 	for _, s := range vb.Scribes {
 		s.StopMaintenance()
+	}
+	if vb.peerTicker != nil {
+		vb.peerTicker.Stop()
+		vb.peerTicker = nil
 	}
 }
 

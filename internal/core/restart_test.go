@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"vbundle/internal/store"
+)
+
+// TestCrashRestartRebuildsNodeFromStore drives a true crash through the
+// full core stack: the victim's pastry node, scribe, aggregation and
+// rebalance agent are discarded with the handler, and the restarter
+// rebuilds all of them from the durable store, rejoins the ring, and loses
+// nothing.
+func TestCrashRestartRebuildsNodeFromStore(t *testing.T) {
+	opts := fastOpts()
+	opts.Store = store.NewMem()
+	opts.Seed = 5
+	vb, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedImbalance(t, vb)
+	vb.Workloads.Start(time.Minute)
+	vb.StartMaintenance(30 * time.Second)
+	vb.StartServices()
+
+	vb.RunFor(10 * time.Minute)
+	const victim = 5
+	oldNode := vb.Ring.Node(victim)
+	oldScribe := vb.Scribes[victim]
+	addr := oldNode.Addr()
+	vb.Ring.Network().Crash(addr)
+	if vb.Ring.Network().Alive(addr) {
+		t.Fatal("victim still alive after Crash")
+	}
+	vb.Engine.AtGlobal(vb.Now()+5*time.Minute, func() {
+		vb.Ring.Network().Restart(addr)
+	})
+	vb.RunFor(30 * time.Minute)
+
+	vb.StopServices()
+	vb.StopMaintenance()
+	vb.Workloads.Stop()
+	// A full lease term so anything the crash orphaned has lapsed.
+	vb.RunFor(vb.Rebalancer.Config().LeaseDuration + time.Minute)
+
+	if !vb.Ring.Network().Alive(addr) {
+		t.Fatal("victim not alive after Restart")
+	}
+	// The stack really was rebuilt, not revived.
+	if vb.Ring.Node(victim) == oldNode {
+		t.Fatal("pastry node survived the crash; Restart must rebuild it")
+	}
+	if vb.Scribes[victim] == oldScribe {
+		t.Fatal("scribe survived the crash; Restart must rebuild it")
+	}
+	if got := vb.Recovery.Restarts; got != 1 {
+		t.Fatalf("Recovery.Restarts = %d, want 1", got)
+	}
+	if vb.Recovery.BlankBoots != 0 {
+		t.Fatal("restart found an empty store despite continuous checkpointing")
+	}
+	if vb.Recovery.VerifiedPlacements == 0 {
+		t.Fatal("restart verified no placements; the store held nothing useful")
+	}
+	if got := vb.Recovery.LostPlacements; got != 0 {
+		t.Fatalf("placements lost across the restart: %d", got)
+	}
+	// The rebuilt node rejoined: it knows peers again and its agent is wired
+	// into the coordinator.
+	if len(vb.Ring.Node(victim).Peers()) == 0 {
+		t.Fatal("rebuilt node has no peers after rejoin")
+	}
+	if vb.Rebalancer.Agent(victim) == nil {
+		t.Fatal("coordinator has no agent for the rebuilt node")
+	}
+	// Nothing leaked anywhere — live tables and the stores agree.
+	if got := vb.Rebalancer.LeakedReservations(); got != 0 {
+		t.Fatalf("leaked reservations after recovery: %d", got)
+	}
+	// Every VM is still placed somewhere.
+	placed := 0
+	for _, srv := range vb.Cluster.Servers() {
+		placed += len(srv.VMs())
+	}
+	if placed != vb.Cluster.NumVMs() {
+		t.Fatalf("%d of %d VMs placed after recovery", placed, vb.Cluster.NumVMs())
+	}
+}
+
+// TestCrashWithoutStoreHasNoRestarter pins the configuration contract: a
+// core built without Options.Store wires no restarter, so a crash-restart
+// schedule fails loudly instead of silently reviving soft state.
+func TestCrashWithoutStoreHasNoRestarter(t *testing.T) {
+	vb, err := New(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := vb.Ring.Node(3).Addr()
+	vb.Ring.Network().Crash(addr)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restart without a store-backed restarter did not panic")
+		}
+	}()
+	vb.Ring.Network().Restart(addr)
+}

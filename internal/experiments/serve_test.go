@@ -13,6 +13,8 @@ import (
 	"vbundle/internal/obs"
 	"vbundle/internal/rebalance"
 	"vbundle/internal/serve"
+	"vbundle/internal/simnet"
+	"vbundle/internal/store"
 	"vbundle/internal/workload"
 )
 
@@ -207,16 +209,20 @@ func TestServeCacheAndBatchingCutServingCost(t *testing.T) {
 // resolution cache must survive: a cache hit may shorten a query's
 // virtual-time flight, and the property below asserts that this never
 // changes where any VM lands.
-func churnPropertyRun(t *testing.T, servers int, seed int64, cache bool) ([]PlacedVM, int, uint64) {
+func churnPropertyRun(t *testing.T, servers int, seed int64, cache, faults bool) ([]PlacedVM, int, uint64) {
 	t.Helper()
-	vb, err := core.New(core.Options{
+	opts := core.Options{
 		Topology: ScaledSpec(servers),
 		Seed:     seed,
 		Rebalance: rebalance.Config{
 			UpdateInterval:    time.Minute,
 			RebalanceInterval: 2 * time.Minute,
 		},
-	})
+	}
+	if faults {
+		opts.Store = store.NewMem()
+	}
+	vb, err := core.New(opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,6 +236,40 @@ func churnPropertyRun(t *testing.T, servers int, seed int64, cache bool) ([]Plac
 	}
 	rsv := cluster.Resources{CPU: 0.5, MemMB: 128, BandwidthMbps: 100}
 	lim := cluster.Resources{CPU: 2, MemMB: 128, BandwidthMbps: 200}
+
+	// The fault variant runs the same churn over a network where non-gateway
+	// nodes blip (kill/revive: soft state kept) and truly crash (blank
+	// handler, reboot from the durable store) at fixed virtual times; the
+	// resolution cache must keep matching the uncached run through every
+	// invalidation the recoveries cause.
+	type window struct{ start, end time.Duration }
+	var faultWindows []window
+	if faults {
+		const downtime = 30 * time.Second
+		var fs simnet.FaultSchedule
+		n := vb.Ring.Size()
+		for k, f := range []struct {
+			at    time.Duration
+			crash bool
+		}{
+			{4 * time.Minute, true},
+			{7 * time.Minute, false},
+			{10 * time.Minute, true},
+			{13 * time.Minute, false},
+		} {
+			// Distinct non-gateway victims (the gateway at node 0 holds the
+			// boot path's query state).
+			fs.Nodes = append(fs.Nodes, simnet.NodeFault{
+				Addr:         simnet.Addr(1 + (k*37+11)%(n-1)),
+				At:           f.at,
+				RestartAfter: downtime,
+				Crash:        f.crash,
+			})
+			faultWindows = append(faultWindows, window{f.at, f.at + downtime})
+		}
+		vb.Ring.Network().ScheduleFaults(fs)
+		vb.StartMaintenance(time.Minute)
+	}
 
 	// A cache hit legitimately shortens a query's virtual-time flight by a
 	// few milliseconds. A boot still in flight at a rebalancer tick or a
@@ -245,6 +285,21 @@ func churnPropertyRun(t *testing.T, servers int, seed int64, cache bool) ([]Plac
 			st := vb.Migration.Stats()
 			if st.Started != st.Completed+st.Failed {
 				vb.RunFor(5 * time.Second)
+				continue
+			}
+			// Ops must not be in flight across a fault window: a boot whose
+			// query races a crash would resolve (or time out) differently in
+			// the cached run. The windows are fixed virtual times, so both
+			// runs skip identically.
+			waited := false
+			for _, w := range faultWindows {
+				if now := vb.Now(); now >= w.start-5*time.Second && now < w.end+5*time.Second {
+					vb.RunFor(w.end + 5*time.Second - now)
+					waited = true
+					break
+				}
+			}
+			if waited {
 				continue
 			}
 			phase := vb.Now() % time.Minute
@@ -292,6 +347,9 @@ func churnPropertyRun(t *testing.T, servers int, seed int64, cache bool) ([]Plac
 		vb.RunFor(2 * time.Second)
 	}
 	vb.StopServices()
+	if faults {
+		vb.StopMaintenance()
+	}
 	vb.RunFor(5 * time.Minute)
 
 	if got := fe.Unresolved(); got != 0 {
@@ -299,6 +357,12 @@ func churnPropertyRun(t *testing.T, servers int, seed int64, cache bool) ([]Plac
 	}
 	if got := vb.Rebalancer.LeakedReservations(); got != 0 {
 		t.Fatalf("leaked reservations = %d", got)
+	}
+	if faults && vb.Recovery.Restarts == 0 {
+		t.Fatal("fault run restarted no nodes; the crash path would be untested")
+	}
+	if got := vb.Recovery.LostPlacements; got != 0 {
+		t.Fatalf("placements lost across restarts = %d", got)
 	}
 	var placements []PlacedVM
 	for _, customer := range vb.Cluster.Customers() {
@@ -325,8 +389,8 @@ func churnPropertyRun(t *testing.T, servers int, seed int64, cache bool) ([]Plac
 func TestServeCachedPlacementsMatchUncached(t *testing.T) {
 	check := func(t *testing.T, servers int, seed int64) {
 		t.Helper()
-		ref, migrations, _ := churnPropertyRun(t, servers, seed, false)
-		got, _, hits := churnPropertyRun(t, servers, seed, true)
+		ref, migrations, _ := churnPropertyRun(t, servers, seed, false, false)
+		got, _, hits := churnPropertyRun(t, servers, seed, true, false)
 		if migrations == 0 {
 			t.Fatalf("seed %d: no migrations; the invalidation path is untested", seed)
 		}
@@ -354,4 +418,35 @@ func TestServeCachedPlacementsMatchUncached(t *testing.T) {
 		}
 		check(t, 2048, 11)
 	})
+}
+
+// TestServeCachedPlacementsMatchUncachedUnderFaults re-runs the coherence
+// property over a faulty network: nodes blip (kill/revive) and truly crash
+// (blank handler, durable-store reboot, rejoin) mid-churn. The cache must
+// survive the extra invalidation traffic the recoveries cause — the final
+// placement table with the cache on stays byte-identical to the table with
+// it off, and no placement or reservation is lost across the restarts.
+func TestServeCachedPlacementsMatchUncachedUnderFaults(t *testing.T) {
+	for _, seed := range []int64{1, 2} {
+		t.Run(fmt.Sprintf("512-seed%d", seed), func(t *testing.T) {
+			ref, migrations, _ := churnPropertyRun(t, 512, seed, false, true)
+			got, _, hits := churnPropertyRun(t, 512, seed, true, true)
+			if migrations == 0 {
+				t.Fatalf("seed %d: no migrations; the invalidation path is untested", seed)
+			}
+			if hits == 0 {
+				t.Fatalf("seed %d: cache never hit; the fast path is untested", seed)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				i := 0
+				for ; i < len(ref) && i < len(got); i++ {
+					if ref[i] != got[i] {
+						break
+					}
+				}
+				t.Fatalf("seed %d: cached placements diverge from uncached at row %d (of %d vs %d rows)",
+					seed, i, len(ref), len(got))
+			}
+		})
+	}
 }

@@ -199,6 +199,95 @@ func (ix *Index) explainOne(w io.Writer, begin *Event) {
 	}
 }
 
+// ExplainCrashes reconstructs every crash→restart→rejoin chain: for each
+// KindCrash instant it finds the node's next restart, the rejoin span
+// anchored there, and the per-lease adoption verdicts inside it. node
+// filters to one node address (-1 for all); max bounds the output
+// (0 = unlimited). Returns the number of crashes explained.
+func (ix *Index) ExplainCrashes(w io.Writer, node int64, max int) int {
+	crashes := ix.byKind[KindCrash]
+	n := 0
+	for _, ev := range crashes {
+		if node >= 0 && int64(ev.Src) != node {
+			continue
+		}
+		if max > 0 && n >= max {
+			fmt.Fprintf(w, "... (more crashes; raise -max or filter with -node)\n")
+			break
+		}
+		if n > 0 {
+			fmt.Fprintln(w)
+		}
+		ix.explainCrash(w, ev)
+		n++
+	}
+	if n == 0 {
+		if node >= 0 {
+			fmt.Fprintf(w, "no crash of node %d in trace\n", node)
+		} else {
+			fmt.Fprintf(w, "no crashes in trace\n")
+		}
+	}
+	return n
+}
+
+func (ix *Index) explainCrash(w io.Writer, crash *Event) {
+	fmt.Fprintf(w, "crash %s at %v\n", srcName(crash.Src), crash.TS)
+
+	// The node's next restart after this crash.
+	var restart *Event
+	for _, ev := range ix.byKind[KindRestart] {
+		if ev.Src == crash.Src && ev.TS >= crash.TS {
+			restart = ev
+			break
+		}
+	}
+	if restart == nil {
+		fmt.Fprintf(w, "  never restarted: down from %v to end of trace\n", crash.TS)
+		return
+	}
+	fmt.Fprintf(w, "  restart at %v (down %v)\n", restart.TS, restart.TS-crash.TS)
+
+	// The rejoin span beginning at (or after) the restart on the same source.
+	var rejoin *spanRec
+	for _, rec := range ix.spans {
+		if rec.begin == nil || rec.begin.Kind != KindRejoin {
+			continue
+		}
+		if rec.begin.Src != crash.Src || rec.begin.TS < restart.TS {
+			continue
+		}
+		if rejoin == nil || rec.begin.TS < rejoin.begin.TS {
+			rejoin = rec
+		}
+	}
+	if rejoin == nil {
+		fmt.Fprintf(w, "  rejoin: not recorded\n")
+		return
+	}
+	boot := "blank store"
+	if rejoin.begin.B != 0 {
+		boot = "durable state found"
+	}
+	fmt.Fprintf(w, "  rejoin from %s at %v\n", boot, rejoin.begin.TS)
+	for _, ch := range ix.children[rejoin.begin.Span] {
+		if ch.Kind != KindLeaseAdopt {
+			continue
+		}
+		verdict := "re-adopted"
+		if ch.B != 0 {
+			verdict = "released"
+		}
+		fmt.Fprintf(w, "    lease vm=%d: %s at %v\n", ch.A, verdict, ch.TS)
+	}
+	if d, ok := rejoin.duration(); ok {
+		fmt.Fprintf(w, "  rejoin done at %v (reconcile %v, recovery %v total): %d leases re-adopted, %d released\n",
+			rejoin.end.TS, d, rejoin.end.TS-crash.TS, rejoin.end.A, rejoin.end.B)
+	} else {
+		fmt.Fprintf(w, "  rejoin still open at end of trace\n")
+	}
+}
+
 // durStats is a tiny accumulator for the summary table.
 type durStats struct {
 	n          int
@@ -232,7 +321,7 @@ func (ix *Index) Summary(w io.Writer, counters map[string]int64) {
 	fmt.Fprintf(w, "%d events over %v (virtual %v .. %v)\n\n", len(ix.events), last-first, first, last)
 
 	fmt.Fprintln(w, "events by kind:")
-	for k := KindRouteHop; k <= KindTerminate; k++ {
+	for k := KindRouteHop; k <= KindLeaseAdopt; k++ {
 		if evs := ix.byKind[k]; len(evs) > 0 {
 			fmt.Fprintf(w, "  %-14s %8d  [%s]\n", k.String(), len(evs), k.Subsystem())
 		}

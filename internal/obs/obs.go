@@ -106,6 +106,21 @@ const (
 	// KindTerminate is a serve-layer terminate request (A = VM id,
 	// B = the server whose capacity it freed, -1 on a miss).
 	KindTerminate
+	// KindCrash is a node crash: unlike KindKill the handler is discarded,
+	// so the node loses all soft state and can only come back through
+	// KindRestart plus whatever its durable store held.
+	KindCrash
+	// KindRestart is a crashed node rebooting with a blank handler, emitted
+	// just before the restarter rebuilds the stack.
+	KindRestart
+	// KindRejoin spans the post-restart reconciliation against the live
+	// ring, from the first announce to the last lease verdict (B at begin:
+	// 1 if the durable store held state, 0 on a blank boot; A at end:
+	// re-adopted leases; B at end: released/dropped orphans).
+	KindRejoin
+	// KindLeaseAdopt is one persisted lease's rejoin verdict (A = VM id,
+	// B = 0 re-adopted, 1 released/dropped).
+	KindLeaseAdopt
 )
 
 // String returns the kind's trace_event name.
@@ -145,6 +160,14 @@ func (k Kind) String() string {
 		return "boot_shed"
 	case KindTerminate:
 		return "terminate"
+	case KindCrash:
+		return "crash"
+	case KindRestart:
+		return "restart"
+	case KindRejoin:
+		return "rejoin"
+	case KindLeaseAdopt:
+		return "lease_adopt"
 	default:
 		return "unknown"
 	}
@@ -164,10 +187,12 @@ func (k Kind) Subsystem() string {
 		return "rebalance"
 	case KindMigration:
 		return "migration"
-	case KindDrop, KindKill, KindRevive:
+	case KindDrop, KindKill, KindRevive, KindCrash, KindRestart:
 		return "net"
 	case KindBoot, KindBootShed, KindTerminate:
 		return "serve"
+	case KindRejoin, KindLeaseAdopt:
+		return "recovery"
 	default:
 		return "other"
 	}
@@ -175,7 +200,7 @@ func (k Kind) Subsystem() string {
 
 // kindFromName inverts String for the trace reader.
 func kindFromName(name string) Kind {
-	for k := KindRouteHop; k <= KindTerminate; k++ {
+	for k := KindRouteHop; k <= KindLeaseAdopt; k++ {
 		if k.String() == name {
 			return k
 		}

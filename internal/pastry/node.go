@@ -436,6 +436,34 @@ func (n *Node) knownNodes(fn func(NodeHandle)) {
 	}
 }
 
+// Peers returns every distinct node the local tables currently reference —
+// the routing-state checkpoint a durable store persists for crash recovery.
+func (n *Node) Peers() []NodeHandle {
+	var out []NodeHandle
+	n.knownNodes(func(h NodeHandle) { out = append(out, h) })
+	return out
+}
+
+// Rejoin bootstraps a rebuilt node from a peer checkpoint instead of a full
+// protocol join: fold every checkpointed peer that is still alive into the
+// fresh tables, announce ourselves to each node now known (so their tables
+// re-adopt us, mirroring the announce fan-out at the end of a normal join),
+// and mark the node joined. Peers that died while we were down are skipped
+// here and never enter the fresh tables; whatever the checkpoint missed,
+// the periodic leaf/routing-table exchanges repair.
+func (n *Node) Rejoin(peers []NodeHandle) {
+	for _, h := range peers {
+		if h.IsNil() || h.Id == n.handle.Id || !n.net.Alive(h.Addr) {
+			continue
+		}
+		n.Consider(h)
+	}
+	n.knownNodes(func(h NodeHandle) {
+		n.net.Send(n.handle.Addr, h.Addr, announce{From: n.handle})
+	})
+	n.markJoined()
+}
+
 // --- message dispatch ------------------------------------------------------
 
 // HandleMessage implements simnet.Handler.

@@ -241,6 +241,22 @@ func (r *Ring) JoinAll(stagger time.Duration) (allJoined func() bool) {
 	}
 }
 
+// RebuildNode replaces server i's crashed node with a brand-new one
+// carrying the same identifier and address: blank tables, blank app
+// registry, fresh recycler pools. The constructor's Attach brings the
+// address back online; the caller re-registers applications and drives
+// Rejoin. The identifier is unchanged, so the identifier-order index
+// (byID/pos/sortedIDs) stays valid. The old node's maintenance ticker is
+// stopped — it belongs to a corpse.
+func (r *Ring) RebuildNode(i int) *Node {
+	old := r.nodes[i]
+	old.StopMaintenance()
+	lat := func(a, b simnet.Addr) time.Duration { return r.topo.Latency(int(a), int(b)) }
+	node := newNode(r.net, old.Addr(), old.ID(), r.cfg, lat, nil, 0)
+	r.nodes[i] = node
+	return node
+}
+
 // StartMaintenance turns on periodic maintenance on every node.
 func (r *Ring) StartMaintenance() {
 	for _, n := range r.nodes {

@@ -229,6 +229,16 @@ func NewDHT(ring *pastry.Ring, cl *cluster.Cluster, cfg DHTConfig) *DHT {
 // Name implements Engine.
 func (d *DHT) Name() string { return "vbundle-dht" }
 
+// RebindNode re-registers the DHT agent on a rebuilt ring node after a
+// crash-restart. The agent itself is stateless (gateway-side query state
+// lives on the gateway), so a fresh one is enough.
+func (d *DHT) RebindNode(i int) {
+	node := d.ring.Node(i)
+	a := &dhtAgent{d: d, server: i, node: node}
+	d.agents[i] = a
+	node.Register(AppName, a)
+}
+
 // SetCache attaches a customer→rendezvous resolution cache. Subsequent
 // boots for a cached customer skip the overlay route and go straight to the
 // recorded rendezvous in one hop; the spill walk from there is identical to

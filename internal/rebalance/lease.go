@@ -124,6 +124,9 @@ type ReserveStats struct {
 	// OrphanReleases counts shedder-side releases sent for orphaned
 	// accepts (verdicts that arrived after the any-cast gave up).
 	OrphanReleases int
+	// Adopted counts holds re-adopted from the durable store during a
+	// post-crash rejoin (still unexpired, VM still in flight).
+	Adopted int
 }
 
 func (s ReserveStats) add(o ReserveStats) ReserveStats {
@@ -134,5 +137,6 @@ func (s ReserveStats) add(o ReserveStats) ReserveStats {
 	s.UnknownRelease += o.UnknownRelease
 	s.DuplicateRelease += o.DuplicateRelease
 	s.OrphanReleases += o.OrphanReleases
+	s.Adopted += o.Adopted
 	return s
 }

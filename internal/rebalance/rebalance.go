@@ -25,6 +25,7 @@
 package rebalance
 
 import (
+	"fmt"
 	"time"
 
 	"vbundle/internal/aggregation"
@@ -36,6 +37,7 @@ import (
 	"vbundle/internal/pastry"
 	"vbundle/internal/scribe"
 	"vbundle/internal/simnet"
+	"vbundle/internal/store"
 	"vbundle/internal/tcshape"
 )
 
@@ -205,6 +207,11 @@ type Coordinator struct {
 	// order). The serving layer evicts its resolution cache here.
 	onMigrated func(vm *cluster.VM, err error)
 
+	// store, when set, receives a write-through copy of every agent's lease
+	// table: leases are the one piece of rebalancer state that must survive
+	// a crash (a hold protects another server's in-flight VM).
+	store store.Store
+
 	started bool
 }
 
@@ -232,6 +239,25 @@ func (c *Coordinator) SetOnMigrated(fn func(vm *cluster.VM, err error)) { c.onMi
 
 // Agent returns the agent for server i.
 func (c *Coordinator) Agent(i int) *Agent { return c.agents[i] }
+
+// SetStore attaches the per-node durable store: every lease mutation is
+// written through, and LeakedReservations consults the store for nodes that
+// are currently down. Set it before Start.
+func (c *Coordinator) SetStore(st store.Store) { c.store = st }
+
+// ReplaceAgent rebuilds server i's agent on a freshly rebuilt node after a
+// crash: the old agent (whose node is a corpse) is stopped, and the new one
+// starts blank — re-adopting persisted leases is the rejoin path's job, via
+// AdoptLeases.
+func (c *Coordinator) ReplaceAgent(i int, node *pastry.Node, agg *aggregation.Manager) *Agent {
+	c.agents[i].stop()
+	a := newAgent(c, i, node, agg)
+	c.agents[i] = a
+	if c.started {
+		a.start()
+	}
+	return a
+}
 
 // Start subscribes every agent, seeds local values, and begins the periodic
 // update and rebalance cycles.
@@ -302,9 +328,33 @@ func (c *Coordinator) VetoedByCost() int {
 // Once a run quiesces (no in-flight migrations, one lease period of grace)
 // it must read zero: every hold was either released by its shedder or
 // reclaimed by expiry.
+//
+// For a node that is currently down, the in-memory table is a ghost (a
+// crashed node's agent object lingers until the restart replaces it, frozen
+// at its pre-crash contents), so with a store attached the persisted lease
+// section is authoritative: expiry is applied here, at read time, because
+// the dead holder will never sweep again. Without a store, down nodes fall
+// back to the in-memory table — which is exactly the under-report the
+// durable path fixes.
 func (c *Coordinator) LeakedReservations() int {
 	total := 0
-	for _, a := range c.agents {
+	for i, a := range c.agents {
+		if c.store != nil && !c.ring.Network().Alive(simnet.Addr(i)) {
+			st, ok, err := c.store.Load(i)
+			if err != nil {
+				panic(fmt.Sprintf("rebalance: lease audit of down node %d: %v", i, err))
+			}
+			if !ok {
+				continue
+			}
+			now := a.node.Engine().Now()
+			for _, r := range st.Leases {
+				if r.Expires > now {
+					total++
+				}
+			}
+			continue
+		}
 		a.sweepLeases()
 		total += a.reserved.len()
 	}
@@ -496,20 +546,104 @@ func (a *Agent) publishLocal() {
 	}
 }
 
+// HeldLeases reports how many unexpired reservation holds the agent
+// currently has. Read-only — no sweep, no persistence — so fault
+// experiments can use it to aim crashes at nodes whose durable lease
+// state is actually worth reconciling.
+func (a *Agent) HeldLeases() int {
+	now := a.node.Engine().Now()
+	n := 0
+	for i := range a.reserved.entries {
+		if a.reserved.entries[i].expires > now {
+			n++
+		}
+	}
+	return n
+}
+
 // sweepLeases reclaims holds whose lease ran out; every read of the
 // reservation table goes through here, so expiry needs no engine events.
 func (a *Agent) sweepLeases() {
 	now := a.node.Engine().Now()
 	if !a.obs.Enabled() {
-		a.reserveStats.Expired += a.reserved.sweep(now, nil)
+		if n := a.reserved.sweep(now, nil); n > 0 {
+			a.reserveStats.Expired += n
+			a.persistLeases()
+		}
 		return
 	}
 	a.expiredScratch = a.expiredScratch[:0]
-	a.reserveStats.Expired += a.reserved.sweep(now, &a.expiredScratch)
+	n := a.reserved.sweep(now, &a.expiredScratch)
+	a.reserveStats.Expired += n
 	for i := range a.expiredScratch {
 		e := &a.expiredScratch[i]
 		a.obs.End(now, obs.KindLease, e.trace, int64(e.vm), 1)
 	}
+	if n > 0 {
+		a.persistLeases()
+	}
+}
+
+// persistLeases writes the agent's full lease table through to the durable
+// store. Every mutation path (grant, renew, release, expiry sweep, rejoin
+// adoption) calls it, so replaying the latest save is always idempotent.
+func (a *Agent) persistLeases() {
+	st := a.coord.store
+	if st == nil {
+		return
+	}
+	recs := make([]store.LeaseRecord, 0, a.reserved.len())
+	for i := range a.reserved.entries {
+		e := &a.reserved.entries[i]
+		recs = append(recs, store.LeaseRecord{
+			VM:          int64(e.vm),
+			DemandCPU:   e.demand.CPU,
+			DemandMemMB: e.demand.MemMB,
+			DemandBW:    e.demand.BandwidthMbps,
+			Expires:     e.expires,
+		})
+	}
+	if err := st.SaveLeases(a.server, recs); err != nil {
+		panic(fmt.Sprintf("rebalance: persisting leases of node %d: %v", a.server, err))
+	}
+}
+
+// AdoptLeases reconciles the persisted lease section during rejoin. Each
+// record is re-adopted only if its hold still protects something — the
+// lease is unexpired, the VM's migration is still in flight, and the VM has
+// not already arrived here; everything else is dropped (the orphan release
+// the crashed node could never perform). Verdicts are recorded as
+// lease_adopt events parented to the rejoin span.
+func (a *Agent) AdoptLeases(recs []store.LeaseRecord, rejoin obs.Ref) (adopted, dropped int) {
+	now := a.node.Engine().Now()
+	for _, r := range recs {
+		vm := cluster.VMID(r.VM)
+		keep := r.Expires > now && a.coord.mig.InFlight(vm)
+		if keep {
+			if srv, placed := a.coord.cl.LocationOf(vm); placed && srv == a.server {
+				keep = false // already arrived; its demand counts directly now
+			}
+		}
+		if !keep {
+			dropped++
+			a.obs.Instant(now, obs.KindLeaseAdopt, rejoin, int64(vm), 1)
+			continue
+		}
+		demand := cluster.Resources{CPU: r.DemandCPU, MemMB: r.DemandMemMB, BandwidthMbps: r.DemandBW}
+		a.reserved.upsert(vm, demand, r.Expires)
+		a.reserveStats.Adopted++
+		if a.obs.Enabled() {
+			// The pre-crash span is lost with the node; the adopted hold
+			// opens a fresh one under the rejoin.
+			a.reserved.get(vm).trace = a.obs.Begin(now, obs.KindLease, rejoin, int64(vm), 0)
+		}
+		adopted++
+		a.obs.Instant(now, obs.KindLeaseAdopt, rejoin, int64(vm), 0)
+	}
+	if adopted > 0 || dropped > 0 {
+		a.persistLeases()
+	}
+	return adopted, dropped
 }
 
 // utilizationOf is the server's utilization for one kind, including
@@ -656,6 +790,7 @@ func (a *Agent) considerQuery(_ ids.Id, payload simnet.Message, _ pastry.NodeHan
 			a.obs.Instant(now, obs.KindLeaseRenew, a.reserved.get(q.VMID).trace, int64(q.VMID), 0)
 		}
 	}
+	a.persistLeases()
 	return true
 }
 
@@ -915,6 +1050,7 @@ func (a *Agent) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 			a.reserveStats.Released++
 			a.obs.End(a.node.Engine().Now(), obs.KindLease, leaseTrace, int64(m.VMID), 0)
 			a.rememberRelease(m.VMID)
+			a.persistLeases()
 		case a.wasReleased(m.VMID):
 			a.reserveStats.DuplicateRelease++
 		default:
@@ -943,6 +1079,7 @@ func (a *Agent) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 				a.obs.Instant(now, obs.KindLeaseRenew, a.reserved.get(m.VMID).trace, int64(m.VMID), 0)
 			}
 		}
+		a.persistLeases()
 	}
 }
 

@@ -95,6 +95,92 @@ func TestNodeFaultWithoutRestartStaysDead(t *testing.T) {
 	}
 }
 
+// statefulHandler accumulates soft state (every payload it ever saw) — the
+// stand-in for a node's leaf sets, lease tables and placement maps.
+type statefulHandler struct {
+	seen []Message
+}
+
+func (h *statefulHandler) HandleMessage(from Addr, msg Message) {
+	h.seen = append(h.seen, msg)
+}
+
+// TestCrashDiscardsSoftState is the regression test for the fake-restart
+// bug: Revive used to resurrect a killed node with its old handler — leaf
+// sets, lease tables and placement maps fully intact. A crash-restart must
+// come back with a blank handler instead; the pre-crash soft state is gone.
+func TestCrashDiscardsSoftState(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, 2, flatLatency(time.Millisecond))
+	n.Attach(0, HandlerFunc(func(Addr, Message) {}))
+
+	first := &statefulHandler{}
+	n.Attach(1, first)
+	var rebuilt *statefulHandler
+	n.SetRestarter(func(addr Addr) {
+		rebuilt = &statefulHandler{}
+		n.Attach(addr, rebuilt)
+	})
+
+	n.Send(0, 1, "pre-crash")
+	n.ScheduleFaults(FaultSchedule{Nodes: []NodeFault{
+		{Addr: 1, At: 10 * time.Millisecond, RestartAfter: 20 * time.Millisecond, Crash: true},
+	}})
+	e.RunUntil(15 * time.Millisecond)
+	if n.Alive(1) {
+		t.Fatal("node 1 alive inside its crash window")
+	}
+	e.RunUntil(40 * time.Millisecond)
+	if !n.Alive(1) {
+		t.Fatal("node 1 not restarted after RestartAfter")
+	}
+	if rebuilt == nil {
+		t.Fatal("restarter never invoked")
+	}
+	n.Send(0, 1, "post-restart")
+	e.Run()
+
+	// The pre-crash handler saw the old world and is now detached; the
+	// rebuilt handler starts from nothing.
+	if len(first.seen) != 1 || first.seen[0] != "pre-crash" {
+		t.Fatalf("pre-crash handler saw %v, want [pre-crash]", first.seen)
+	}
+	if len(rebuilt.seen) != 1 || rebuilt.seen[0] != "post-restart" {
+		t.Fatalf("rebuilt handler saw %v, want only [post-restart] — pre-crash soft state must be gone", rebuilt.seen)
+	}
+}
+
+// TestReviveRefusesCrashedNode pins the asymmetry: Revive is for pauses,
+// and a crashed node (handler discarded) must not be revivable into a
+// handlerless zombie.
+func TestReviveRefusesCrashedNode(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, 1, flatLatency(time.Millisecond))
+	n.Attach(0, HandlerFunc(func(Addr, Message) {}))
+	n.Crash(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Revive of a crashed node did not panic")
+		}
+	}()
+	n.Revive(0)
+}
+
+// TestRestartWithoutRestarterPanics: a crash-restart schedule on a network
+// with no registered rebuild hook is a configuration bug, caught loudly.
+func TestRestartWithoutRestarterPanics(t *testing.T) {
+	e := sim.NewEngine(1)
+	n := New(e, 1, flatLatency(time.Millisecond))
+	n.Attach(0, HandlerFunc(func(Addr, Message) {}))
+	n.Crash(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Restart without a restarter did not panic")
+		}
+	}()
+	n.Restart(0)
+}
+
 func TestDropProbabilityFoldsIndependently(t *testing.T) {
 	e := sim.NewEngine(1)
 	n := New(e, 2, flatLatency(time.Millisecond), WithDropRate(0.5))

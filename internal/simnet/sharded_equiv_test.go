@@ -40,15 +40,23 @@ func runShardedTrace(seed int64, shards int) shardedTraceResult {
 	}
 	net := New(eng, size, latency, WithDropRate(0.2))
 	res := shardedTraceResult{seen: make([][]string, size)}
+	handlers := make([]Handler, size)
 	for i := 0; i < size; i++ {
 		dst := Addr(i)
-		net.Attach(dst, HandlerFunc(func(from Addr, msg Message) {
+		handlers[i] = HandlerFunc(func(from Addr, msg Message) {
 			res.seen[dst] = append(res.seen[dst],
 				fmt.Sprintf("%v:%d:%v", net.EngineFor(dst).Now(), from, msg))
-		}))
+		})
+		net.Attach(dst, handlers[i])
 	}
+	// Crashed nodes come back through the restarter, re-attaching the same
+	// recording handler (the real stack would rebuild a node here).
+	net.SetRestarter(func(addr Addr) { net.Attach(addr, handlers[addr]) })
 	// Randomized fault schedule: a couple of link-loss windows (including a
-	// wildcard one) and node crashes, some with restarts.
+	// wildcard one) and node faults — pauses and true crashes, some with
+	// restarts. Fault targets come from the lower half of the address space
+	// (each distinct) and random liveness flips from the upper half, so a
+	// blind Revive never races a crash that discarded the handler.
 	var fs FaultSchedule
 	for i := 0; i < 3; i++ {
 		from, to := Addr(rng.Intn(size)), Nowhere
@@ -62,9 +70,10 @@ func runShardedTrace(seed int64, shards int) shardedTraceResult {
 			Rate: 0.5 + 0.5*rng.Float64(),
 		})
 	}
-	for i := 0; i < 3; i++ {
-		f := NodeFault{Addr: Addr(rng.Intn(size)),
-			At: time.Duration(rng.Intn(2500)) * 10 * time.Microsecond}
+	for _, a := range rng.Perm(size / 2)[:3] {
+		f := NodeFault{Addr: Addr(a),
+			At:    time.Duration(rng.Intn(2500)) * 10 * time.Microsecond,
+			Crash: rng.Intn(2) == 0}
 		if rng.Intn(2) == 0 {
 			f.RestartAfter = time.Duration(rng.Intn(500)+1) * 10 * time.Microsecond
 		}
@@ -75,7 +84,7 @@ func runShardedTrace(seed int64, shards int) shardedTraceResult {
 		at := time.Duration(rng.Intn(3000)) * 10 * time.Microsecond
 		switch rng.Intn(8) {
 		case 0: // liveness flip in the global band (cross-node state)
-			target := Addr(rng.Intn(size))
+			target := Addr(size/2 + rng.Intn(size/2))
 			if rng.Intn(2) == 0 {
 				eng.AtGlobal(at, func() { net.Kill(target) })
 			} else {
@@ -102,8 +111,9 @@ func runShardedTrace(seed int64, shards int) shardedTraceResult {
 }
 
 // TestShardedDeliveryEquivalence replays identical randomized traces — send
-// bursts, 20% base loss, link-fault windows, node crashes and restarts —
-// through the serial engine and the sharded engine at K ∈ {1, 2, 4, 8}.
+// bursts, 20% base loss, link-fault windows, node pauses and true crashes
+// with restarts — through the serial engine and the sharded engine at
+// K ∈ {1, 2, 4, 8}.
 // Every node's delivery sequence (order, timestamps, senders) and every
 // traffic counter must be identical at every shard count.
 func TestShardedDeliveryEquivalence(t *testing.T) {

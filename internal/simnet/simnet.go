@@ -92,12 +92,21 @@ func (f LinkFault) matches(src, dst Addr, now time.Duration) bool {
 	return true
 }
 
-// NodeFault schedules a crash of one address at a virtual-clock instant,
+// NodeFault schedules a fault of one address at a virtual-clock instant,
 // with an optional restart after RestartAfter (0 = stays dead).
+//
+// Crash selects true crash semantics: the handler is discarded at At, so
+// the node loses every piece of soft state, and the restart goes through
+// the registered restarter (SetRestarter) which must rebuild the node from
+// scratch plus whatever durable state it persisted. Crash=false is the
+// legacy pause ("the process froze and thawed"): the old handler survives
+// and Revive reattaches it — appropriate for link-style blips, a lie for
+// server crashes.
 type NodeFault struct {
 	Addr         Addr
 	At           time.Duration
 	RestartAfter time.Duration
+	Crash        bool
 }
 
 // FaultSchedule groups timed fault injections for resilience experiments:
@@ -161,6 +170,11 @@ type Network struct {
 	// pastry.Ring maintains its live-node bitmap through this hook.
 	onLiveness []func(addr Addr, alive bool)
 
+	// restarter rebuilds a crashed node's stack when Restart fires. It must
+	// end by attaching a handler for the address (a rebuilt pastry node does
+	// this in its constructor); Restart panics otherwise.
+	restarter func(addr Addr)
+
 	// linkFaults holds the scheduled loss windows; Send consults them only
 	// while the slice is non-empty, so fault-free runs pay nothing.
 	linkFaults []LinkFault
@@ -188,9 +202,17 @@ func (n *Network) ScheduleFaults(s FaultSchedule) {
 	for _, f := range s.Nodes {
 		addr := f.Addr
 		n.check(addr)
-		// Kills and revives mutate cross-node state (liveness is read by
-		// every sender), so they run in the global band: after all node work
-		// at their instant, with every shard idle.
+		// Kills, crashes and restarts mutate cross-node state (liveness is
+		// read by every sender, a restart rebuilds a whole node), so they run
+		// in the global band: after all node work at their instant, with
+		// every shard idle.
+		if f.Crash {
+			n.engine.AtGlobal(f.At, func() { n.Crash(addr) })
+			if f.RestartAfter > 0 {
+				n.engine.AtGlobal(f.At+f.RestartAfter, func() { n.Restart(addr) })
+			}
+			continue
+		}
 		n.engine.AtGlobal(f.At, func() { n.Kill(addr) })
 		if f.RestartAfter > 0 {
 			n.engine.AtGlobal(f.At+f.RestartAfter, func() { n.Revive(addr) })
@@ -496,12 +518,56 @@ func (n *Network) Kill(addr Addr) {
 	n.notifyLiveness(addr, was, false)
 }
 
+// SetRestarter registers the rebuild hook Restart invokes for crashed
+// nodes. There is one restarter per network: crash recovery is a property
+// of the stack above, not of an individual fault site.
+func (n *Network) SetRestarter(fn func(addr Addr)) { n.restarter = fn }
+
+// Crash kills the node AND discards its handler: every piece of in-memory
+// state the handler closed over — leaf sets, lease tables, placement maps —
+// is unreachable from the network's point of view. The node can only come
+// back through Restart (or a fresh Attach), never through Revive. Crashing
+// a dead node still discards the handler; crashing a crashed node is a
+// no-op.
+func (n *Network) Crash(addr Addr) {
+	n.check(addr)
+	was := n.nodes[addr].alive
+	n.nodes[addr] = slot{}
+	if was {
+		// Fault injections run at exclusive global instants (or from idle
+		// test code), so writing the victim's own source is race-free.
+		n.obsSrc[addr].Instant(n.engine.Now(), obs.KindCrash, obs.NoRef, 0, 0)
+	}
+	n.notifyLiveness(addr, was, false)
+}
+
+// Restart reboots a crashed (or killed) node through the registered
+// restarter: the restarter rebuilds the node's stack from scratch — plus
+// whatever its durable store held — and attaches the new handler.
+// Restarting a live node is a no-op; restarting without a restarter, or
+// with a restarter that fails to attach a live handler, panics.
+func (n *Network) Restart(addr Addr) {
+	n.check(addr)
+	if n.nodes[addr].alive {
+		return
+	}
+	if n.restarter == nil {
+		panic(fmt.Sprintf("simnet: Restart(%d) without a restarter (SetRestarter)", addr))
+	}
+	n.obsSrc[addr].Instant(n.engine.Now(), obs.KindRestart, obs.NoRef, 0, 0)
+	n.restarter(addr)
+	if n.nodes[addr].handler == nil || !n.nodes[addr].alive {
+		panic(fmt.Sprintf("simnet: restarter left node %d without a live handler", addr))
+	}
+}
+
 // Revive brings a previously killed node back online with its old handler.
-// It panics if the node was never attached.
+// It panics if the node was never attached — or crashed, in which case the
+// old handler is deliberately gone and recovery must go through Restart.
 func (n *Network) Revive(addr Addr) {
 	n.check(addr)
 	if n.nodes[addr].handler == nil {
-		panic(fmt.Sprintf("simnet: Revive(%d) before Attach", addr))
+		panic(fmt.Sprintf("simnet: Revive(%d) with no handler (never attached, or crashed — use Restart)", addr))
 	}
 	was := n.nodes[addr].alive
 	n.nodes[addr].alive = true

@@ -1,0 +1,188 @@
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// File format, one file per (node, section):
+//
+//	offset 0: magic "VBST" (4 bytes)
+//	offset 4: format version (1 byte)
+//	offset 5: payload length (uint32 little-endian)
+//	offset 9: CRC-32 (IEEE) of the payload (uint32 little-endian)
+//	offset 13: JSON payload
+//
+// Writes go to a temp file in the same directory followed by rename, so a
+// crash mid-write leaves either the old section or the new one — never a
+// blend. The checksum catches the remaining failure mode (a torn or
+// truncated file from a crash between rename and sync, or external
+// corruption): Load refuses such a section with ErrCorrupt rather than
+// rebooting a node from garbage.
+
+const (
+	fileMagic   = "VBST"
+	fileVersion = 1
+	headerLen   = 13
+)
+
+// ErrCorrupt marks a section file whose header or checksum does not
+// validate. Callers should treat the node as having no durable state for
+// that section (and surface the error) rather than trusting partial state.
+var ErrCorrupt = errors.New("store: corrupt section file")
+
+type section string
+
+const (
+	secPlacements section = "placements"
+	secLeases     section = "leases"
+	secPeers      section = "peers"
+)
+
+// FileStore persists each node section as a checksummed file under a root
+// directory.
+type FileStore struct {
+	mu   sync.Mutex
+	root string
+}
+
+// NewFile opens (creating if needed) a file-backed store rooted at dir.
+func NewFile(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &FileStore{root: dir}, nil
+}
+
+func (f *FileStore) path(node int, sec section) string {
+	return filepath.Join(f.root, fmt.Sprintf("n%06d-%s", node, sec))
+}
+
+func (f *FileStore) writeSection(node int, sec section, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, headerLen+len(payload))
+	copy(buf, fileMagic)
+	buf[4] = fileVersion
+	binary.LittleEndian.PutUint32(buf[5:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[9:], crc32.ChecksumIEEE(payload))
+	copy(buf[headerLen:], payload)
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	tmp, err := os.CreateTemp(f.root, string(sec)+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), f.path(node, sec))
+}
+
+func (f *FileStore) readSection(node int, sec section, v any) (bool, error) {
+	f.mu.Lock()
+	data, err := os.ReadFile(f.path(node, sec))
+	f.mu.Unlock()
+	if err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, err
+	}
+	if len(data) < headerLen || string(data[:4]) != fileMagic {
+		return false, fmt.Errorf("%w: bad header (node %d %s)", ErrCorrupt, node, sec)
+	}
+	if data[4] != fileVersion {
+		return false, fmt.Errorf("%w: unsupported version %d (node %d %s)", ErrCorrupt, data[4], node, sec)
+	}
+	n := binary.LittleEndian.Uint32(data[5:])
+	want := binary.LittleEndian.Uint32(data[9:])
+	if int(n) != len(data)-headerLen {
+		return false, fmt.Errorf("%w: truncated payload (node %d %s)", ErrCorrupt, node, sec)
+	}
+	payload := data[headerLen:]
+	if crc32.ChecksumIEEE(payload) != want {
+		return false, fmt.Errorf("%w: checksum mismatch (node %d %s)", ErrCorrupt, node, sec)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return false, fmt.Errorf("%w: %v (node %d %s)", ErrCorrupt, err, node, sec)
+	}
+	return true, nil
+}
+
+// SavePlacements replaces the node's placement section.
+func (f *FileStore) SavePlacements(node int, recs []PlacementRecord) error {
+	return f.writeSection(node, secPlacements, recs)
+}
+
+// SaveLeases replaces the node's lease section.
+func (f *FileStore) SaveLeases(node int, recs []LeaseRecord) error {
+	return f.writeSection(node, secLeases, recs)
+}
+
+// SavePeers replaces the node's peer checkpoint.
+func (f *FileStore) SavePeers(node int, recs []PeerRecord) error {
+	return f.writeSection(node, secPeers, recs)
+}
+
+// Load reads every section the node has persisted. A node with no files at
+// all returns ok=false; any unreadable section fails the whole load.
+func (f *FileStore) Load(node int) (NodeState, bool, error) {
+	st := NodeState{Server: node}
+	any := false
+	var recs []PlacementRecord
+	ok, err := f.readSection(node, secPlacements, &recs)
+	if err != nil {
+		return NodeState{}, false, err
+	}
+	if ok {
+		st.Placements, any = recs, true
+	}
+	var leases []LeaseRecord
+	ok, err = f.readSection(node, secLeases, &leases)
+	if err != nil {
+		return NodeState{}, false, err
+	}
+	if ok {
+		st.Leases, any = leases, true
+	}
+	var peers []PeerRecord
+	ok, err = f.readSection(node, secPeers, &peers)
+	if err != nil {
+		return NodeState{}, false, err
+	}
+	if ok {
+		st.Peers, any = peers, true
+	}
+	return st, any, nil
+}
+
+// Delete removes every section file for the node.
+func (f *FileStore) Delete(node int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, sec := range []section{secPlacements, secLeases, secPeers} {
+		if err := os.Remove(f.path(node, sec)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close is a no-op: every write is already flushed and renamed.
+func (f *FileStore) Close() error { return nil }

@@ -19,11 +19,14 @@ echo "== go test -race -short"
 go test -race -short ./...
 
 # The fault-injection paths (lease expiry, release retry, anycast retry,
-# orphan release) under the race detector, explicitly and un-shortened.
+# orphan release, crash-restart rejoin) under the race detector, explicitly
+# and un-shortened. internal/store and internal/core ride along for the
+# durable-store and restarter paths.
 echo "== resilience tests -race"
-go test -race -run 'Resilience|NoLeak|LeaseExpiry|Orphan|Anycast|Fault|Dead|Death' \
+go test -race -run 'Resilience|NoLeak|LeaseExpiry|Orphan|Anycast|Fault|Dead|Death|Crash|Restart|Rejoin|Adopt|Store' \
 	./internal/rebalance/ ./internal/scribe/ ./internal/simnet/ \
-	./internal/migration/ ./internal/experiments/
+	./internal/migration/ ./internal/experiments/ ./internal/store/ \
+	./internal/core/
 
 # The sharded engine and shard-aware delivery under the race detector,
 # explicitly and un-shortened: these are the packages where a data race
@@ -36,6 +39,22 @@ go test -race ./internal/sim/ ./internal/simnet/
 echo "== vb-faults smoke"
 go run ./cmd/vb-faults -servers 64 -duration 30 -lease 4 \
 	-drop-rates 0,0.02 -seed 5 > /dev/null
+
+# The same sweep with -crash: true crashes (blank handler, durable-store
+# reboot, rejoin) plus one node left dead. The binary exits nonzero if any
+# run loses a VM or leaks a reservation across the restart — and the run
+# must be byte-identical serial vs. sharded.
+echo "== vb-faults crash-restart smoke (gate + shard diff)"
+go build -o /tmp/vb-faults-ci ./cmd/vb-faults
+/tmp/vb-faults-ci -crash -servers 64 -duration 30 -lease 4 \
+	-drop-rates 0,0.02 -kill 2 -crash-forever 1 -restart-after 5 \
+	-seed 5 -workers 1 > /tmp/vb-crash0.txt
+/tmp/vb-faults-ci -crash -servers 64 -duration 30 -lease 4 \
+	-drop-rates 0,0.02 -kill 2 -crash-forever 1 -restart-after 5 \
+	-seed 5 -workers 1 -shards 4 > /tmp/vb-crash4.txt
+diff /tmp/vb-crash0.txt /tmp/vb-crash4.txt
+grep -q 'recovered fully' /tmp/vb-crash0.txt || { echo "FAIL: crash-restart gate"; exit 1; }
+rm -f /tmp/vb-faults-ci /tmp/vb-crash0.txt /tmp/vb-crash4.txt
 
 # Determinism gate for the parallel single-run engine: the same Fig. 14
 # experiment at -shards 1 and -shards 4 must print byte-identical metrics.
