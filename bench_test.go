@@ -8,6 +8,7 @@ package vbundle
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -369,7 +370,13 @@ func BenchmarkFig15Scale(b *testing.B) {
 // count (TestShardedEquivalence); only the wall-clock may differ, and the
 // sub-benchmark ratio serial/shards=4 is the speedup-vs-shards table in
 // EXPERIMENTS.md. On a single-core machine the sharded variants measure pure
-// coordination overhead instead.
+// coordination overhead instead — there, shards=4 runs *slower* than serial
+// (151.9 vs 143.5 ms on the reference box) because every window buys barrier
+// and merge work but no extra CPU; -shards > 1 pays only when GOMAXPROCS
+// gives each shard a real core AND the per-window event count stays well
+// above the coordination cost (the windows/caps metrics below make that
+// ratio visible: many windows with few events each means the lookahead is
+// too short for the workload to amortize the barriers).
 func BenchmarkFig14Sharded(b *testing.B) {
 	if testing.Short() {
 		b.Skip("large-ring sweep; run without -short")
@@ -388,6 +395,21 @@ func BenchmarkFig14Sharded(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.ReportMetric(float64(out.Points[0].RawMean)/1e6, "msAgg")
+				// Coordination accounting: total parallel windows each shard
+				// participated in, and how often a shard shortened its own
+				// window (cross-shard send or staged root event). Zero on the
+				// serial run.
+				var windows, caps, events float64
+				for _, s := range out.Points[0].ShardWork {
+					windows += float64(s.Windows)
+					caps += float64(s.Caps)
+					events += float64(s.Events)
+				}
+				b.ReportMetric(windows, "shardWindows")
+				b.ReportMetric(caps, "shardSelfCaps")
+				if windows > 0 {
+					b.ReportMetric(events/windows, "eventsPerWindow")
+				}
 			}
 		})
 	}
@@ -417,7 +439,12 @@ func BenchmarkFig14Scale32768(b *testing.B) {
 }
 
 // benchFig14Point runs one aggregation-latency point of the given size on
-// the sharded engine: the shared body of the 131072/262144 ladder tops.
+// the sharded engine: the shared body of the 131072–1048576 ladder tops. It
+// reports the post-run live heap (the full simulation stack is still
+// reachable through the outcome at that instant) so the ladder's peak-heap
+// column regenerates from the benchmark output alone; MaxRSS from
+// `/usr/bin/time -v` on the same run is the cross-check recorded in
+// EXPERIMENTS.md.
 func benchFig14Point(b *testing.B, servers int) {
 	if testing.Short() {
 		b.Skipf("%d-server ring; run without -short", servers)
@@ -432,6 +459,9 @@ func benchFig14Point(b *testing.B, servers int) {
 		pt := out.Points[0]
 		b.ReportMetric(float64(pt.RawMean)/1e6, "msAgg")
 		b.ReportMetric(float64(pt.TreeHeight), "treeHeight")
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		b.ReportMetric(float64(ms.HeapAlloc)/(1<<20), "liveHeapMB")
 	}
 }
 
@@ -444,9 +474,26 @@ func benchFig14Point(b *testing.B, servers int) {
 // 256× the paper's evaluation.
 func BenchmarkFig14Scale131072(b *testing.B) { benchFig14Point(b, 131072) }
 
-// BenchmarkFig14Scale262144 is the top of the ladder; see
+// BenchmarkFig14Scale262144 continues the ladder; see
 // BenchmarkFig14Scale131072.
 func BenchmarkFig14Scale262144(b *testing.B) { benchFig14Point(b, 262144) }
+
+// BenchmarkFig14Scale524288 and BenchmarkFig14Scale1048576 are the rungs the
+// per-round-cost elimination work opened: a million simulated servers — 1024×
+// the paper's evaluation — built and driven to a converged aggregation tree
+// on one box. What made them reachable (profile-driven, see DESIGN.md
+// "Profiling methodology"): prefix-group routing-table construction turned
+// BuildStatic's dominant O(n log n · rows) per-node binary-search fill into a
+// shared recursion over contiguous rank ranges; the per-node map allocations
+// in pastry/scribe/aggregation became small sorted slices with inline
+// backing arrays (the hash-grow path was 19% of CPU at 262144); and the
+// remaining periodic work is O(dirty), so a converged ring costs nothing per
+// tick.
+func BenchmarkFig14Scale524288(b *testing.B) { benchFig14Point(b, 524288) }
+
+// BenchmarkFig14Scale1048576 is the top of the ladder; see
+// BenchmarkFig14Scale524288.
+func BenchmarkFig14Scale1048576(b *testing.B) { benchFig14Point(b, 1048576) }
 
 // BenchmarkFig9Scale pins the shed/receive protocol's scale behavior: the
 // Fig. 9 rebalancing run at 2048 servers, serial versus 4 shards. Fig. 14/15

@@ -20,9 +20,14 @@
 // regressions are found. The special value "latest" selects the newest
 // BENCH_*.json in the current directory deterministically (ISO date, then
 // the suffix's trailing number, so _pr4 beats _pr2 and a later date beats
-// any suffix), skipping the snapshot the run itself just wrote. If the two snapshots record different machine
-// shapes (GOMAXPROCS, NumCPU, GOARCH, GOOS) the deltas are printed as
-// warnings but never fail the run. With -parse, existing `go test -bench` output is
+// any suffix), skipping the snapshot the run itself just wrote. If the two
+// snapshots record different machine fingerprints (GOMAXPROCS, NumCPU,
+// GOARCH, GOOS, Go version or run date) the timing deltas are printed as
+// loud warnings rather than failures — the shared reference box drifts
+// 25–30% day to day, so a cross-fingerprint ns/op regression is likely a
+// phantom — but B/op and allocs/op regressions, which are machine-
+// independent, still fail the run unless -memgate=false.
+// With -parse, existing `go test -bench` output is
 // converted instead of running the suite (useful for archiving a run made
 // by hand or on another machine).
 package main
@@ -80,6 +85,37 @@ func shapeDiff(old, cur Suite) []string {
 	return diffs
 }
 
+// fingerprintDiff extends shapeDiff with the run-environment fields that
+// make wall-clock numbers incomparable without changing the machine's
+// shape: the Go toolchain version (different compiler, different code) and
+// the snapshot date (the shared reference box drifts 25–30% day to day —
+// see EXPERIMENTS.md "Machine shape caveat"). Any difference here means a
+// timing regression against the old snapshot is as likely a phantom as
+// real.
+func fingerprintDiff(old, cur Suite) []string {
+	diffs := shapeDiff(old, cur)
+	if old.GoVersion != "" && old.GoVersion != cur.GoVersion {
+		diffs = append(diffs, fmt.Sprintf("go version %s vs %s", old.GoVersion, cur.GoVersion))
+	}
+	if old.Date != "" && old.Date != cur.Date {
+		diffs = append(diffs, fmt.Sprintf("run date %s vs %s", old.Date, cur.Date))
+	}
+	return diffs
+}
+
+// memOnly keeps the regressions a fingerprint mismatch cannot explain:
+// B/op and allocs/op are deterministic functions of the code on this
+// repository's benchmarks, so they stay gateable when ns/op is not.
+func memOnly(regs []benchparse.Regression) []benchparse.Regression {
+	var out []benchparse.Regression
+	for _, r := range regs {
+		if r.Unit == "B/op" || r.Unit == "allocs/op" {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vb-bench: ")
@@ -92,6 +128,7 @@ func main() {
 		parseIn   = flag.String("parse", "", "parse an existing go test -bench output file instead of running")
 		compare   = flag.String("compare", "", `baseline JSON to compare against ("latest" = newest BENCH_*.json)`)
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional growth before a regression is flagged")
+		memGate   = flag.Bool("memgate", true, "when the snapshots' machine fingerprints differ, still fail on B/op and allocs/op regressions (timing deltas stay warnings); =false restores warn-only")
 		quiet     = flag.Bool("q", false, "suppress the go test output echo")
 		cpuProf   = flag.String("cpuprofile", "", "forward to go test: write a CPU profile (single package only)")
 		memProf   = flag.String("memprofile", "", "forward to go test: write a heap profile (single package only)")
@@ -163,9 +200,10 @@ func main() {
 	if err := readJSON(*compare, &baseline); err != nil {
 		log.Fatal(err)
 	}
-	shapeDiffs := shapeDiff(baseline, suite)
-	if len(shapeDiffs) > 0 {
-		fmt.Printf("warning: machine shape differs from %s (%s)\n", *compare, strings.Join(shapeDiffs, ", "))
+	fpDiffs := fingerprintDiff(baseline, suite)
+	if len(fpDiffs) > 0 {
+		fmt.Printf("WARNING: machine fingerprint differs from %s (%s)\n", *compare, strings.Join(fpDiffs, ", "))
+		fmt.Println("WARNING: wall-clock deltas below are not comparable — any ns/op regression may be a phantom; trust only B/op and allocs/op")
 	}
 	// Coverage changes are informational: Compare only gates shared
 	// benchmarks, so this is where a vanished benchmark becomes visible.
@@ -186,11 +224,18 @@ func main() {
 	for _, r := range regs {
 		fmt.Printf("  %s\n", r)
 	}
-	if len(shapeDiffs) > 0 {
-		// Timing moved across machine shapes is expected — a multi-core run
-		// must not be gated against a single-core baseline, so the deltas
-		// above are informational and the comparison still succeeds.
-		fmt.Println("machine shapes differ; deltas reported as warnings only (exit 0)")
+	if len(fpDiffs) > 0 {
+		// Timing moved across fingerprints is expected — a multi-core run
+		// must not be gated against a single-core baseline, and the shared
+		// box drifts across days. Memory costs are deterministic, though:
+		// with -memgate (the default) a B/op or allocs/op regression still
+		// fails the run; -memgate=false restores the old warn-only exit.
+		memRegs := memOnly(regs)
+		if *memGate && len(memRegs) > 0 {
+			fmt.Printf("fingerprints differ, but %d of the regressions are B/op or allocs/op — machine-independent, gated anyway (disable with -memgate=false)\n", len(memRegs))
+			os.Exit(1)
+		}
+		fmt.Println("machine fingerprints differ; deltas reported as warnings only (exit 0)")
 		return
 	}
 	os.Exit(1)

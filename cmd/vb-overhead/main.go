@@ -28,6 +28,7 @@ func main() {
 	var (
 		fig     = flag.Int("fig", 0, "what to print: 14, 15, 1 (Table I), or 0 for all")
 		maxN    = flag.Int("max-servers", 1024, "largest ring size to sweep")
+		minN    = flag.Int("min-servers", 16, "smallest ring size to sweep (CI uses min=max to gate one big rung without paying for the whole ladder)")
 		iters   = flag.Int("iterations", 1000, "Table I iterations per operation")
 		seed    = flag.Int64("seed", 1, "random seed")
 		svgDir  = flag.String("svg", "", "directory to write SVG figures into")
@@ -49,7 +50,12 @@ func main() {
 
 	var sizes []int
 	for n := 16; n <= *maxN; n *= 2 {
-		sizes = append(sizes, n)
+		if n >= *minN {
+			sizes = append(sizes, n)
+		}
+	}
+	if len(sizes) == 0 {
+		log.Fatalf("empty sweep: no power of two in [%d, %d]", *minN, *maxN)
 	}
 
 	if *fig == 0 || *fig == 1 {

@@ -105,15 +105,65 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// attrMap is one node's per-attribute aggregates for a topic.
-type attrMap map[string]Aggregate
+// attrVal is one (attributeName, aggregate) tuple.
+type attrVal struct {
+	attr string
+	agg  Aggregate
+}
 
-func (m attrMap) equal(o attrMap) bool {
-	if len(m) != len(o) {
+// attrList is a node's per-attribute aggregates for a topic, kept sorted by
+// attribute name. Topics carry one or two attributes in practice, so a
+// small sorted slice replaces the former map[string]Aggregate: no hash
+// state to allocate per topic, deterministic iteration order for free (the
+// fold and dissemination loops must not depend on randomized map order),
+// and equality is a linear compare.
+type attrList []attrVal
+
+// find locates attr, returning its position (or insertion point) and
+// whether it is present.
+func (l attrList) find(attr string) (int, bool) {
+	i := sort.Search(len(l), func(i int) bool { return l[i].attr >= attr })
+	return i, i < len(l) && l[i].attr == attr
+}
+
+func (l attrList) get(attr string) (Aggregate, bool) {
+	i, ok := l.find(attr)
+	if !ok {
+		return Aggregate{}, false
+	}
+	return l[i].agg, true
+}
+
+// set inserts or replaces attr's aggregate, keeping the slice sorted.
+func (l *attrList) set(attr string, a Aggregate) {
+	i, ok := l.find(attr)
+	if ok {
+		(*l)[i].agg = a
+		return
+	}
+	*l = append(*l, attrVal{})
+	copy((*l)[i+1:], (*l)[i:])
+	(*l)[i] = attrVal{attr: attr, agg: a}
+}
+
+// fold merges attr's aggregate into the list.
+func (l *attrList) fold(attr string, a Aggregate) {
+	i, ok := l.find(attr)
+	if ok {
+		(*l)[i].agg = (*l)[i].agg.Fold(a)
+		return
+	}
+	*l = append(*l, attrVal{})
+	copy((*l)[i+1:], (*l)[i:])
+	(*l)[i] = attrVal{attr: attr, agg: a}
+}
+
+func (l attrList) equal(o attrList) bool {
+	if len(l) != len(o) {
 		return false
 	}
-	for k, v := range m {
-		if ov, ok := o[k]; !ok || ov != v {
+	for i, v := range l {
+		if o[i] != v {
 			return false
 		}
 	}
@@ -123,38 +173,59 @@ func (m attrMap) equal(o attrMap) bool {
 // childAggregates is one child's contribution to the info base.
 type childAggregates struct {
 	id   ids.Id
-	vals attrMap
+	vals attrList
+}
+
+// globalVal is one published (attributeName, global) pair; globals travel
+// and are stored as sorted slices for the same reasons as attrList.
+type globalVal struct {
+	attr string
+	g    Global
+}
+
+// attrCallbacks collects the subscriber callbacks for one attribute.
+type attrCallbacks struct {
+	attr string
+	fns  []func(Global)
 }
 
 // topicState is this node's view of one aggregation topic.
 type topicState struct {
 	key   ids.Id
 	name  string
-	local attrMap
+	local attrList
+	// localBuf is the inline backing array for local: the common one- or
+	// two-attribute topic then stores its tuples without a separate heap
+	// allocation per node.
+	localBuf [2]attrVal
 	// children is the (ChildNodehandle, attribute, value) info base, kept
 	// sorted by child identifier so the upward fold always accumulates
 	// floats in the same order (float addition is not associative, and a
 	// map-ordered fold would leak randomized iteration order into the
 	// aggregates, breaking run-to-run reproducibility).
 	children []childAggregates
-	lastSent attrMap
+	lastSent attrList
 	sentOnce bool
 	flushing bool
+	// flushFn is the flush thunk bound once at subscribe time; every
+	// markDirty reuses it instead of allocating a fresh closure per
+	// scheduled flush.
+	flushFn func()
 
 	// cached is the memoized subtree fold; cacheOK marks it current. The
 	// cache is invalidated only when a fold input actually changes — a local
 	// tuple takes a new value, a child pushes different values, or a child
 	// leaves the tree (reported by the scribe child-drop hook) — so the
 	// periodic refresh of an unchanged subtree costs O(1) instead of
-	// re-folding every child. Cached maps are never mutated in place; a
-	// re-fold always builds a fresh map (receivers of upMsg hold references
+	// re-folding every child. Cached lists are never mutated in place; a
+	// re-fold always builds a fresh list (receivers of upMsg hold references
 	// to the old one).
-	cached  attrMap
+	cached  attrList
 	cacheOK bool
 
-	global    map[string]Global
+	global    []globalVal
 	hasGlobal bool
-	onGlobal  map[string][]func(Global)
+	onGlobal  []attrCallbacks
 
 	// probeStamp is the leaf-send time that triggered the pending flush,
 	// used by the root to measure leaf-to-root aggregation latency.
@@ -170,13 +241,14 @@ type Manager struct {
 	sc  *scribe.Scribe
 	cfg Config
 
-	topics map[ids.Id]*topicState
-	ticker *tickerHandle
-
-	// keyScratch backs tick's sorted topic walk: message-sending paths
-	// must visit topics in identifier order, not randomized map order, or
-	// identically-seeded runs diverge.
-	keyScratch []ids.Id
+	// topics is kept sorted by topic key: the periodic tick must visit
+	// topics in identifier order (message-sending paths that walked a map
+	// would leak randomized iteration order into identically-seeded runs),
+	// and a node subscribes to a handful of topics at most. topicsBuf is
+	// the inline backing array for the common one- or two-topic node.
+	topics    []*topicState
+	topicsBuf [2]*topicState
+	ticker    *tickerHandle
 
 	// rootLatencies collects leaf-to-root latencies observed while this
 	// node is a topic root (Fig. 14's raw line).
@@ -190,17 +262,27 @@ type tickerHandle struct{ stop func() }
 
 // New creates the aggregation manager for the given Scribe instance.
 func New(sc *scribe.Scribe, cfg Config) *Manager {
-	m := &Manager{sc: sc, cfg: cfg.withDefaults(), topics: make(map[ids.Id]*topicState), obs: sc.Node().Obs()}
+	m := &Manager{sc: sc, cfg: cfg.withDefaults(), obs: sc.Node().Obs()}
+	m.topics = m.topicsBuf[:0]
 	// A departing child changes the subtree fold without any message
 	// arriving, so the drop hook is what keeps the fold cache honest: the
 	// next flush re-folds and compacts, exactly when the full re-fold would
 	// first have noticed the departure.
 	sc.OnChildDrop(func(group, _ ids.Id) {
-		if st, ok := m.topics[group]; ok {
+		if st := m.topic(group); st != nil {
 			st.cacheOK = false
 		}
 	})
 	return m
+}
+
+// topic returns the state for key, or nil if not subscribed.
+func (m *Manager) topic(key ids.Id) *topicState {
+	i := sort.Search(len(m.topics), func(i int) bool { return !m.topics[i].key.Less(key) })
+	if i < len(m.topics) && m.topics[i].key == key {
+		return m.topics[i]
+	}
+	return nil
 }
 
 // Scribe returns the underlying Scribe instance.
@@ -220,23 +302,28 @@ func (m *Manager) Subscribe(name string, onGlobal func(Global)) {
 // for one attribute's global updates.
 func (m *Manager) SubscribeAttr(name, attr string, onGlobal func(Global)) {
 	key := scribe.GroupKey(name)
-	st, ok := m.topics[key]
-	if !ok {
-		st = &topicState{
-			key:      key,
-			name:     name,
-			local:    make(attrMap),
-			global:   make(map[string]Global),
-			onGlobal: make(map[string][]func(Global)),
-		}
-		m.topics[key] = st
+	st := m.topic(key)
+	if st == nil {
+		st = &topicState{key: key, name: name}
+		st.local = st.localBuf[:0]
+		st.flushFn = func() { m.flush(st) }
+		i := sort.Search(len(m.topics), func(i int) bool { return !m.topics[i].key.Less(key) })
+		m.topics = append(m.topics, nil)
+		copy(m.topics[i+1:], m.topics[i:])
+		m.topics[i] = st
 		m.sc.Join(key, scribe.Handlers{OnMulticast: m.onGlobalMsg})
 		m.sc.OnParentData(key, func(payload simnet.Message, from pastry.NodeHandle) {
 			m.onChildUpdate(st, payload, from)
 		})
 	}
 	if onGlobal != nil {
-		st.onGlobal[attr] = append(st.onGlobal[attr], onGlobal)
+		for i := range st.onGlobal {
+			if st.onGlobal[i].attr == attr {
+				st.onGlobal[i].fns = append(st.onGlobal[i].fns, onGlobal)
+				return
+			}
+		}
+		st.onGlobal = append(st.onGlobal, attrCallbacks{attr: attr, fns: []func(Global){onGlobal}})
 	}
 }
 
@@ -249,13 +336,13 @@ func (m *Manager) SetLocal(name string, v float64) {
 // SetLocalAttr stores one (topic, attributeName, value) tuple, the paper's
 // §III.D local-data model.
 func (m *Manager) SetLocalAttr(name, attr string, v float64) {
-	st, ok := m.topics[scribe.GroupKey(name)]
-	if !ok {
+	st := m.topic(scribe.GroupKey(name))
+	if st == nil {
 		return
 	}
 	s := Sample(v)
-	if old, had := st.local[attr]; !had || old != s {
-		st.local[attr] = s
+	if old, had := st.local.get(attr); !had || old != s {
+		st.local.set(attr, s)
 		st.cacheOK = false
 	}
 	m.markDirty(st, m.now())
@@ -268,11 +355,11 @@ func (m *Manager) Local(name string) (float64, bool) {
 
 // LocalAttr returns the node's own sample for one attribute.
 func (m *Manager) LocalAttr(name, attr string) (float64, bool) {
-	st, ok := m.topics[scribe.GroupKey(name)]
-	if !ok {
+	st := m.topic(scribe.GroupKey(name))
+	if st == nil {
 		return 0, false
 	}
-	a, ok := st.local[attr]
+	a, ok := st.local.get(attr)
 	if !ok || a.Count == 0 {
 		return 0, false
 	}
@@ -287,12 +374,16 @@ func (m *Manager) Global(name string) (Global, bool) {
 // GlobalAttr returns the last globally published aggregate for one
 // attribute of the topic.
 func (m *Manager) GlobalAttr(name, attr string) (Global, bool) {
-	st, ok := m.topics[scribe.GroupKey(name)]
-	if !ok || !st.hasGlobal {
+	st := m.topic(scribe.GroupKey(name))
+	if st == nil || !st.hasGlobal {
 		return Global{}, false
 	}
-	g, ok := st.global[attr]
-	return g, ok
+	for _, gv := range st.global {
+		if gv.attr == attr {
+			return gv.g, true
+		}
+	}
+	return Global{}, false
 }
 
 // Start begins the periodic cycle: roots disseminate their current global
@@ -315,14 +406,8 @@ func (m *Manager) Stop() {
 }
 
 func (m *Manager) tick() {
-	keys := m.keyScratch[:0]
-	for k := range m.topics {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].Less(keys[j]) })
-	m.keyScratch = keys
-	for _, k := range keys {
-		st := m.topics[k]
+	// topics is sorted by key, so the walk is already in identifier order.
+	for _, st := range m.topics {
 		if m.sc.IsRoot(st.key) {
 			m.publish(st)
 		}
@@ -337,8 +422,8 @@ func (m *Manager) tick() {
 // PublishNow forces the root of the topic to disseminate immediately; only
 // the root reacts. Experiments use it to avoid waiting a full interval.
 func (m *Manager) PublishNow(name string) {
-	st, ok := m.topics[scribe.GroupKey(name)]
-	if !ok || !m.sc.IsRoot(st.key) {
+	st := m.topic(scribe.GroupKey(name))
+	if st == nil || !m.sc.IsRoot(st.key) {
 		return
 	}
 	m.publish(st)
@@ -349,14 +434,14 @@ func (m *Manager) PublishNow(name string) {
 // fold cache: the periodic upward refresh of a quiescent subtree then costs
 // nothing per child, so a round's total fold work scales with how much
 // actually changed, not with the tree size.
-func (m *Manager) subtreeAggregates(st *topicState) attrMap {
+func (m *Manager) subtreeAggregates(st *topicState) attrList {
 	if st.cacheOK && !m.cfg.FullRefold {
 		return st.cached
 	}
-	agg := make(attrMap, len(st.local))
-	for attr, a := range st.local {
-		agg[attr] = a
-	}
+	// A fresh list every re-fold: the previous one may still be referenced
+	// by an in-flight upMsg, and agg must not alias localBuf either.
+	agg := make(attrList, len(st.local), len(st.local)+1)
+	copy(agg, st.local)
 	// The info base is already sorted by child identifier, so the fold
 	// order is fixed; departed children are compacted out in place.
 	kept := st.children[:0]
@@ -365,8 +450,8 @@ func (m *Manager) subtreeAggregates(st *topicState) attrMap {
 			continue
 		}
 		kept = append(kept, c)
-		for attr, a := range c.vals {
-			agg[attr] = agg[attr].Fold(a)
+		for _, cv := range c.vals {
+			agg.fold(cv.attr, cv.agg)
 		}
 	}
 	st.children = kept
@@ -385,7 +470,7 @@ func (m *Manager) markDirty(st *topicState, probeStamp time.Duration) {
 		return
 	}
 	st.flushing = true
-	m.sc.Node().Engine().After(m.cfg.ProcessingDelay, func() { m.flush(st) })
+	m.sc.Node().Engine().After(m.cfg.ProcessingDelay, st.flushFn)
 }
 
 func (m *Manager) flush(st *topicState) {
@@ -416,7 +501,7 @@ func (m *Manager) flush(st *topicState) {
 	// tree converges would never reach the root.
 	st.probeStamp, st.probeValid = stamp, true
 	st.flushing = true
-	m.sc.Node().Engine().After(flushRetryDelay, func() { m.flush(st) })
+	m.sc.Node().Engine().After(flushRetryDelay, st.flushFn)
 }
 
 // flushRetryDelay paces upward-push retries while the topic tree is still
@@ -448,9 +533,9 @@ func (m *Manager) onChildUpdate(st *topicState, payload simnet.Message, from pas
 func (m *Manager) publish(st *topicState) {
 	now := m.now()
 	agg := m.subtreeAggregates(st)
-	globals := make(map[string]Global, len(agg))
-	for attr, a := range agg {
-		globals[attr] = Global{Aggregate: a, PublishedAt: now}
+	globals := make([]globalVal, 0, len(agg))
+	for _, av := range agg {
+		globals = append(globals, globalVal{attr: av.attr, g: Global{Aggregate: av.agg, PublishedAt: now}})
 	}
 	m.sc.SendToChildren(st.key, &globalMsg{Topic: st.key, Values: globals})
 	m.applyGlobal(st, globals)
@@ -462,16 +547,27 @@ func (m *Manager) onGlobalMsg(group ids.Id, payload simnet.Message, _ pastry.Nod
 	if !ok {
 		return
 	}
-	if st, ok := m.topics[group]; ok {
+	if st := m.topic(group); st != nil {
 		m.applyGlobal(st, gm.Values)
 	}
 }
 
-func (m *Manager) applyGlobal(st *topicState, globals map[string]Global) {
-	for attr, g := range globals {
-		st.global[attr] = g
-		for _, fn := range st.onGlobal[attr] {
-			fn(g)
+func (m *Manager) applyGlobal(st *topicState, globals []globalVal) {
+	for _, gv := range globals {
+		i := sort.Search(len(st.global), func(i int) bool { return st.global[i].attr >= gv.attr })
+		if i < len(st.global) && st.global[i].attr == gv.attr {
+			st.global[i].g = gv.g
+		} else {
+			st.global = append(st.global, globalVal{})
+			copy(st.global[i+1:], st.global[i:])
+			st.global[i] = gv
+		}
+		for _, cb := range st.onGlobal {
+			if cb.attr == gv.attr {
+				for _, fn := range cb.fns {
+					fn(gv.g)
+				}
+			}
 		}
 	}
 	st.hasGlobal = true
@@ -491,15 +587,15 @@ func (m *Manager) now() time.Duration { return m.sc.Node().Engine().Now() }
 // root.
 type upMsg struct {
 	Topic      ids.Id
-	Values     attrMap
+	Values     attrList
 	LeafSentAt time.Duration
 }
 
 // WireSize implements simnet.WireSizer.
 func (u *upMsg) WireSize() int {
 	size := ids.Bytes + 8
-	for attr := range u.Values {
-		size += len(attr) + 4*8
+	for _, av := range u.Values {
+		size += len(av.attr) + 4*8
 	}
 	return size
 }
@@ -507,14 +603,14 @@ func (u *upMsg) WireSize() int {
 // globalMsg carries the published global aggregates down the tree.
 type globalMsg struct {
 	Topic  ids.Id
-	Values map[string]Global
+	Values []globalVal
 }
 
 // WireSize implements simnet.WireSizer.
 func (g *globalMsg) WireSize() int {
 	size := ids.Bytes
-	for attr := range g.Values {
-		size += len(attr) + 5*8
+	for _, gv := range g.Values {
+		size += len(gv.attr) + 5*8
 	}
 	return size
 }

@@ -68,6 +68,12 @@ type AggLatencyPoint struct {
 	WithInterval time.Duration
 	// TreeHeight is the maximum depth of the aggregation tree.
 	TreeHeight int
+	// ShardWork is the per-shard work accounting for the point's run (nil
+	// when the point ran on the serial engine). Windows and self-caps are
+	// the coordination costs the sharded engine pays for bit-identical
+	// virtual time; benchmarks surface them so a shard-count change that
+	// trades event parallelism for barrier churn is visible in the output.
+	ShardWork []sim.ShardStats
 }
 
 // AggLatencyOutcome is the Fig. 14 sweep.
@@ -174,16 +180,22 @@ func aggLatencyPoint(p AggLatencyParams, n int, tr *obs.Trace) (AggLatencyPoint,
 	}
 	pt.WithInterval = pt.RawMean + p.UpdateInterval
 	pt.TreeHeight = treeHeight(scribes, scribe.GroupKey(topic))
+	pt.ShardWork = engine.ShardWork()
 	return pt, nil
 }
 
 // treeHeight computes the depth of the Scribe tree rooted at the topic's
-// rendezvous node by breadth-first walk over the children edges.
+// rendezvous node by breadth-first walk over the children edges. Scribes
+// sit at dense network addresses and child handles carry the address, so
+// the walk runs over flat address-indexed slices; the id-keyed maps this
+// replaces dominated the sweep's allocation profile at 100k+ servers.
 func treeHeight(scribes []*scribe.Scribe, group ids.Id) int {
-	byID := make(map[ids.Id]*scribe.Scribe, len(scribes))
+	byAddr := make([]*scribe.Scribe, len(scribes))
 	var root *scribe.Scribe
 	for _, s := range scribes {
-		byID[s.Node().ID()] = s
+		if a := int(s.Node().Addr()); a >= 0 && a < len(byAddr) {
+			byAddr[a] = s
+		}
 		if s.IsRoot(group) {
 			root = s
 		}
@@ -192,26 +204,33 @@ func treeHeight(scribes []*scribe.Scribe, group ids.Id) int {
 		return 0
 	}
 	type item struct {
-		s     *scribe.Scribe
+		addr  int
 		depth int
 	}
-	queue := []item{{s: root}}
-	visited := map[ids.Id]bool{root.Node().ID(): true}
-	max := 0
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	queue := make([]item, 0, 64)
+	queue = append(queue, item{addr: int(root.Node().Addr())})
+	visited := make([]bool, len(byAddr))
+	visited[int(root.Node().Addr())] = true
+	max, curDepth := 0, 0
+	visit := func(child pastry.NodeHandle) {
+		a := int(child.Addr)
+		if a < 0 || a >= len(byAddr) || visited[a] {
+			return
+		}
+		visited[a] = true
+		queue = append(queue, item{addr: a, depth: curDepth + 1})
+	}
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		if cur.depth > max {
 			max = cur.depth
 		}
-		for _, child := range cur.s.Children(group) {
-			cs, ok := byID[child.Id]
-			if !ok || visited[child.Id] {
-				continue
-			}
-			visited[child.Id] = true
-			queue = append(queue, item{s: cs, depth: cur.depth + 1})
+		cs := byAddr[cur.addr]
+		if cs == nil {
+			continue
 		}
+		curDepth = cur.depth
+		cs.ForEachChild(group, visit)
 	}
 	return max
 }

@@ -44,10 +44,15 @@ type Node struct {
 	// node, which is measurable in ring construction at 8k+ servers.
 	rng prng
 
-	apps map[string]App
+	// apps is the application registry. Nodes register at most a handful of
+	// applications, so a tiny linear slice backed by the inline appsBuf
+	// replaces the former map: no per-node hash state, no allocation for
+	// the common case.
+	apps    []appEntry
+	appsBuf [3]appEntry
 	// appCache memoizes the last apps lookup: routed traffic overwhelmingly
-	// targets one application (scribe), and the map lookup is on the
-	// per-hop critical path of routeEnvelope and deliver.
+	// targets one application (scribe), and the lookup is on the per-hop
+	// critical path of routeEnvelope and deliver.
 	appCacheName string
 	appCacheApp  App
 
@@ -60,11 +65,16 @@ type Node struct {
 	joined   bool
 	onJoined []func()
 
-	pingSeq      uint64
+	pingSeq uint64
+	// pendingPings is allocated lazily on the first probe: most nodes in a
+	// crash-free run never ping anyone.
 	pendingPings map[uint64]func(alive bool)
-	onDead       []func(NodeHandle)
+	// onDead observers; onDeadBuf backs the single-observer common case
+	// (scribe) inline.
+	onDead    []func(NodeHandle)
+	onDeadBuf [1]func(NodeHandle)
 	// suspicion counts consecutive failed probes per peer address; any
-	// received message clears it.
+	// received message clears it. Lazily allocated alongside pendingPings.
 	suspicion map[simnet.Addr]int
 
 	maintenance *sim.Ticker
@@ -117,17 +127,15 @@ func newNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox 
 	// the 32 rows, so the dense rows*cols table wasted ~12KB per node —
 	// ~100MB of handle slots at 8192 servers.
 	n := &Node{
-		cfg:          cfg,
-		handle:       NodeHandle{Id: id, Addr: addr},
-		net:          net,
-		engine:       net.EngineFor(addr),
-		prox:         prox,
-		rng:          prng{state: uint64(net.Engine().Seed()) ^ (uint64(addr)+1)*0x9E3779B97F4A7C15},
-		apps:         make(map[string]App),
-		pendingPings: make(map[uint64]func(bool)),
-		suspicion:    make(map[simnet.Addr]int),
-		obs:          net.TraceSource(addr),
+		cfg:    cfg,
+		handle: NodeHandle{Id: id, Addr: addr},
+		net:    net,
+		engine: net.EngineFor(addr),
+		prox:   prox,
+		rng:    prng{state: uint64(net.Engine().Seed()) ^ (uint64(addr)+1)*0x9E3779B97F4A7C15},
+		obs:    net.TraceSource(addr),
 	}
+	n.apps = n.appsBuf[:0]
 	if ar != nil {
 		// Leaf halves carry one slot of insertion scratch beyond their
 		// steady-state bound (insertSortedByDist appends before truncating),
@@ -171,13 +179,21 @@ func (n *Node) Network() *simnet.Network { return n.net }
 // addresses; applications use it to rank candidates topologically.
 func (n *Node) LatencyBetween(a, b simnet.Addr) time.Duration { return n.prox(a, b) }
 
+// appEntry is one (name, application) registration.
+type appEntry struct {
+	name string
+	app  App
+}
+
 // Register installs an application under the given name. Registering the
 // same name twice panics: it is always a wiring bug.
 func (n *Node) Register(name string, app App) {
-	if _, dup := n.apps[name]; dup {
-		panic(fmt.Sprintf("pastry: app %q registered twice on node %s", name, n.handle.Id.Short()))
+	for _, e := range n.apps {
+		if e.name == name {
+			panic(fmt.Sprintf("pastry: app %q registered twice on node %s", name, n.handle.Id.Short()))
+		}
 	}
-	n.apps[name] = app
+	n.apps = append(n.apps, appEntry{name: name, app: app})
 }
 
 // app resolves a registered application, serving repeat lookups for the
@@ -187,16 +203,21 @@ func (n *Node) app(name string) (App, bool) {
 	if n.appCacheApp != nil && name == n.appCacheName {
 		return n.appCacheApp, true
 	}
-	a, ok := n.apps[name]
-	if ok {
-		n.appCacheName, n.appCacheApp = name, a
+	for _, e := range n.apps {
+		if e.name == name {
+			n.appCacheName, n.appCacheApp = name, e.app
+			return e.app, true
+		}
 	}
-	return a, ok
+	return nil, false
 }
 
 // OnNodeDead subscribes fn to failure notifications: it is invoked whenever
 // this node declares a peer dead through probe timeouts.
 func (n *Node) OnNodeDead(fn func(NodeHandle)) {
+	if n.onDead == nil {
+		n.onDead = n.onDeadBuf[:0]
+	}
 	n.onDead = append(n.onDead, fn)
 }
 
@@ -521,6 +542,9 @@ func (n *Node) SendDirect(to NodeHandle, app string, payload simnet.Message) {
 func (n *Node) Ping(to NodeHandle, cb func(alive bool)) {
 	n.pingSeq++
 	seq := n.pingSeq
+	if n.pendingPings == nil {
+		n.pendingPings = make(map[uint64]func(bool))
+	}
 	n.pendingPings[seq] = cb
 	n.net.Send(n.handle.Addr, to.Addr, pingMsg{Seq: seq, From: n.handle})
 	n.engine.After(n.cfg.ProbeTimeout, func() {
@@ -716,6 +740,9 @@ func (n *Node) probe(target NodeHandle) {
 		if alive {
 			delete(n.suspicion, target.Addr)
 			return
+		}
+		if n.suspicion == nil {
+			n.suspicion = make(map[simnet.Addr]int)
 		}
 		n.suspicion[target.Addr]++
 		if n.suspicion[target.Addr] >= n.cfg.ProbeRetries {

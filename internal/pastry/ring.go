@@ -281,73 +281,147 @@ func (r *Ring) BuildStatic() {
 		return
 	}
 	half := r.cfg.LeafSize / 2
+	// candScratch is reused across nodes by the neighborhood fill.
+	candScratch := make([]nbCandidate, 0, 2*r.cfg.NeighborhoodSize+2)
 
 	for i, node := range r.nodes {
 		p := r.pos[i]
-		// Leaf sets: ring neighbors in identifier order.
-		for k := 1; k <= half && k < n; k++ {
-			cw := r.nodes[r.byID[(p+k)%n]]
-			ccw := r.nodes[r.byID[(p-k+n)%n]]
-			node.leafInsert(cw.Handle())
-			node.leafInsert(ccw.Handle())
+		// Leaf sets: the ring neighbors in identifier order are, by
+		// construction, already sorted by clockwise (respectively counter-
+		// clockwise) distance, so both halves are written directly instead of
+		// going through insertSortedByDist for each of the 2·half candidates.
+		m := half
+		if m > n-1 {
+			m = n - 1
 		}
-		// Routing table: for every row and digit, the member of the
-		// matching prefix range nearest in rank (with hierarchy ids, rank
-		// distance is physical distance).
-		r.fillRoutingTable(node, p, r.sortedIDs)
+		node.leafCW = node.leafCW[:0]
+		node.leafCCW = node.leafCCW[:0]
+		for k := 1; k <= m; k++ {
+			node.leafCW = append(node.leafCW, r.nodes[r.byID[(p+k)%n]].Handle())
+			node.leafCCW = append(node.leafCCW, r.nodes[r.byID[(p-k+n)%n]].Handle())
+		}
 		// Neighborhood set: physically closest servers.
-		r.fillNeighborhood(node)
+		candScratch = r.fillNeighborhood(node, candScratch)
 		node.markJoined()
 	}
+	// Routing tables: one recursive prefix partition of the identifier
+	// space fills every node's table, instead of per-(node,row,col) binary
+	// searches over the whole ring.
+	r.fillRoutingTables()
 }
 
-func (r *Ring) fillRoutingTable(node *Node, p int, sortedIDs []ids.Id) {
-	n := len(sortedIDs)
-	own := node.ID()
-	for row := 0; row < r.cfg.rows(); row++ {
-		ownDigit := own.DigitAt(row, r.cfg.B)
-		for col := 0; col < r.cfg.cols(); col++ {
-			if col == ownDigit {
-				continue
-			}
-			lo, hi := ids.PrefixRange(own, row, col, r.cfg.B)
-			// Nodes with identifier in [lo, hi].
-			start := sort.Search(n, func(k int) bool { return !sortedIDs[k].Less(lo) })
-			if start == n || hi.Less(sortedIDs[start]) {
-				continue
-			}
-			end := sort.Search(n, func(k int) bool { return hi.Less(sortedIDs[k]) }) // exclusive
-			// Pick the candidate with rank closest to p; p itself is never
-			// inside [start,end) because its digit at row differs.
-			best := start
-			if p >= end {
-				best = end - 1
-			}
-			*node.rtSlot(row, col) = r.nodes[r.byID[best]].Handle()
+// fillRoutingTables populates every node's routing table in one recursive
+// walk of the identifier-sorted ranks. All nodes sharing an l-digit prefix
+// form one contiguous rank range, and row l's column boundaries depend only
+// on that prefix — so the boundaries are computed once per prefix group
+// (16 binary searches within the group) and each member's row-l entries
+// follow with O(1) work per slot: for a member of rank p and a column range
+// [cs, ce), the rank-closest candidate is cs if p < cs and ce-1 otherwise
+// (p is never inside a sibling range). The per-node early stop of the
+// former implementation is preserved structurally: recursion only descends
+// into sub-ranges with at least two members, which is exactly "stop once
+// the prefix range around the own identifier contains only us".
+func (r *Ring) fillRoutingTables() {
+	n := len(r.sortedIDs)
+	cols, rows := r.cfg.cols(), r.cfg.rows()
+	// Per-row boundary scratch: a group at row l only uses scratch[l], and
+	// groups at the same row are processed strictly sequentially.
+	scratch := make([][]int, rows)
+	loHandles := make([]NodeHandle, cols)
+	hiHandles := make([]NodeHandle, cols)
+	var fill func(row, gs, ge int)
+	fill = func(row, gs, ge int) {
+		if ge-gs <= 1 || row >= rows {
+			return
 		}
-		// Once the prefix range around our own identifier contains only us,
-		// deeper rows are necessarily empty; stop early.
-		lo, hi := ids.PrefixRange(own, row, own.DigitAt(row, r.cfg.B), r.cfg.B)
-		start := sort.Search(n, func(k int) bool { return !sortedIDs[k].Less(lo) })
-		end := sort.Search(n, func(k int) bool { return hi.Less(sortedIDs[k]) })
-		if end-start <= 1 {
-			break
+		if scratch[row] == nil {
+			scratch[row] = make([]int, cols+1)
+		}
+		bounds := scratch[row]
+		// bounds[d] is the first rank in [gs, ge) whose digit at position
+		// row is >= d; digits are non-decreasing across the sorted range.
+		bounds[0] = gs
+		for d := 1; d < cols; d++ {
+			lo := bounds[d-1]
+			bounds[d] = lo + sort.Search(ge-lo, func(k int) bool {
+				return r.sortedIDs[lo+k].DigitAt(row, r.cfg.B) >= d
+			})
+		}
+		bounds[cols] = ge
+		// The rank-extreme handles of every column range, fetched once per
+		// group rather than once per member.
+		for d := 0; d < cols; d++ {
+			if bounds[d+1] > bounds[d] {
+				loHandles[d] = r.nodes[r.byID[bounds[d]]].Handle()
+				hiHandles[d] = r.nodes[r.byID[bounds[d+1]-1]].Handle()
+			}
+		}
+		for d := 0; d < cols; d++ {
+			cs, ce := bounds[d], bounds[d+1]
+			for p := cs; p < ce; p++ {
+				node := r.nodes[r.byID[p]]
+				for col := 0; col < cols; col++ {
+					if col == d || bounds[col+1] == bounds[col] {
+						continue
+					}
+					if p < bounds[col] {
+						*node.rtSlot(row, col) = loHandles[col]
+					} else {
+						*node.rtSlot(row, col) = hiHandles[col]
+					}
+				}
+			}
+		}
+		for d := 0; d < cols; d++ {
+			fill(row+1, bounds[d], bounds[d+1])
 		}
 	}
+	fill(0, 0, n)
 }
 
-func (r *Ring) fillNeighborhood(node *Node) {
-	// Offer candidates in widening index windows around the server; with
-	// rack-major enumeration and tiered latencies, neighborInsert keeps
-	// exactly the |M| proximity-closest (same rack first, then same pod).
+// nbCandidate pairs a neighborhood candidate with its precomputed
+// proximity, so the sort below evaluates each latency once instead of once
+// per comparison.
+type nbCandidate struct {
+	h   NodeHandle
+	lat time.Duration
+}
+
+func (r *Ring) fillNeighborhood(node *Node, cands []nbCandidate) []nbCandidate {
+	// Collect candidates in widening index windows around the server — the
+	// same candidate sequence neighborInsert used to consume one by one —
+	// then insertion-sort by (proximity, ring closeness) and keep the |M|
+	// closest. Insert-then-truncate and sort-then-truncate agree because
+	// the comparator is a total order over distinct identifiers.
 	self := int(node.Addr())
-	offered := 0
-	for d := 1; offered < 2*r.cfg.NeighborhoodSize && d < r.topo.Servers(); d++ {
+	selfAddr := node.Addr()
+	own := node.ID()
+	cands = cands[:0]
+	for d := 1; len(cands) < 2*r.cfg.NeighborhoodSize && d < r.topo.Servers(); d++ {
 		for _, srv := range [2]int{self - d, self + d} {
 			if srv >= 0 && srv < r.topo.Servers() {
-				node.neighborInsert(r.nodes[srv].Handle())
-				offered++
+				h := r.nodes[srv].Handle()
+				cands = append(cands, nbCandidate{h: h, lat: node.prox(selfAddr, h.Addr)})
 			}
 		}
 	}
+	for i := 1; i < len(cands); i++ {
+		c := cands[i]
+		j := i
+		for j > 0 && (c.lat < cands[j-1].lat ||
+			(c.lat == cands[j-1].lat && ids.CloserTo(own, c.h.Id, cands[j-1].h.Id))) {
+			cands[j] = cands[j-1]
+			j--
+		}
+		cands[j] = c
+	}
+	keep := len(cands)
+	if keep > r.cfg.NeighborhoodSize {
+		keep = r.cfg.NeighborhoodSize
+	}
+	node.neighbors = node.neighbors[:0]
+	for _, c := range cands[:keep] {
+		node.neighbors = append(node.neighbors, c.h)
+	}
+	return cands
 }

@@ -131,10 +131,22 @@ type wheelEntry struct {
 
 // Scribe runs group communication for one Pastry node.
 type Scribe struct {
-	node   *pastry.Node
-	groups map[ids.Id]*groupState
+	node *pastry.Node
+	// groups is kept sorted by group identifier: a node participates in a
+	// handful of trees, so a small sorted slice replaces the former map —
+	// no per-node hash state to allocate, and every walk is already in the
+	// deterministic identifier order the messaging paths require.
+	// groupsBuf backs the slice inline for the common one- or two-group
+	// node, and g0 is the first group's state stored in the Scribe itself
+	// (one fewer heap object per node; g0used marks it claimed for good).
+	groups    []*groupState
+	groupsBuf [2]*groupState
+	g0        groupState
+	g0used    bool
 
-	anycastSeq     uint64
+	anycastSeq uint64
+	// pendingAnycast is allocated lazily on the first tracked any-cast;
+	// most nodes in a large ring never originate one.
 	pendingAnycast map[uint64]pendingAnycast
 
 	// wheel holds the pending any-cast deadlines in push order. One armed
@@ -164,15 +176,14 @@ type Scribe struct {
 	// onChildDrop observers are told whenever a child edge is removed from a
 	// group tree (leave, failure, stale-edge prune). The aggregation layer
 	// uses it to invalidate cached subtree folds that included the child.
-	onChildDrop []func(group, child ids.Id)
+	// onChildDropBuf backs the single-observer common case inline.
+	onChildDrop    []func(group, child ids.Id)
+	onChildDropBuf [1]func(group, child ids.Id)
 
 	maintenance *simTicker
 
-	// keyScratch is reused by sortedGroupKeys. Maps deliver their entries
-	// in a randomized order, and any order-sensitive effect of that —
-	// message sequence numbers, float folds — would make identically-
-	// seeded runs diverge, so every path that sends messages walks groups
-	// in identifier order (children are already a sorted slice).
+	// keyScratch is reused by sortedGroupKeys to snapshot the group keys
+	// before walks that may prune entries mid-iteration.
 	keyScratch []ids.Id
 
 	// stats for the overhead experiments
@@ -190,14 +201,25 @@ type Scribe struct {
 	curAnycast obs.Ref
 }
 
-// sortedGroupKeys returns the keys of s.groups in identifier order, in a
-// scratch slice owned by s (valid until the next call).
+// group returns the state for id, or nil when this node is not in that
+// tree.
+func (s *Scribe) group(id ids.Id) *groupState {
+	i := sort.Search(len(s.groups), func(i int) bool { return !s.groups[i].group.Less(id) })
+	if i < len(s.groups) && s.groups[i].group == id {
+		return s.groups[i]
+	}
+	return nil
+}
+
+// sortedGroupKeys snapshots the group keys in identifier order, in a
+// scratch slice owned by s (valid until the next call). The slice is
+// already sorted; the copy exists so callers can prune groups while
+// iterating.
 func (s *Scribe) sortedGroupKeys() []ids.Id {
 	out := s.keyScratch[:0]
-	for k := range s.groups {
-		out = append(out, k)
+	for _, g := range s.groups {
+		out = append(out, g.group)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	s.keyScratch = out
 	return out
 }
@@ -209,12 +231,11 @@ type simTicker struct{ stop func() }
 func New(node *pastry.Node) *Scribe {
 	s := &Scribe{
 		node:           node,
-		groups:         make(map[ids.Id]*groupState),
-		pendingAnycast: make(map[uint64]pendingAnycast),
 		AnycastTimeout: 10 * time.Second,
 		AnycastRetries: 2,
 		obs:            node.Obs(),
 	}
+	s.groups = s.groupsBuf[:0]
 	if reg := node.Network().Trace().Registry(); reg != nil {
 		reg.Register("scribe/joins_handled", &s.joinsHandled)
 		reg.Register("scribe/multicasts_relayed", &s.multicastsRelayed)
@@ -232,21 +253,20 @@ func (s *Scribe) Node() *pastry.Node { return s.node }
 
 // Member reports whether this node is a subscribed member of group.
 func (s *Scribe) Member(group ids.Id) bool {
-	g, ok := s.groups[group]
-	return ok && g.member
+	g := s.group(group)
+	return g != nil && g.member
 }
 
 // InTree reports whether this node participates in the group's tree, as a
 // member or as a forwarder.
 func (s *Scribe) InTree(group ids.Id) bool {
-	_, ok := s.groups[group]
-	return ok
+	return s.group(group) != nil
 }
 
 // Children returns the node's children in the group tree.
 func (s *Scribe) Children(group ids.Id) []pastry.NodeHandle {
-	g, ok := s.groups[group]
-	if !ok {
+	g := s.group(group)
+	if g == nil {
 		return nil
 	}
 	out := make([]pastry.NodeHandle, len(g.children))
@@ -254,22 +274,33 @@ func (s *Scribe) Children(group ids.Id) []pastry.NodeHandle {
 	return out
 }
 
+// ForEachChild calls fn for every child edge of this node in the group
+// tree, in identifier order, without copying the children slice. fn must
+// not mutate the tree.
+func (s *Scribe) ForEachChild(group ids.Id, fn func(pastry.NodeHandle)) {
+	if g := s.group(group); g != nil {
+		for _, c := range g.children {
+			fn(c)
+		}
+	}
+}
+
 // HasChild reports whether id is one of this node's children in the group
 // tree. The aggregation layer uses it to prune its per-child info base
 // without allocating a membership set.
 func (s *Scribe) HasChild(group, id ids.Id) bool {
-	g, ok := s.groups[group]
-	if !ok {
+	g := s.group(group)
+	if g == nil {
 		return false
 	}
-	_, ok = g.childIndex(id)
+	_, ok := g.childIndex(id)
 	return ok
 }
 
 // Parent returns the node's parent in the group tree (NoHandle at the root
 // or when unknown).
 func (s *Scribe) Parent(group ids.Id) pastry.NodeHandle {
-	if g, ok := s.groups[group]; ok {
+	if g := s.group(group); g != nil {
 		return g.parent
 	}
 	return pastry.NoHandle
@@ -277,8 +308,8 @@ func (s *Scribe) Parent(group ids.Id) pastry.NodeHandle {
 
 // IsRoot reports whether this node is the group's rendezvous point.
 func (s *Scribe) IsRoot(group ids.Id) bool {
-	g, ok := s.groups[group]
-	return ok && g.root
+	g := s.group(group)
+	return g != nil && g.root
 }
 
 // Stats returns operation counters for overhead analysis: joins processed,
@@ -314,11 +345,24 @@ func (s *Scribe) Join(group ids.Id, h Handlers) {
 }
 
 func (s *Scribe) stateFor(group ids.Id) *groupState {
-	g, ok := s.groups[group]
-	if !ok {
-		g = &groupState{group: group, parent: pastry.NoHandle}
-		s.groups[group] = g
+	i := sort.Search(len(s.groups), func(i int) bool { return !s.groups[i].group.Less(group) })
+	if i < len(s.groups) && s.groups[i].group == group {
+		return s.groups[i]
 	}
+	var g *groupState
+	if !s.g0used {
+		// First group ever: use the state embedded in the Scribe. The slot
+		// is claimed permanently — a pruned-then-rejoined group gets a heap
+		// object instead, which keeps ownership trivially single.
+		s.g0used = true
+		g = &s.g0
+		*g = groupState{group: group, parent: pastry.NoHandle}
+	} else {
+		g = &groupState{group: group, parent: pastry.NoHandle}
+	}
+	s.groups = append(s.groups, nil)
+	copy(s.groups[i+1:], s.groups[i:])
+	s.groups[i] = g
 	return g
 }
 
@@ -331,8 +375,8 @@ func (s *Scribe) sendJoin(g *groupState) {
 // forwarder while it still has children; once childless it prunes itself
 // from the tree.
 func (s *Scribe) Leave(group ids.Id) {
-	g, ok := s.groups[group]
-	if !ok {
+	g := s.group(group)
+	if g == nil {
 		return
 	}
 	g.member = false
@@ -349,7 +393,9 @@ func (s *Scribe) maybePrune(g *groupState) {
 	if !g.parent.IsNil() {
 		s.node.SendDirect(g.parent, AppName, &leaveMsg{Group: g.group, Child: s.node.Handle()})
 	}
-	delete(s.groups, g.group)
+	if i := sort.Search(len(s.groups), func(i int) bool { return !s.groups[i].group.Less(g.group) }); i < len(s.groups) && s.groups[i] == g {
+		s.groups = append(s.groups[:i], s.groups[i+1:]...)
+	}
 }
 
 // --- multicast ---------------------------------------------------------------
@@ -376,8 +422,8 @@ func (s *Scribe) disseminate(g *groupState, m *multicastDown) {
 // group tree (the aggregation layer uses this for root-to-leaf
 // dissemination below the root).
 func (s *Scribe) SendToChildren(group ids.Id, payload simnet.Message) {
-	g, ok := s.groups[group]
-	if !ok {
+	g := s.group(group)
+	if g == nil {
 		return
 	}
 	m := &multicastDown{Group: group, Payload: payload, From: s.node.Handle()}
@@ -390,8 +436,8 @@ func (s *Scribe) SendToChildren(group ids.Id, payload simnet.Message) {
 // tree; it reports false at the root or while the parent is unknown. The
 // aggregation layer uses this for leaf-to-root reduction.
 func (s *Scribe) SendToParent(group ids.Id, payload simnet.Message) bool {
-	g, ok := s.groups[group]
-	if !ok || g.parent.IsNil() {
+	g := s.group(group)
+	if g == nil || g.parent.IsNil() {
 		return false
 	}
 	s.node.SendDirect(g.parent, AppName, &parentData{Group: group, Payload: payload, From: s.node.Handle()})
@@ -422,6 +468,9 @@ func (s *Scribe) Anycast(group ids.Id, payload simnet.Message, onResult func(Any
 	var trace obs.Ref
 	if onResult != nil {
 		trace = s.obs.Begin(s.node.Engine().Now(), obs.KindAnycast, obs.NoRef, int64(seq), 0)
+		if s.pendingAnycast == nil {
+			s.pendingAnycast = make(map[uint64]pendingAnycast)
+		}
 		s.pendingAnycast[seq] = pendingAnycast{
 			group:        group,
 			payload:      payload,
@@ -439,7 +488,7 @@ func (s *Scribe) Anycast(group ids.Id, payload simnet.Message, onResult func(Any
 func (s *Scribe) sendAnycast(group ids.Id, payload simnet.Message, seq uint64, trace obs.Ref) {
 	m := &anycastMsg{Group: group, Payload: payload, Origin: s.node.Handle(), Seq: seq, Trace: trace}
 	// Fast path: if we are already in the tree, start the DFS locally.
-	if _, ok := s.groups[group]; ok {
+	if s.group(group) != nil {
 		s.anycastStep(m)
 		return
 	}
@@ -540,8 +589,8 @@ func (s *Scribe) expireAnycast(seq uint64) {
 func (s *Scribe) anycastStep(m *anycastMsg) {
 	s.anycastsSeen.Inc()
 	s.obs.Instant(s.node.Engine().Now(), obs.KindAnycastStep, m.Trace, int64(len(m.Visited)+1), int64(m.Origin.Addr))
-	g, ok := s.groups[m.Group]
-	if !ok {
+	g := s.group(m.Group)
+	if g == nil {
 		// Tree ended unexpectedly (stale pointer); report failure.
 		s.finishAnycast(m, false, pastry.NoHandle)
 		return
@@ -653,7 +702,7 @@ func (s *Scribe) Deliver(key ids.Id, payload simnet.Message, info pastry.RouteIn
 		g.root = true
 		s.disseminate(g, &multicastDown{Group: m.Group, Payload: m.Payload, From: m.From})
 	case *anycastMsg:
-		if _, ok := s.groups[m.Group]; !ok {
+		if s.group(m.Group) == nil {
 			// No tree exists: nobody to accept.
 			s.finishAnycast(m, false, pastry.NoHandle)
 			return
@@ -678,8 +727,8 @@ func (s *Scribe) Forward(key ids.Id, payload simnet.Message, next pastry.NodeHan
 		if m.Child.Id == s.node.ID() {
 			return true // our own join leaving the node; let it route
 		}
-		g, inTree := s.groups[m.Group]
-		if inTree && !g.joining {
+		g := s.group(m.Group)
+		if g != nil && !g.joining {
 			s.addChild(g, m.Child)
 			return false // grafted; stop routing
 		}
@@ -692,7 +741,7 @@ func (s *Scribe) Forward(key ids.Id, payload simnet.Message, next pastry.NodeHan
 		}
 		return false
 	case *anycastMsg:
-		if _, ok := s.groups[m.Group]; ok {
+		if s.group(m.Group) != nil {
 			s.anycastStep(m)
 			return false
 		}
@@ -711,13 +760,13 @@ func (s *Scribe) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 		g.joining = false
 		g.missedBeats = 0
 	case *leaveMsg:
-		if g, ok := s.groups[m.Group]; ok {
+		if g := s.group(m.Group); g != nil {
 			s.dropChildOf(g, m.Child.Id)
 			s.maybePrune(g)
 		}
 	case *multicastDown:
-		g, ok := s.groups[m.Group]
-		if !ok {
+		g := s.group(m.Group)
+		if g == nil {
 			return
 		}
 		// Only the current parent's copies count: a stale edge left by a
@@ -730,7 +779,7 @@ func (s *Scribe) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 		g.missedBeats = 0
 		s.disseminate(g, m)
 	case *parentData:
-		if g, ok := s.groups[m.Group]; ok && g.onParentData != nil {
+		if g := s.group(m.Group); g != nil && g.onParentData != nil {
 			g.onParentData(m.Payload, m.From)
 		}
 	case *anycastMsg:
@@ -738,14 +787,14 @@ func (s *Scribe) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 	case *anycastVerdict:
 		s.handleVerdict(m)
 	case *rootDemote:
-		if g, ok := s.groups[m.Group]; ok && g.root {
+		if g := s.group(m.Group); g != nil && g.root {
 			g.root = false
 			g.parent = pastry.NoHandle
 			s.sendJoin(g)
 		}
 	case *heartbeat:
-		g, ok := s.groups[m.Group]
-		if !ok {
+		g := s.group(m.Group)
+		if g == nil {
 			return
 		}
 		switch {
@@ -777,6 +826,9 @@ func (s *Scribe) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 // child's identifier. Additions are not reported: a new child has no effect
 // on derived per-child state until its first upward message.
 func (s *Scribe) OnChildDrop(fn func(group, child ids.Id)) {
+	if s.onChildDrop == nil {
+		s.onChildDrop = s.onChildDropBuf[:0]
+	}
 	s.onChildDrop = append(s.onChildDrop, fn)
 }
 
@@ -807,8 +859,8 @@ func (s *Scribe) addChild(g *groupState, child pastry.NodeHandle) {
 // was a parent, rejoin the group; if a child, drop it.
 func (s *Scribe) handleNodeDead(h pastry.NodeHandle) {
 	for _, key := range s.sortedGroupKeys() {
-		g, ok := s.groups[key]
-		if !ok {
+		g := s.group(key)
+		if g == nil {
 			continue
 		}
 		if g.parent.Id == h.Id && !g.parent.IsNil() {
@@ -832,8 +884,8 @@ func (s *Scribe) StartMaintenance(interval time.Duration) {
 	}
 	t := s.node.Engine().Every(interval, func() {
 		for _, key := range s.sortedGroupKeys() {
-			g, ok := s.groups[key]
-			if !ok {
+			g := s.group(key)
+			if g == nil {
 				continue
 			}
 			if len(g.children) > 0 {

@@ -75,6 +75,17 @@ echo "== sharded determinism diff (Fig 14, 2048 servers, dynamic windows, 1 vs 8
 /tmp/vb-overhead-ci -fig 14 -max-servers 2048 -shards 8 -workers 1 > /tmp/vb-shards4.txt
 diff /tmp/vb-shards1.txt /tmp/vb-shards4.txt
 
+# The smallest of the new ladder rungs (524288 servers), single point via
+# -min-servers so the gate does not pay for the whole ladder below it. The
+# profile-driven allocation work (prefix-group routing-table fill, sorted
+# inline-backed slices replacing per-node maps) rewrote the hottest
+# construction paths; this is the proof at scale that none of it perturbed
+# one byte of virtual time across shard counts.
+echo "== sharded determinism diff (Fig 14, 524288 servers, single point, 1 vs 4 shards)"
+/tmp/vb-overhead-ci -fig 14 -min-servers 524288 -max-servers 524288 -shards 1 -workers 1 > /tmp/vb-shards1.txt
+/tmp/vb-overhead-ci -fig 14 -min-servers 524288 -max-servers 524288 -shards 4 -workers 1 > /tmp/vb-shards4.txt
+diff /tmp/vb-shards1.txt /tmp/vb-shards4.txt
+
 # Heap-profile smoke on the 32768-server point: -memprofile must produce a
 # non-empty pprof through internal/profiling while the arena-backed ring
 # builds and runs. Catches profiling-path rot and any allocation explosion
@@ -134,6 +145,19 @@ grep -q 'flash window: requests=[0-9]* shed=[1-9]' /tmp/vb-serve-flash.txt || { 
 grep -q '^leaked reservations: 0$' /tmp/vb-serve-flash.txt || { echo "FAIL: leaked reservations under flash"; exit 1; }
 grep -q '^unresolved boots: 0$' /tmp/vb-serve-flash.txt || { echo "FAIL: unresolved boots under flash"; exit 1; }
 rm -f /tmp/vb-serve-ci /tmp/vb-serve1.txt /tmp/vb-serve4.txt /tmp/vb-serve-flash.txt
+
+# Alloc-ceiling smoke: the 2048-server Fig. 14 point with -benchmem, gated
+# on allocs/op. Allocation counts are deterministic (unlike wall time on the
+# shared CI box), so this catches a reintroduced per-node map or closure at
+# the cheapest rung that still builds a real multi-rack ring. Current cost
+# is ~41.6k allocs; the ceiling leaves ~25% headroom.
+echo "== alloc ceiling smoke (Fig 14, 2048 servers)"
+go test -run '^$' -bench 'BenchmarkFig14Scale/servers=2048$' -benchtime 1x -benchmem . > /tmp/vb-alloc.txt
+allocs=$(awk '/servers=2048/ {print $(NF-1)}' /tmp/vb-alloc.txt)
+[ -n "$allocs" ] || { echo "FAIL: no allocs/op parsed"; cat /tmp/vb-alloc.txt; exit 1; }
+[ "$allocs" -le 52000 ] || { echo "FAIL: $allocs allocs/op at 2048 servers exceeds ceiling 52000"; exit 1; }
+echo "allocs/op at 2048 servers: $allocs (ceiling 52000)"
+rm -f /tmp/vb-alloc.txt
 
 # One iteration of every benchmark (a few seconds): catches benchmarks that
 # panic or fail to build without measuring anything. -short skips the
