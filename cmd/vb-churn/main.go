@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/core"
 	"vbundle/internal/experiments"
 	"vbundle/internal/obs"
@@ -42,6 +43,8 @@ func main() {
 	prof.AddFlags(flag.CommandLine)
 	var oflags obs.Flags
 	oflags.AddFlags(flag.CommandLine)
+	var aflags audit.Flags
+	aflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -64,6 +67,7 @@ func main() {
 		Seed:              *seed,
 		Shards:            *shards,
 		Obs:               oflags.Config(),
+		Audit:             aflags.Config(),
 	}
 	seeds := make([]int64, *trials)
 	for i := range seeds {
@@ -93,5 +97,15 @@ func main() {
 	// The written trace is the last trial's.
 	if err := oflags.Write(outs[len(outs)-1].Trace); err != nil {
 		log.Fatal(err)
+	}
+	violated := false
+	for _, o := range outs {
+		o.Audit.Report(os.Stderr)
+		if o.Audit.Violations() > 0 {
+			violated = true
+		}
+	}
+	if violated {
+		os.Exit(1)
 	}
 }

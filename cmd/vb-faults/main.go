@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/experiments"
 	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
@@ -58,6 +59,8 @@ func main() {
 	prof.AddFlags(flag.CommandLine)
 	var oflags obs.Flags
 	oflags.AddFlags(flag.CommandLine)
+	var aflags audit.Flags
+	aflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -75,7 +78,7 @@ func main() {
 			duration: *duration, lease: *lease, kill: *kill, killAt: *killAt,
 			restartAfter: *restartAfter, crashForever: *crashForever,
 			seed: *seed, workers: *workers, shards: *shards,
-			verbose: *verbose, oflags: &oflags,
+			verbose: *verbose, oflags: &oflags, aflags: &aflags,
 		})
 		return
 	}
@@ -93,6 +96,7 @@ func main() {
 			Seed:          *seed,
 			Shards:        *shards,
 			Obs:           oflags.Config(),
+			Audit:         aflags.Config(),
 		}
 	}
 	outs, err := experiments.RunResilienceSweep(variants, *workers)
@@ -115,6 +119,9 @@ func main() {
 	if err := oflags.Write(outs[len(outs)-1].Trace); err != nil {
 		log.Fatal(err)
 	}
+	if reportAudits(outs, func(o *experiments.ResilienceOutcome) *audit.Auditor { return o.Audit }) {
+		os.Exit(1)
+	}
 	if leaked != 0 {
 		log.Fatalf("%d reservations leaked across the sweep", leaked)
 	}
@@ -130,6 +137,7 @@ type crashArgs struct {
 	workers, shards               int
 	verbose                       bool
 	oflags                        *obs.Flags
+	aflags                        *audit.Flags
 }
 
 // runCrashSweep is the -crash mode: one crash-restart-recover run per drop
@@ -151,6 +159,7 @@ func runCrashSweep(drops []float64, a crashArgs) {
 			Seed:          a.seed,
 			Shards:        a.shards,
 			Obs:           a.oflags.Config(),
+			Audit:         a.aflags.Config(),
 		}
 	}
 	outs, err := experiments.RunCrashRestartSweep(variants, a.workers)
@@ -166,6 +175,9 @@ func runCrashSweep(drops []float64, a crashArgs) {
 	if err := a.oflags.Write(outs[len(outs)-1].Trace); err != nil {
 		log.Fatal(err)
 	}
+	if reportAudits(outs, func(o *experiments.CrashRestartOutcome) *audit.Auditor { return o.Audit }) {
+		os.Exit(1)
+	}
 	failed := 0
 	for _, out := range outs {
 		if !out.GatePassed() {
@@ -178,6 +190,20 @@ func runCrashSweep(drops []float64, a crashArgs) {
 		log.Fatalf("%d of %d crash-restart runs failed the recovery gate", failed, len(outs))
 	}
 	fmt.Println("every crash-restart run recovered fully: no VM lost, no reservation leaked")
+}
+
+// reportAudits writes every run's auditor report to stderr and reports
+// whether any invariant was violated.
+func reportAudits[T any](outs []T, auditor func(T) *audit.Auditor) bool {
+	violated := false
+	for _, out := range outs {
+		a := auditor(out)
+		a.Report(os.Stderr)
+		if a.Violations() > 0 {
+			violated = true
+		}
+	}
+	return violated
 }
 
 func parseRates(s string) ([]float64, error) {

@@ -1,0 +1,167 @@
+// Command vb-metrics works on the metrics half of flight-recorder traces:
+// the end-of-run counter snapshot (with the histograms' derived percentile
+// keys) and the virtual-time sample series recorded with -sample-every.
+//
+// Usage:
+//
+//	vb-metrics summarize trace.json          # final counters + series shape
+//	vb-metrics diff a.json b.json            # counter diff, nonzero exit when any
+//	vb-metrics csv trace.json                # sample series as CSV
+//
+// summarize and diff also accept bare -counters JSON dumps in place of
+// trace files.
+//
+// diff is the scriptable form of the determinism claims the repo makes:
+// two runs that must agree (serial vs sharded, audit on vs off) diff empty.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"unicode"
+
+	"vbundle/internal/obs"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vb-metrics: ")
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "summarize":
+		if len(args) != 1 {
+			usage()
+		}
+		counters, ser := load(args[0])
+		summarize(counters, ser)
+	case "diff":
+		if len(args) != 2 {
+			usage()
+		}
+		a, _ := load(args[0])
+		b, _ := load(args[1])
+		if n := diff(a, b, args[0], args[1]); n > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("counters identical")
+	case "csv":
+		if len(args) != 1 {
+			usage()
+		}
+		_, ser := load(args[0])
+		if ser.Len() == 0 {
+			log.Fatal("trace carries no metric series (run the producer with -sample-every)")
+		}
+		if err := ser.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	case "-h", "-help", "--help", "help":
+		usage()
+	default:
+		log.Fatalf("unknown subcommand %q (want summarize, diff or csv)", cmd)
+	}
+}
+
+// load reads either a Chrome trace (-trace output: counters from the final
+// sample row plus the full series) or a bare -counters JSON dump (an object
+// of name → value, no series).
+func load(path string) (map[string]int64, *obs.Series) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if i := bytes.IndexFunc(data, func(r rune) bool { return !unicode.IsSpace(r) }); i >= 0 && data[i] == '{' {
+		var counters map[string]int64
+		if err := json.Unmarshal(data, &counters); err != nil {
+			log.Fatalf("%s: not a counter dump: %v", path, err)
+		}
+		return counters, nil
+	}
+	_, counters, ser, err := obs.ReadChromeSeries(bytes.NewReader(data))
+	if err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	if len(counters) == 0 && ser.Len() == 0 {
+		log.Fatalf("%s: no counters or sample series (produce it with -trace -sample-every, or point at a -counters dump)", path)
+	}
+	return counters, ser
+}
+
+func summarize(counters map[string]int64, ser *obs.Series) {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-40s %d\n", name, counters[name])
+	}
+	if ser.Len() == 0 {
+		return
+	}
+	fmt.Printf("\nseries: %d samples every %v, %d metrics\n", ser.Len(), ser.Every(), len(ser.Names()))
+	fmt.Printf("%-40s %-12s %-12s %-12s %s\n", "metric", "first", "last", "min", "max")
+	for _, name := range ser.Names() {
+		col := ser.Col(name)
+		min, max := col[0], col[0]
+		for _, v := range col {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		fmt.Printf("%-40s %-12d %-12d %-12d %d\n", name, col[0], col[len(col)-1], min, max)
+	}
+}
+
+// diff prints every counter whose value differs between the two snapshots
+// (or exists in only one) and returns how many differ.
+func diff(a, b map[string]int64, aPath, bPath string) int {
+	names := make(map[string]bool, len(a)+len(b))
+	for name := range a {
+		names[name] = true
+	}
+	for name := range b {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+	n := 0
+	for _, name := range sorted {
+		av, aok := a[name]
+		bv, bok := b[name]
+		if aok && bok && av == bv {
+			continue
+		}
+		n++
+		switch {
+		case !aok:
+			fmt.Printf("%-40s only in %s: %d\n", name, bPath, bv)
+		case !bok:
+			fmt.Printf("%-40s only in %s: %d\n", name, aPath, av)
+		default:
+			fmt.Printf("%-40s %d != %d\n", name, av, bv)
+		}
+	}
+	return n
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  vb-metrics summarize trace.json
+  vb-metrics diff a.json b.json
+  vb-metrics csv trace.json`)
+	os.Exit(2)
+}

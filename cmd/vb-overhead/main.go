@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/experiments"
 	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
@@ -39,6 +40,8 @@ func main() {
 	prof.AddFlags(flag.CommandLine)
 	var oflags obs.Flags
 	oflags.AddFlags(flag.CommandLine)
+	var aflags audit.Flags
+	aflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -47,6 +50,7 @@ func main() {
 	defer stopProf()
 	charts := map[string]*report.Chart{}
 	var lastTrace *obs.Trace
+	var audits []*audit.Auditor
 
 	var sizes []int
 	for n := 16; n <= *maxN; n *= 2 {
@@ -70,7 +74,7 @@ func main() {
 		out.Report(os.Stdout)
 	}
 	if *fig == 0 || *fig == 14 {
-		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{Sizes: sizes, Seed: *seed, Parallelism: *workers, Shards: *shards, Obs: oflags.Config()})
+		out, err := experiments.RunAggLatency(experiments.AggLatencyParams{Sizes: sizes, Seed: *seed, Parallelism: *workers, Shards: *shards, Obs: oflags.Config(), Audit: aflags.Config()})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,6 +82,7 @@ func main() {
 		if out.Trace != nil {
 			lastTrace = out.Trace
 		}
+		audits = append(audits, out.Audit)
 		for stem, chart := range out.Charts() {
 			charts[stem] = chart
 		}
@@ -92,7 +97,7 @@ func main() {
 		if len(big) == 0 {
 			big = sizes
 		}
-		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{Sizes: big, Seed: *seed, Parallelism: *workers, Shards: *shards, Obs: oflags.Config()})
+		out, err := experiments.RunMessageOverhead(experiments.MessageOverheadParams{Sizes: big, Seed: *seed, Parallelism: *workers, Shards: *shards, Obs: oflags.Config(), Audit: aflags.Config()})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -100,6 +105,7 @@ func main() {
 		if out.Trace != nil {
 			lastTrace = out.Trace
 		}
+		audits = append(audits, out.Audit)
 		for stem, chart := range out.Charts() {
 			charts[stem] = chart
 		}
@@ -112,6 +118,16 @@ func main() {
 	}
 	if err := oflags.Write(lastTrace); err != nil {
 		log.Fatal(err)
+	}
+	violated := false
+	for _, a := range audits {
+		a.Report(os.Stderr)
+		if a.Violations() > 0 {
+			violated = true
+		}
+	}
+	if violated {
+		os.Exit(1)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"log"
 	"os"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/core"
 	"vbundle/internal/experiments"
 	"vbundle/internal/obs"
@@ -44,6 +45,8 @@ func main() {
 	prof.AddFlags(flag.CommandLine)
 	var oflags obs.Flags
 	oflags.AddFlags(flag.CommandLine)
+	var aflags audit.Flags
+	aflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -70,6 +73,7 @@ func main() {
 		Seed:                  *seed,
 		Shards:                *shards,
 		Obs:                   oflags.Config(),
+		Audit:                 aflags.Config(),
 	}
 	seeds := make([]int64, *trials)
 	for i := range seeds {
@@ -108,5 +112,15 @@ func main() {
 	// The written trace is the last trial's.
 	if err := oflags.Write(out.Trace); err != nil {
 		log.Fatal(err)
+	}
+	violated := false
+	for _, o := range outs {
+		o.Audit.Report(os.Stderr)
+		if o.Audit.Violations() > 0 {
+			violated = true
+		}
+	}
+	if violated {
+		os.Exit(1)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/experiments"
 	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
@@ -37,6 +38,8 @@ func main() {
 	prof.AddFlags(flag.CommandLine)
 	var oflags obs.Flags
 	oflags.AddFlags(flag.CommandLine)
+	var aflags audit.Flags
+	aflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -50,6 +53,7 @@ func main() {
 		Seed:       *seed,
 		Shards:     *shards,
 		Obs:        oflags.Config(),
+		Audit:      aflags.Config(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -79,4 +83,5 @@ func main() {
 	if err := oflags.Write(out.Trace); err != nil {
 		log.Fatal(err)
 	}
+	audit.Exit(out.Audit, os.Stderr)
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/experiments"
 	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
@@ -41,6 +42,8 @@ func main() {
 	prof.AddFlags(flag.CommandLine)
 	var oflags obs.Flags
 	oflags.AddFlags(flag.CommandLine)
+	var aflags audit.Flags
+	aflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -51,12 +54,17 @@ func main() {
 	// Sweeps run several variants; the trace written at exit is the last
 	// variant's (pass -threshold to trace a single Fig. 9 run).
 	var lastTrace *obs.Trace
+	auditViolations := 0
 	collect := func(suffix string, out *experiments.RebalanceOutcome) {
 		for stem, chart := range out.Charts() {
 			charts[stem+suffix] = chart
 		}
 		if out.Trace != nil {
 			lastTrace = out.Trace
+		}
+		if out.Audit != nil {
+			out.Audit.Report(os.Stderr)
+			auditViolations += out.Audit.Violations()
 		}
 	}
 
@@ -68,6 +76,7 @@ func main() {
 		Seed:         *seed,
 		Shards:       *shards,
 		Obs:          oflags.Config(),
+		Audit:        aflags.Config(),
 	}
 
 	switch *fig {
@@ -128,5 +137,8 @@ func main() {
 	}
 	if err := oflags.Write(lastTrace); err != nil {
 		log.Fatal(err)
+	}
+	if auditViolations > 0 {
+		os.Exit(1)
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"os"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/experiments"
 	"vbundle/internal/obs"
 	"vbundle/internal/profiling"
@@ -53,6 +54,8 @@ func main() {
 	prof.AddFlags(flag.CommandLine)
 	var oflags obs.Flags
 	oflags.AddFlags(flag.CommandLine)
+	var aflags audit.Flags
+	aflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -77,6 +80,7 @@ func main() {
 		Seed:              *seed,
 		Shards:            *shards,
 		Obs:               oflags.Config(),
+		Audit:             aflags.Config(),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -90,6 +94,7 @@ func main() {
 	if err := oflags.Write(out.Trace); err != nil {
 		log.Fatal(err)
 	}
+	audit.Exit(out.Audit, os.Stderr)
 	if out.LeakedReservations != 0 || out.Unresolved != 0 {
 		log.Fatalf("hygiene violation: %d leaked reservations, %d unresolved boots",
 			out.LeakedReservations, out.Unresolved)

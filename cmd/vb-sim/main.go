@@ -16,8 +16,10 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/costbenefit"
@@ -50,6 +52,8 @@ func main() {
 	prof.AddFlags(flag.CommandLine)
 	var oflags obs.Flags
 	oflags.AddFlags(flag.CommandLine)
+	var aflags audit.Flags
+	aflags.AddFlags(flag.CommandLine)
 	flag.Parse()
 	stopProf, err := prof.Start()
 	if err != nil {
@@ -84,6 +88,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	auditor := vb.AttachAudit(aflags.Config())
 	if *loss > 0 {
 		vb.StartMaintenance(30 * time.Second)
 	}
@@ -140,6 +145,7 @@ func main() {
 	if err := oflags.Write(trace); err != nil {
 		log.Fatal(err)
 	}
+	audit.Exit(auditor, os.Stderr)
 }
 
 func maxOf(v []float64) float64 {

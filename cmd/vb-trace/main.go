@@ -10,6 +10,7 @@
 //	vb-trace explain -crashes [-node N] [-max N] trace.json # crash→restart→rejoin chains
 //	vb-trace summary trace.json                             # event totals, span latency, counters
 //	vb-trace tail [-n N] trace.json                         # last N events (crash-dump view)
+//	vb-trace series trace.json                              # virtual-time metric samples as CSV
 package main
 
 import (
@@ -53,10 +54,20 @@ func main() {
 		fs.Parse(args)
 		ix, _ := load(fs.Args())
 		ix.Tail(os.Stdout, *n)
+	case "series":
+		fs := flag.NewFlagSet("series", flag.ExitOnError)
+		fs.Parse(args)
+		ser := loadSeries(fs.Args())
+		if ser.Len() == 0 {
+			log.Fatal("trace carries no metric series (run the producer with -sample-every)")
+		}
+		if err := ser.WriteCSV(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
-		log.Fatalf("unknown subcommand %q (want explain, summary or tail)", cmd)
+		log.Fatalf("unknown subcommand %q (want explain, summary, tail or series)", cmd)
 	}
 }
 
@@ -76,11 +87,28 @@ func load(args []string) (*obs.Index, map[string]int64) {
 	return obs.NewIndex(events), counters
 }
 
+func loadSeries(args []string) *obs.Series {
+	if len(args) != 1 {
+		log.Fatal("exactly one trace file expected")
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	_, _, ser, err := obs.ReadChromeSeries(f)
+	if err != nil {
+		log.Fatalf("%s: %v", args[0], err)
+	}
+	return ser
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   vb-trace explain [-vm N] [-max N] trace.json
   vb-trace explain -crashes [-node N] [-max N] trace.json
   vb-trace summary trace.json
-  vb-trace tail [-n N] trace.json`)
+  vb-trace tail [-n N] trace.json
+  vb-trace series trace.json`)
 	os.Exit(2)
 }

@@ -344,6 +344,11 @@ func (c *Cluster) eachVM(fn func(*VM)) {
 // NumVMs returns the number of registered (non-destroyed) VMs.
 func (c *Cluster) NumVMs() int { return c.nVMs }
 
+// EachVM calls fn for every live VM in ID order — a read-only arena walk.
+// The online auditor uses it to cross-check the location map against the
+// per-server VM lists.
+func (c *Cluster) EachVM(fn func(*VM)) { c.eachVM(fn) }
+
 // slot returns the registry index of id, or -1 when the id was never issued
 // or the VM is destroyed.
 func (c *Cluster) slot(id VMID) int {

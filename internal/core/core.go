@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"vbundle/internal/aggregation"
+	"vbundle/internal/audit"
 	"vbundle/internal/cluster"
 	"vbundle/internal/ids"
 	"vbundle/internal/metrics"
@@ -206,6 +207,9 @@ func New(opts Options) (*VBundle, error) {
 	} else {
 		engine = sim.NewEngine(opts.Seed)
 	}
+	// Queue-depth diagnostics and — when the trace carries a series — the
+	// virtual-time metrics sampler.
+	sim.AttachObs(engine, opts.Trace)
 	var netOpts []simnet.Option
 	if opts.MessageLoss > 0 {
 		netOpts = append(netOpts, simnet.WithDropRate(opts.MessageLoss))
@@ -384,6 +388,20 @@ func (vb *VBundle) restartNode(addr simnet.Addr) {
 
 // Options returns the effective options the instance was built with.
 func (vb *VBundle) Options() Options { return vb.opts }
+
+// AttachAudit wires the online invariant auditor over this instance's full
+// stack. Returns nil (a valid, disabled auditor) when cfg.Every <= 0.
+func (vb *VBundle) AttachAudit(cfg audit.Config) *audit.Auditor {
+	return audit.Attach(cfg, audit.Targets{
+		Engine:     vb.Engine,
+		Network:    vb.Ring.Network(),
+		Ring:       vb.Ring,
+		Cluster:    vb.Cluster,
+		Rebalancer: vb.Rebalancer,
+		Migration:  vb.Migration,
+		Trace:      vb.opts.Trace,
+	})
+}
 
 // BootVM creates a VM for the customer and places it through the configured
 // engine, driving the simulation until the placement query resolves.

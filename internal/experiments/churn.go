@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
@@ -47,6 +48,8 @@ type ChurnParams struct {
 	// Obs configures the flight recorder for this run. The zero value
 	// records nothing; recording never changes experiment metrics.
 	Obs obs.Config
+	// Audit configures the online invariant auditor (Every <= 0 disables).
+	Audit audit.Config
 }
 
 func (p ChurnParams) withDefaults() ChurnParams {
@@ -94,6 +97,8 @@ type ChurnOutcome struct {
 	MeanLocality float64
 	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
 	Trace *obs.Trace `json:"-"`
+	// Audit is the run's auditor (nil when Params.Audit is disabled).
+	Audit *audit.Auditor `json:"-"`
 }
 
 // RunChurn executes the churn experiment.
@@ -111,6 +116,7 @@ func RunChurn(p ChurnParams) (*ChurnOutcome, error) {
 		return nil, err
 	}
 	out := &ChurnOutcome{Params: p, Engine: vb.Placer.Name(), Trace: trace}
+	out.Audit = vb.AttachAudit(p.Audit)
 	rng := vb.Engine.Rand()
 	rsv := cluster.Resources{CPU: 0.5, MemMB: 128, BandwidthMbps: p.ReservationMbps}
 	lim := cluster.Resources{CPU: 2, MemMB: 128, BandwidthMbps: p.ReservationMbps * 2}

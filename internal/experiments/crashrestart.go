@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
 	"vbundle/internal/migration"
@@ -64,6 +65,8 @@ type CrashRestartParams struct {
 	// Obs configures the flight recorder for this run. The zero value
 	// records nothing; recording never changes experiment metrics.
 	Obs obs.Config
+	// Audit configures the online invariant auditor (Every <= 0 disables).
+	Audit audit.Config
 }
 
 func (p CrashRestartParams) withDefaults() CrashRestartParams {
@@ -150,6 +153,8 @@ type CrashRestartOutcome struct {
 	Migrations, MigrationsCompleted int
 	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
 	Trace *obs.Trace `json:"-"`
+	// Audit is the run's auditor (nil when Params.Audit is disabled).
+	Audit *audit.Auditor `json:"-"`
 }
 
 // RunCrashRestart executes one crash-restart-recover run.
@@ -180,6 +185,7 @@ func RunCrashRestart(p CrashRestartParams) (*CrashRestartOutcome, error) {
 	}
 
 	out := &CrashRestartOutcome{Params: p, Trace: trace}
+	out.Audit = vb.AttachAudit(p.Audit)
 	out.BeforeSD = liveSD(vb)
 	out.VMsBefore = vb.Cluster.NumVMs()
 	sample := func() { out.SD.Add(vb.Now(), liveSD(vb)) }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
 	"vbundle/internal/migration"
@@ -54,6 +55,8 @@ type ResilienceParams struct {
 	// Obs configures the flight recorder for this run. The zero value
 	// records nothing; recording never changes experiment metrics.
 	Obs obs.Config
+	// Audit configures the online invariant auditor (Every <= 0 disables).
+	Audit audit.Config
 }
 
 func (p ResilienceParams) withDefaults() ResilienceParams {
@@ -124,6 +127,8 @@ type ResilienceOutcome struct {
 	FailedDeadDest, FailedDeadSource int
 	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
 	Trace *obs.Trace `json:"-"`
+	// Audit is the run's auditor (nil when Params.Audit is disabled).
+	Audit *audit.Auditor `json:"-"`
 }
 
 // liveSD is the utilization standard deviation over servers still alive.
@@ -164,6 +169,7 @@ func RunResilience(p ResilienceParams) (*ResilienceOutcome, error) {
 	}
 
 	out := &ResilienceOutcome{Params: p, Trace: trace}
+	out.Audit = vb.AttachAudit(p.Audit)
 	out.BeforeSD = liveSD(vb)
 	sample := func() { out.SD.Add(vb.Now(), liveSD(vb)) }
 	sample()

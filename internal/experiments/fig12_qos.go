@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
@@ -46,6 +47,8 @@ type QoSParams struct {
 	// Obs configures the flight recorder for this run. The zero value
 	// records nothing; recording never changes experiment metrics.
 	Obs obs.Config
+	// Audit configures the online invariant auditor (Every <= 0 disables).
+	Audit audit.Config
 }
 
 func (p QoSParams) withDefaults() QoSParams {
@@ -96,6 +99,8 @@ type QoSOutcome struct {
 	TotalOffered, TotalFailed int
 	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
 	Trace *obs.Trace `json:"-"`
+	// Audit is the run's auditor (nil when Params.Audit is disabled).
+	Audit *audit.Auditor `json:"-"`
 }
 
 // RunQoS executes the testbed reproduction.
@@ -131,6 +136,7 @@ func RunQoS(p QoSParams) (*QoSOutcome, error) {
 	}
 
 	out := &QoSOutcome{Params: p, Trace: trace}
+	out.Audit = vb.AttachAudit(p.Audit)
 	sipp := workload.NewSIPp(p.Seed + 7)
 
 	// The SIPp VM: modest reservation, generous ceiling — QoS depends on

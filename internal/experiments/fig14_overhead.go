@@ -6,13 +6,14 @@ import (
 	"time"
 
 	"vbundle/internal/aggregation"
+	"vbundle/internal/audit"
 	"vbundle/internal/ids"
 	"vbundle/internal/obs"
 	"vbundle/internal/parallel"
-	"vbundle/internal/simnet"
 	"vbundle/internal/pastry"
 	"vbundle/internal/scribe"
 	"vbundle/internal/sim"
+	"vbundle/internal/simnet"
 	"vbundle/internal/topology"
 )
 
@@ -42,6 +43,10 @@ type AggLatencyParams struct {
 	// records (its trace is the one the outcome keeps). Recording never
 	// changes the measured latency.
 	Obs obs.Config
+	// Audit configures the online invariant auditor. Like the trace, only
+	// the largest sweep point is audited; sweeps never change the measured
+	// latency.
+	Audit audit.Config
 }
 
 func (p AggLatencyParams) withDefaults() AggLatencyParams {
@@ -83,6 +88,9 @@ type AggLatencyOutcome struct {
 	// Trace is the largest sweep point's flight recorder (nil when
 	// Params.Obs is disabled).
 	Trace *obs.Trace `json:"-"`
+	// Audit is the largest sweep point's auditor (nil when Params.Audit is
+	// disabled).
+	Audit *audit.Auditor `json:"-"`
 }
 
 // buildOverheadStack creates a ring with scribes and aggregation managers
@@ -134,10 +142,16 @@ func RunAggLatency(p AggLatencyParams) (*AggLatencyOutcome, error) {
 	trace := p.Obs.New()
 	points, err := parallel.Map(len(p.Sizes), p.Parallelism, func(i int) (AggLatencyPoint, error) {
 		var tr *obs.Trace
+		var au audit.Config
 		if i == largest {
 			tr = trace
+			au = p.Audit
 		}
-		return aggLatencyPoint(p, p.Sizes[i], tr)
+		pt, a, err := aggLatencyPoint(p, p.Sizes[i], tr, au)
+		if i == largest {
+			out.Audit = a
+		}
+		return pt, err
 	})
 	if err != nil {
 		return nil, err
@@ -148,12 +162,20 @@ func RunAggLatency(p AggLatencyParams) (*AggLatencyOutcome, error) {
 }
 
 // aggLatencyPoint measures one ring size on a private simulation stack.
-func aggLatencyPoint(p AggLatencyParams, n int, tr *obs.Trace) (AggLatencyPoint, error) {
+func aggLatencyPoint(p AggLatencyParams, n int, tr *obs.Trace, au audit.Config) (AggLatencyPoint, *audit.Auditor, error) {
 	const topic = "BW_Demand"
-	engine, _, scribes, managers, err := buildOverheadStack(n, p.LANHop, p.Seed, p.Shards, tr)
+	engine, ring, scribes, managers, err := buildOverheadStack(n, p.LANHop, p.Seed, p.Shards, tr)
 	if err != nil {
-		return AggLatencyPoint{}, err
+		return AggLatencyPoint{}, nil, err
 	}
+	// This stack has no cluster or rebalancer; the auditor gets the check
+	// its targets support (routing-liveness coherence).
+	auditor := audit.Attach(au, audit.Targets{
+		Engine:  engine,
+		Network: ring.Network(),
+		Ring:    ring,
+		Trace:   tr,
+	})
 	for _, m := range managers {
 		m.Subscribe(topic, nil)
 	}
@@ -181,7 +203,7 @@ func aggLatencyPoint(p AggLatencyParams, n int, tr *obs.Trace) (AggLatencyPoint,
 	pt.WithInterval = pt.RawMean + p.UpdateInterval
 	pt.TreeHeight = treeHeight(scribes, scribe.GroupKey(topic))
 	pt.ShardWork = engine.ShardWork()
-	return pt, nil
+	return pt, auditor, nil
 }
 
 // treeHeight computes the depth of the Scribe tree rooted at the topic's

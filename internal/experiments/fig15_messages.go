@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
 	"vbundle/internal/obs"
@@ -37,6 +38,9 @@ type MessageOverheadParams struct {
 	// Obs configures the flight recorder. Only the largest sweep point
 	// records (its trace is the one the outcome keeps).
 	Obs obs.Config
+	// Audit configures the online invariant auditor; like the trace, only
+	// the largest sweep point is audited.
+	Audit audit.Config
 }
 
 func (p MessageOverheadParams) withDefaults() MessageOverheadParams {
@@ -66,6 +70,9 @@ type MessageOverheadOutcome struct {
 	// Trace is the largest sweep point's flight recorder (nil when
 	// Params.Obs is disabled).
 	Trace *obs.Trace `json:"-"`
+	// Audit is the largest sweep point's auditor (nil when Params.Audit is
+	// disabled).
+	Audit *audit.Auditor `json:"-"`
 }
 
 // RunMessageOverhead executes the sweep. Ring sizes are independent trials
@@ -84,10 +91,16 @@ func RunMessageOverhead(p MessageOverheadParams) (*MessageOverheadOutcome, error
 	trace := p.Obs.New()
 	points, err := parallel.Map(len(p.Sizes), p.Parallelism, func(i int) (MessageOverheadPoint, error) {
 		var tr *obs.Trace
+		var au audit.Config
 		if i == largest {
 			tr = trace
+			au = p.Audit
 		}
-		return messageOverheadPoint(p, p.Sizes[i], tr)
+		pt, a, err := messageOverheadPoint(p, p.Sizes[i], tr, au)
+		if i == largest {
+			out.Audit = a
+		}
+		return pt, err
 	})
 	if err != nil {
 		return nil, err
@@ -98,7 +111,7 @@ func RunMessageOverhead(p MessageOverheadParams) (*MessageOverheadOutcome, error
 }
 
 // messageOverheadPoint measures one ring size on a private v-Bundle stack.
-func messageOverheadPoint(p MessageOverheadParams, n int, tr *obs.Trace) (MessageOverheadPoint, error) {
+func messageOverheadPoint(p MessageOverheadParams, n int, tr *obs.Trace, au audit.Config) (MessageOverheadPoint, *audit.Auditor, error) {
 	spec := ScaledSpec(n)
 	spec.LANHop = time.Millisecond
 	vb, err := core.New(core.Options{
@@ -113,11 +126,12 @@ func messageOverheadPoint(p MessageOverheadParams, n int, tr *obs.Trace) (Messag
 		},
 	})
 	if err != nil {
-		return MessageOverheadPoint{}, err
+		return MessageOverheadPoint{}, nil, err
 	}
+	auditor := vb.AttachAudit(au)
 	rng := rand.New(rand.NewSource(p.Seed + int64(n)))
 	if err := seedSkewedLoad(vb, p.VMsPerServer, 0.6, 0.4, rng); err != nil {
-		return MessageOverheadPoint{}, err
+		return MessageOverheadPoint{}, nil, err
 	}
 	// Pastry ring maintenance participates in the per-round budget.
 	vb.Ring.StartMaintenance()
@@ -138,7 +152,7 @@ func messageOverheadPoint(p MessageOverheadParams, n int, tr *obs.Trace) (Messag
 	vb.StopServices()
 	vb.Workloads.Stop()
 	vb.Ring.StopMaintenance()
-	return pt, nil
+	return pt, auditor, nil
 }
 
 // Report renders the Fig. 15 percentiles.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
@@ -39,6 +40,8 @@ type PlacementParams struct {
 	// Obs configures the flight recorder for this run. The zero value
 	// records nothing; recording never changes experiment metrics.
 	Obs obs.Config
+	// Audit configures the online invariant auditor (Every <= 0 disables).
+	Audit audit.Config
 }
 
 func (p PlacementParams) withDefaults() PlacementParams {
@@ -85,6 +88,8 @@ type PlacementOutcome struct {
 	Engine string
 	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
 	Trace *obs.Trace `json:"-"`
+	// Audit is the run's auditor (nil when Params.Audit is disabled).
+	Audit *audit.Auditor `json:"-"`
 }
 
 // RunPlacement executes the placement experiment.
@@ -102,6 +107,7 @@ func RunPlacement(p PlacementParams) (*PlacementOutcome, error) {
 		return nil, err
 	}
 	out := &PlacementOutcome{Params: p, Engine: vb.Placer.Name(), Trace: trace}
+	out.Audit = vb.AttachAudit(p.Audit)
 	rsv := cluster.Resources{CPU: 0.5, MemMB: 128, BandwidthMbps: p.ReservationMbps}
 	lim := cluster.Resources{CPU: 2, MemMB: 128, BandwidthMbps: p.ReservationMbps * 2}
 

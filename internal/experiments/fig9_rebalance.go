@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/metrics"
@@ -52,6 +53,9 @@ type RebalanceParams struct {
 	// Obs configures the flight recorder for this run. The zero value
 	// records nothing; recording never changes experiment metrics.
 	Obs obs.Config
+	// Audit configures the online invariant auditor (Every <= 0 disables).
+	// Sweeps are read-only and never change experiment metrics.
+	Audit audit.Config
 }
 
 func (p RebalanceParams) withDefaults() RebalanceParams {
@@ -102,6 +106,8 @@ type RebalanceOutcome struct {
 	MigrationsCompleted int
 	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
 	Trace *obs.Trace `json:"-"`
+	// Audit is the run's auditor (nil when Params.Audit is disabled).
+	Audit *audit.Auditor `json:"-"`
 }
 
 // seedSkewedLoad provisions VMs so each server's utilization is drawn
@@ -156,6 +162,7 @@ func RunRebalance(p RebalanceParams) (*RebalanceOutcome, error) {
 	}
 
 	out := &RebalanceOutcome{Params: p, Trace: trace}
+	out.Audit = vb.AttachAudit(p.Audit)
 	out.Before = vb.UtilizationSnapshot()
 	out.MeanUtil = vb.Cluster.MeanUtilizationBW()
 

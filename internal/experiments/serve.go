@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"time"
 
+	"vbundle/internal/audit"
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
 	"vbundle/internal/obs"
@@ -76,6 +77,8 @@ type ServeParams struct {
 	Shards int
 	// Obs configures the flight recorder for this run.
 	Obs obs.Config
+	// Audit configures the online invariant auditor (Every <= 0 disables).
+	Audit audit.Config
 }
 
 func (p ServeParams) withDefaults() ServeParams {
@@ -169,6 +172,8 @@ type ServeOutcome struct {
 	Placements []PlacedVM `json:",omitempty"`
 	// Trace is the run's flight recorder (nil when Params.Obs is disabled).
 	Trace *obs.Trace `json:"-"`
+	// Audit is the run's auditor (nil when Params.Audit is disabled).
+	Audit *audit.Auditor `json:"-"`
 }
 
 // RunServe executes the serving experiment.
@@ -202,6 +207,7 @@ func RunServe(p ServeParams) (*ServeOutcome, error) {
 		return nil, err
 	}
 	out := &ServeOutcome{Params: p, Trace: trace}
+	out.Audit = vb.AttachAudit(p.Audit)
 	rsv := cluster.Resources{CPU: 0.5, MemMB: 128, BandwidthMbps: p.ReservationMbps}
 	lim := cluster.Resources{CPU: 2, MemMB: 128, BandwidthMbps: p.ReservationMbps * 2}
 
@@ -285,10 +291,10 @@ func RunServe(p ServeParams) (*ServeOutcome, error) {
 	out.Stats = fe.Stats()
 	out.PlacedPerSec = float64(out.Stats.Placed-prewarmPlaced) / p.Duration.Seconds()
 	lat := fe.Latency()
-	out.P50 = lat.Quantile(0.50)
-	out.P99 = lat.Quantile(0.99)
-	out.P999 = lat.Quantile(0.999)
-	out.MaxLatency = lat.Quantile(1)
+	out.P50 = float64(lat.Quantile(0.50)) / 1e6
+	out.P99 = float64(lat.Quantile(0.99)) / 1e6
+	out.P999 = float64(lat.Quantile(0.999)) / 1e6
+	out.MaxLatency = float64(lat.Max()) / 1e6
 	dht := vb.Placer.(*placement.DHT)
 	_, out.MeanHops, _, _ = dht.Stats()
 	out.HopP50 = dht.HopQuantile(0.50)

@@ -154,6 +154,10 @@ type Manager struct {
 	// the root engine in the keyed band (deterministic order), so they get
 	// the root recorder source rather than any node's.
 	rootObs *obs.Source
+	// durHist records completed transfers' durations (nil when tracing is
+	// off). Written only inside the keyed completion band — exclusive on
+	// the root — so it needs no locking.
+	durHist *obs.Histogram
 	// hooks run after every migration attempt finishes, in registration
 	// order, inside the keyed completion band (exclusive on the root, so
 	// deterministic for any shard count). The serving layer registers one to
@@ -189,8 +193,15 @@ func (m *Manager) SetLiveness(alive func(server int) bool) { m.alive = alive }
 func (m *Manager) SetEngineFor(engineFor func(server int) *sim.Engine) { m.engineFor = engineFor }
 
 // SetTrace attaches the run's flight recorder; completions are recorded on
-// its root source. A nil trace (recording off) is accepted.
-func (m *Manager) SetTrace(tr *obs.Trace) { m.rootObs = tr.Source(obs.RootSource) }
+// its root source, and successful transfer durations feed a registered
+// histogram. A nil trace (recording off) is accepted.
+func (m *Manager) SetTrace(tr *obs.Trace) {
+	m.rootObs = tr.Source(obs.RootSource)
+	if reg := tr.Registry(); reg != nil {
+		m.durHist = &obs.Histogram{}
+		reg.RegisterHistogram("migration/duration_ns", m.durHist)
+	}
+}
 
 // AddOnComplete registers a completion hook. Hooks run before the caller's
 // onDone, in the keyed completion band. Not safe to call while migrations
@@ -317,6 +328,9 @@ func (m *Manager) MigrateTraced(rec *obs.Source, parent obs.Ref, id cluster.VMID
 			outcome = 2
 		case err != nil:
 			outcome = 3
+		}
+		if outcome == 0 {
+			m.durHist.RecordDuration(d)
 		}
 		if span != obs.NoRef {
 			m.rootObs.End(m.engine.Now(), obs.KindMigration, span, int64(id), outcome)

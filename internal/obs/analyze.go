@@ -288,26 +288,11 @@ func (ix *Index) explainCrash(w io.Writer, crash *Event) {
 	}
 }
 
-// durStats is a tiny accumulator for the summary table.
-type durStats struct {
-	n          int
-	sum, max   time.Duration
+// spanStats accumulates per-kind span durations into a histogram so the
+// summary table reports percentiles, not just a mean.
+type spanStats struct {
+	hist       Histogram
 	incomplete int
-}
-
-func (d *durStats) add(v time.Duration) {
-	d.n++
-	d.sum += v
-	if v > d.max {
-		d.max = v
-	}
-}
-
-func (d durStats) mean() time.Duration {
-	if d.n == 0 {
-		return 0
-	}
-	return d.sum / time.Duration(d.n)
 }
 
 // Summary prints event totals per kind, span latency statistics per
@@ -321,24 +306,24 @@ func (ix *Index) Summary(w io.Writer, counters map[string]int64) {
 	fmt.Fprintf(w, "%d events over %v (virtual %v .. %v)\n\n", len(ix.events), last-first, first, last)
 
 	fmt.Fprintln(w, "events by kind:")
-	for k := KindRouteHop; k <= KindLeaseAdopt; k++ {
+	for k := KindRouteHop; k <= KindAuditViolation; k++ {
 		if evs := ix.byKind[k]; len(evs) > 0 {
 			fmt.Fprintf(w, "  %-14s %8d  [%s]\n", k.String(), len(evs), k.Subsystem())
 		}
 	}
 
-	stats := map[Kind]*durStats{}
+	stats := map[Kind]*spanStats{}
 	for _, rec := range ix.spans {
 		if rec.begin == nil {
 			continue
 		}
 		st := stats[rec.begin.Kind]
 		if st == nil {
-			st = &durStats{}
+			st = &spanStats{}
 			stats[rec.begin.Kind] = st
 		}
 		if d, ok := rec.duration(); ok {
-			st.add(d)
+			st.hist.RecordDuration(d)
 		} else {
 			st.incomplete++
 		}
@@ -352,7 +337,11 @@ func (ix *Index) Summary(w io.Writer, counters map[string]int64) {
 		fmt.Fprintln(w, "\nspan latency by subsystem:")
 		for _, k := range kinds {
 			st := stats[k]
-			fmt.Fprintf(w, "  %-14s n=%-6d mean=%-12v max=%-12v", k.String(), st.n, st.mean(), st.max)
+			h := &st.hist
+			fmt.Fprintf(w, "  %-14s n=%-6d p50=%-12v p99=%-12v p999=%-12v max=%-12v",
+				k.String(), h.Count(),
+				time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)),
+				time.Duration(h.Quantile(0.999)), time.Duration(h.Max()))
 			if st.incomplete > 0 {
 				fmt.Fprintf(w, " open=%d", st.incomplete)
 			}

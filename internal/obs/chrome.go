@@ -47,6 +47,24 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 		fmt.Fprintf(bw, "\"args\":{\"parent\":\"0x%x\",\"a\":%d,\"b\":%d,\"seq\":%d}}",
 			uint64(ev.Parent), ev.A, ev.B, ev.Seq)
 	}
+	// The sampled series rides along as counter events ("ph":"C"), one per
+	// (instant, metric), so Perfetto plots each metric as a counter track
+	// next to the spans. Rows in time order, sorted names within a row:
+	// byte-stable, like everything above.
+	if ser := t.Series(); ser.Len() > 0 {
+		names := ser.Names()
+		n := len(events)
+		for row, ts := range ser.Times() {
+			for _, name := range names {
+				if n > 0 {
+					bw.WriteByte(',')
+				}
+				n++
+				fmt.Fprintf(bw, "\n{\"name\":%q,\"cat\":\"series\",\"ph\":\"C\",\"pid\":0,\"tid\":0,\"ts\":%s,\"args\":{\"value\":%d}}",
+					name, chromeTS(ts), ser.Col(name)[row])
+			}
+		}
+	}
 	bw.WriteString("\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{\"counters\":")
 	snap := t.Registry().Snapshot()
 	if snap == nil {
@@ -95,6 +113,7 @@ type chromeEvent struct {
 		A      int64  `json:"a"`
 		B      int64  `json:"b"`
 		Seq    uint64 `json:"seq"`
+		Value  int64  `json:"value"`
 	} `json:"args"`
 }
 
@@ -106,28 +125,55 @@ type chromeDoc struct {
 }
 
 // ReadChrome parses a trace file written by WriteChrome back into events
-// and the counter snapshot, for vb-trace and the golden tests.
+// and the counter snapshot, for vb-trace and the golden tests. Counter
+// ("C") events are tolerated and skipped; use ReadChromeSeries to get them.
 func ReadChrome(r io.Reader) ([]Event, map[string]int64, error) {
+	events, counters, _, err := readChrome(r)
+	return events, counters, err
+}
+
+// ReadChromeSeries parses a trace file including its sampled series. The
+// series is nil when the file carries no counter events; its interval is
+// inferred from the first two sampling instants.
+func ReadChromeSeries(r io.Reader) ([]Event, map[string]int64, *Series, error) {
+	return readChrome(r)
+}
+
+func readChrome(r io.Reader) ([]Event, map[string]int64, *Series, error) {
 	var doc chromeDoc
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
-		return nil, nil, fmt.Errorf("parse trace: %w", err)
+		return nil, nil, nil, fmt.Errorf("parse trace: %w", err)
 	}
 	events := make([]Event, 0, len(doc.TraceEvents))
+	var ser *Series
 	for i, ce := range doc.TraceEvents {
+		if ce.Ph == "C" {
+			// One series cell. Counter events are written row-major in
+			// time order, so a new timestamp starts a new sample row.
+			ts := time.Duration(math.Round(ce.Ts * 1e3))
+			if ser == nil {
+				ser = NewSeries(0)
+			}
+			if len(ser.times) == 0 || ser.times[len(ser.times)-1] != ts {
+				ser.times = append(ser.times, ts)
+			}
+			ser.set(len(ser.times)-1, ce.Name, ce.Args.Value)
+			continue
+		}
 		kind := kindFromName(ce.Name)
 		if kind == 0 {
-			return nil, nil, fmt.Errorf("event %d: unknown kind %q", i, ce.Name)
+			return nil, nil, nil, fmt.Errorf("event %d: unknown kind %q", i, ce.Name)
 		}
 		if len(ce.Ph) != 1 {
-			return nil, nil, fmt.Errorf("event %d: bad phase %q", i, ce.Ph)
+			return nil, nil, nil, fmt.Errorf("event %d: bad phase %q", i, ce.Ph)
 		}
 		span, err := parseRef(ce.ID)
 		if err != nil {
-			return nil, nil, fmt.Errorf("event %d: span id: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("event %d: span id: %w", i, err)
 		}
 		parent, err := parseRef(ce.Args.Parent)
 		if err != nil {
-			return nil, nil, fmt.Errorf("event %d: parent: %w", i, err)
+			return nil, nil, nil, fmt.Errorf("event %d: parent: %w", i, err)
 		}
 		events = append(events, Event{
 			TS:     time.Duration(math.Round(ce.Ts * 1e3)),
@@ -141,7 +187,17 @@ func ReadChrome(r io.Reader) ([]Event, map[string]int64, error) {
 			B:      ce.Args.B,
 		})
 	}
-	return events, doc.OtherData.Counters, nil
+	if ser != nil {
+		for i := range ser.cols {
+			for len(ser.cols[i]) < len(ser.times) {
+				ser.cols[i] = append(ser.cols[i], 0)
+			}
+		}
+		if len(ser.times) >= 2 {
+			ser.every = ser.times[1] - ser.times[0]
+		}
+	}
+	return events, doc.OtherData.Counters, ser, nil
 }
 
 func parseRef(s string) (Ref, error) {

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 )
 
 // Config selects a recorder mode. The zero value is disabled: Config.New
@@ -16,21 +17,39 @@ type Config struct {
 	Stream bool
 	// Ring, when > 0, bounds each source to its last Ring events.
 	Ring int
+	// SampleEvery, when > 0, attaches a virtual-time sample series to the
+	// trace at this interval (the engine schedules the actual sampling via
+	// sim.AttachObs). On its own it enables the metrics-only recorder:
+	// live registry and series, no event recording.
+	SampleEvery time.Duration
+	// Metrics selects the metrics-only recorder explicitly: a live
+	// registry with no event recording (what a -counters dump needs).
+	Metrics bool
 }
 
 // Enabled reports whether New will construct a recorder.
-func (c Config) Enabled() bool { return c.Stream || c.Ring > 0 }
+func (c Config) Enabled() bool {
+	return c.Stream || c.Ring > 0 || c.SampleEvery > 0 || c.Metrics
+}
 
 // New constructs the run's trace, or nil when disabled.
 func (c Config) New() *Trace {
+	var t *Trace
 	switch {
 	case c.Stream:
-		return New()
+		t = New()
 	case c.Ring > 0:
-		return NewRing(c.Ring)
+		t = NewRing(c.Ring)
+	case c.SampleEvery > 0 || c.Metrics:
+		// Sampling and counter dumps need a live registry but no events.
+		t = NewMetrics()
 	default:
 		return nil
 	}
+	if c.SampleEvery > 0 {
+		t.EnableSeries(c.SampleEvery)
+	}
+	return t
 }
 
 // Flags is the shared -trace / -trace-ring / -counters flag set every
@@ -45,6 +64,9 @@ type Flags struct {
 	// Counters is a run-end JSON dump of the counter registry (-counters);
 	// on its own it enables the cheapest recorder (ring of 1).
 	Counters string
+	// SampleEvery is the virtual-time series sampling interval
+	// (-sample-every); 0 disables sampling.
+	SampleEvery time.Duration
 }
 
 // AddFlags registers the recorder flags on fs.
@@ -52,21 +74,22 @@ func (f *Flags) AddFlags(fs *flag.FlagSet) {
 	fs.StringVar(&f.Path, "trace", "", "write a Chrome trace_event JSON flight recording to this file")
 	fs.IntVar(&f.Ring, "trace-ring", 0, "bound the flight recorder to the last N events per node (0 = unbounded stream)")
 	fs.StringVar(&f.Counters, "counters", "", "write the run-end counter registry as JSON to this file")
+	fs.DurationVar(&f.SampleEvery, "sample-every", 0, "sample registered metrics into a time series every this much virtual time (0 = off)")
 }
 
 // Config translates the parsed flags into a recorder mode.
 func (f *Flags) Config() Config {
+	c := Config{SampleEvery: f.SampleEvery}
 	switch {
 	case f.Ring > 0:
-		return Config{Ring: f.Ring}
+		c.Ring = f.Ring
 	case f.Path != "":
-		return Config{Stream: true}
+		c.Stream = true
 	case f.Counters != "":
 		// Counters need a live registry but no event history.
-		return Config{Ring: 1}
-	default:
-		return Config{}
+		c.Metrics = true
 	}
+	return c
 }
 
 // Write emits the requested run-end artifacts from t (a no-op for a nil

@@ -1,0 +1,34 @@
+//go:build !race
+
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDisabledHistogramSpeed gates the disabled-path cost contract: a
+// Record on a nil histogram is one branch, ≤ 2 ns on any modern machine.
+// The bound is generous against scheduler noise (the branch itself measures
+// well under a nanosecond); the race detector multiplies every memory
+// access, so the gate is compiled out under -race.
+func TestDisabledHistogramSpeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate skipped in -short")
+	}
+	var h *Histogram
+	best := time.Duration(1 << 62)
+	for attempt := 0; attempt < 5; attempt++ {
+		const iters = 10_000_000
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			h.Record(int64(i))
+		}
+		if per := time.Since(start) / iters; per < best {
+			best = per
+		}
+	}
+	if best > 2*time.Nanosecond {
+		t.Errorf("disabled Record costs %v per op, want <= 2ns", best)
+	}
+}

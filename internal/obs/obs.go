@@ -121,6 +121,10 @@ const (
 	// KindLeaseAdopt is one persisted lease's rejoin verdict (A = VM id,
 	// B = 0 re-adopted, 1 released/dropped).
 	KindLeaseAdopt
+	// KindAuditViolation is one failed check in an online invariant sweep
+	// (A = the audit.Check id, B = the offending entity: node address or
+	// VM id, -1 when not applicable).
+	KindAuditViolation
 )
 
 // String returns the kind's trace_event name.
@@ -168,6 +172,8 @@ func (k Kind) String() string {
 		return "rejoin"
 	case KindLeaseAdopt:
 		return "lease_adopt"
+	case KindAuditViolation:
+		return "audit_violation"
 	default:
 		return "unknown"
 	}
@@ -193,6 +199,8 @@ func (k Kind) Subsystem() string {
 		return "serve"
 	case KindRejoin, KindLeaseAdopt:
 		return "recovery"
+	case KindAuditViolation:
+		return "audit"
 	default:
 		return "other"
 	}
@@ -200,7 +208,7 @@ func (k Kind) Subsystem() string {
 
 // kindFromName inverts String for the trace reader.
 func kindFromName(name string) Kind {
-	for k := KindRouteHop; k <= KindLeaseAdopt; k++ {
+	for k := KindRouteHop; k <= KindAuditViolation; k++ {
 		if k.String() == name {
 			return k
 		}
@@ -325,14 +333,16 @@ func (s *Source) Dropped() uint64 {
 // simulation run. A nil *Trace is fully disabled: Source and Registry
 // return nil, which every downstream consumer accepts.
 type Trace struct {
-	ring int
+	ring        int
+	metricsOnly bool
 
 	// mu guards source registration only; components create their sources
 	// at construction, never on the emit path.
 	mu      sync.Mutex
 	sources map[int32]*Source
 
-	reg Registry
+	reg    Registry
+	series *Series
 }
 
 // New creates a streaming trace: every source keeps all its events for a
@@ -349,11 +359,20 @@ func NewRing(n int) *Trace {
 	return &Trace{ring: n, sources: make(map[int32]*Source)}
 }
 
+// NewMetrics creates a metrics-only trace: a live registry (and series,
+// once enabled) with no event recording at all — Source returns the nil
+// source, so every instrumented site stays on its one-branch disabled
+// path. This is what `-sample-every` or `-counters` alone select: the
+// sampler's cost is then just the boundary snapshots, not per-event
+// recording (the ci.sh sampler gate holds it ≤5% wall).
+func NewMetrics() *Trace { return &Trace{metricsOnly: true, sources: make(map[int32]*Source)} }
+
 // Source returns (creating on first use) the event stream for one source
-// id — a node address, or RootSource. On a nil trace it returns the nil
+// id — a node address, or RootSource. On a nil trace — and on a
+// metrics-only trace, which records no events — it returns the nil
 // source, whose emit methods are no-ops.
 func (t *Trace) Source(id int32) *Source {
-	if t == nil {
+	if t == nil || t.metricsOnly {
 		return nil
 	}
 	t.mu.Lock()
@@ -373,6 +392,27 @@ func (t *Trace) Registry() *Registry {
 		return nil
 	}
 	return &t.reg
+}
+
+// EnableSeries attaches (or returns the existing) virtual-time sample
+// series to the trace. The trace only holds the series; sim.AttachObs is
+// what schedules the actual sampling on the engine clock.
+func (t *Trace) EnableSeries(every time.Duration) *Series {
+	if t == nil {
+		return nil
+	}
+	if t.series == nil {
+		t.series = NewSeries(every)
+	}
+	return t.series
+}
+
+// Series returns the attached sample series, or nil when sampling is off.
+func (t *Trace) Series() *Series {
+	if t == nil {
+		return nil
+	}
+	return t.series
 }
 
 // Events returns every retained event in the canonical (TS, Src, Seq)

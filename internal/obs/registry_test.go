@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryHistogramKeys(t *testing.T) {
+	var r Registry
+	a, b := &Histogram{}, &Histogram{}
+	r.RegisterHistogram("serve/latency_ns", a)
+	r.RegisterHistogram("serve/latency_ns", b)
+	for v := int64(1); v <= 100; v++ {
+		if v%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+	}
+	snap := r.Snapshot()
+	var whole Histogram
+	whole.Merge(a)
+	whole.Merge(b)
+	want := map[string]int64{
+		"serve/latency_ns/p50":   whole.Quantile(0.50),
+		"serve/latency_ns/p99":   whole.Quantile(0.99),
+		"serve/latency_ns/p999":  whole.Quantile(0.999),
+		"serve/latency_ns/max":   100,
+		"serve/latency_ns/count": 100,
+	}
+	if !reflect.DeepEqual(snap, want) {
+		t.Errorf("snapshot = %v, want %v", snap, want)
+	}
+}
+
+// TestRegistryDiagnosticExclusion pins the two-tier visibility contract:
+// execution-shape histograms show up in the JSON dump but never in
+// Snapshot (and therefore never in the sampled series), because their
+// values legitimately differ between the serial and sharded engines.
+func TestRegistryDiagnosticExclusion(t *testing.T) {
+	var r Registry
+	depth := &Histogram{}
+	depth.Record(3)
+	r.RegisterDiagnosticHistogram("sim/queue_depth", depth)
+	if snap := r.Snapshot(); len(snap) != 0 {
+		t.Errorf("diagnostic histogram leaked into Snapshot: %v", snap)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"sim/queue_depth/count": 1`) {
+		t.Errorf("diagnostic histogram missing from WriteJSON:\n%s", buf.String())
+	}
+}
+
+// TestSnapshotIntoReuse pins the no-garbage reuse contract the virtual-time
+// sampler depends on: a reused map is cleared, refilled, and returned
+// without allocation of a new map.
+func TestSnapshotIntoReuse(t *testing.T) {
+	var r Registry
+	c := &Counter{}
+	c.Add(5)
+	r.Register("a/b", c)
+	dst := map[string]int64{"stale": 99}
+	got := r.SnapshotInto(dst)
+	if _, ok := got["stale"]; ok {
+		t.Error("reused map not cleared")
+	}
+	if got["a/b"] != 5 {
+		t.Errorf("a/b = %d, want 5", got["a/b"])
+	}
+	// Same map identity: mutating got must show through dst.
+	got["probe"] = 1
+	if dst["probe"] != 1 {
+		t.Error("SnapshotInto returned a different map than it was given")
+	}
+	c.Add(2)
+	if again := r.SnapshotInto(dst); again["a/b"] != 7 {
+		t.Errorf("second snapshot a/b = %d, want 7", again["a/b"])
+	}
+}
+
+func TestRegistryNilReceiver(t *testing.T) {
+	var r *Registry
+	r.Register("x", &Counter{})
+	r.RegisterGauge("y", func() int64 { return 1 })
+	r.RegisterHistogram("z", &Histogram{})
+	r.RegisterDiagnosticHistogram("w", &Histogram{})
+	if snap := r.Snapshot(); snap != nil {
+		t.Errorf("nil registry Snapshot = %v, want nil", snap)
+	}
+	dst := map[string]int64{"keep": 1}
+	if got := r.SnapshotInto(dst); len(got) != 1 || got["keep"] != 1 {
+		t.Errorf("nil registry SnapshotInto touched dst: %v", got)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryConcurrentAccess runs registration against snapshots under
+// the race detector: Registry is the one obs type shared across shard
+// goroutines during construction, so its lock must actually cover every
+// path (including the scratch-histogram merge inside snapshot).
+func TestRegistryConcurrentAccess(t *testing.T) {
+	var r Registry
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				name := fmt.Sprintf("g%d/c%d", g, i)
+				c := &Counter{}
+				c.Add(int64(i))
+				r.Register(name, c)
+				h := &Histogram{}
+				h.Record(int64(i))
+				r.RegisterHistogram(name+"/h", h)
+				r.RegisterGauge(name+"/g", func() int64 { return int64(i) })
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var dst map[string]int64
+		for i := 0; i < 100; i++ {
+			dst = r.SnapshotInto(dst)
+		}
+	}()
+	wg.Wait()
+	snap := r.Snapshot()
+	if len(snap) != 4*50*(1+1+len(histKeys)) {
+		t.Errorf("final snapshot has %d keys, want %d", len(snap), 4*50*(1+1+len(histKeys)))
+	}
+}

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Series is a compact columnar time series of registry snapshots taken at
+// fixed virtual-time boundaries. One row per sampling instant, one column
+// per metric name; columns appearing after the first sample are backfilled
+// with zeros so every column has one value per row.
+//
+// The sim engine drives sampling (sim.AttachObs installs a sampler that
+// calls Sample every Δ of virtual time); because the engine fires the
+// boundary kΔ after every event at t < kΔ and before any event at t ≥ kΔ —
+// on the root goroutine, with shard workers idle — the captured values are
+// a pure function of virtual time and therefore byte-identical at any
+// shard count.
+//
+// All methods are nil-receiver safe.
+type Series struct {
+	every   time.Duration
+	times   []time.Duration
+	names   []string       // column order: first-seen
+	idx     map[string]int // name → column
+	cols    [][]int64
+	scratch map[string]int64 // reused snapshot buffer
+	keys    []string         // sorted key set of the last sample
+	colIdx  []int            // column index per keys entry, cached with keys
+}
+
+// NewSeries returns a series sampling every Δ of virtual time. The interval
+// is descriptive (the engine owns the schedule); it is recorded so readers
+// and serializers can report it.
+func NewSeries(every time.Duration) *Series {
+	return &Series{every: every, idx: make(map[string]int)}
+}
+
+// Every returns the sampling interval.
+func (s *Series) Every() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}
+
+// Len returns the number of samples taken.
+func (s *Series) Len() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.times)
+}
+
+// Times returns the sampling instants. The returned slice is owned by the
+// series; callers must not mutate it.
+func (s *Series) Times() []time.Duration {
+	if s == nil {
+		return nil
+	}
+	return s.times
+}
+
+// Names returns the column names in sorted order.
+func (s *Series) Names() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, len(s.names))
+	copy(out, s.names)
+	sort.Strings(out)
+	return out
+}
+
+// Col returns the column for name (one value per sample), or nil if the
+// name was never sampled. The returned slice is owned by the series.
+func (s *Series) Col(name string) []int64 {
+	if s == nil {
+		return nil
+	}
+	i, ok := s.idx[name]
+	if !ok {
+		return nil
+	}
+	return s.cols[i]
+}
+
+// Sample appends one row snapshotting reg at virtual time now. The snapshot
+// buffer is reused across calls, so steady-state sampling allocates only
+// when a new metric name first appears.
+func (s *Series) Sample(now time.Duration, reg *Registry) {
+	if s == nil {
+		return
+	}
+	s.scratch = reg.SnapshotInto(s.scratch)
+	row := len(s.times)
+	s.times = append(s.times, now)
+	if len(s.scratch) != len(s.keys) {
+		// Key sets only grow (registries never drop names), so an unchanged
+		// length means an unchanged set and the cached sorted keys and
+		// column indices from the last sample still apply — the steady-state
+		// path below then skips the sort and the per-name index lookups.
+		s.keys = s.keys[:0]
+		for name := range s.scratch {
+			s.keys = append(s.keys, name)
+		}
+		sort.Strings(s.keys)
+		s.colIdx = s.colIdx[:0]
+		for _, name := range s.keys {
+			if _, ok := s.idx[name]; !ok {
+				s.idx[name] = len(s.names)
+				s.names = append(s.names, name)
+				s.cols = append(s.cols, make([]int64, row, row+1))
+			}
+			s.colIdx = append(s.colIdx, s.idx[name])
+		}
+	}
+	for j, name := range s.keys {
+		s.cols[s.colIdx[j]] = append(s.cols[s.colIdx[j]], s.scratch[name])
+	}
+	// Names registered earlier but absent from this snapshot cannot happen
+	// (registries only grow), but keep every column rectangular regardless.
+	for i := range s.cols {
+		for len(s.cols[i]) <= row {
+			s.cols[i] = append(s.cols[i], 0)
+		}
+	}
+}
+
+// set writes one cell, creating and zero-backfilling the column on first
+// sight of the name.
+func (s *Series) set(row int, name string, v int64) {
+	i, ok := s.idx[name]
+	if !ok {
+		i = len(s.names)
+		s.idx[name] = i
+		s.names = append(s.names, name)
+		s.cols = append(s.cols, make([]int64, row, row+1))
+	}
+	for len(s.cols[i]) < row {
+		s.cols[i] = append(s.cols[i], 0)
+	}
+	s.cols[i] = append(s.cols[i], v)
+}
+
+// WriteCSV writes the series as CSV: a header row of "t_ns" plus the sorted
+// metric names, then one row per sample with integer values. Sorted columns
+// and integer cells make the output byte-stable across runs and shard
+// counts — the serial-vs-sharded series gate diffs exactly these bytes.
+func (s *Series) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := s.Names()
+	bw.WriteString("t_ns")
+	for _, name := range names {
+		bw.WriteByte(',')
+		bw.WriteString(name)
+	}
+	bw.WriteByte('\n')
+	if s != nil {
+		var buf [20]byte
+		for row, t := range s.times {
+			bw.Write(strconv.AppendInt(buf[:0], int64(t), 10))
+			for _, name := range names {
+				col := s.cols[s.idx[name]]
+				bw.WriteByte(',')
+				bw.Write(strconv.AppendInt(buf[:0], col[row], 10))
+			}
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}

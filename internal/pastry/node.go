@@ -103,6 +103,9 @@ type Node struct {
 	// routeStats accumulates delivered-hops samples for overhead analysis.
 	deliveries obs.Counter
 	totalHops  obs.Counter
+	// hopsHist is the per-node delivery hop-count distribution (nil when
+	// tracing is off; merged across nodes at snapshot time).
+	hopsHist *obs.Histogram
 
 	// obs is the node's flight-recorder source (nil when tracing is off;
 	// every emit is then a single nil-receiver branch).
@@ -152,6 +155,8 @@ func newNode(net *simnet.Network, addr simnet.Addr, id ids.Id, cfg Config, prox 
 	if reg := net.Trace().Registry(); reg != nil {
 		reg.Register("pastry/deliveries", &n.deliveries)
 		reg.Register("pastry/route_hops", &n.totalHops)
+		n.hopsHist = &obs.Histogram{}
+		reg.RegisterHistogram("pastry/hops", n.hopsHist)
 	}
 	net.Attach(addr, n)
 	return n

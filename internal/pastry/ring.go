@@ -120,6 +120,15 @@ func NewRing(engine *sim.Engine, topo *topology.Topology, cfg Config, assign IdA
 // Engine returns the simulation engine.
 func (r *Ring) Engine() *sim.Engine { return r.engine }
 
+// LiveBit reports the ring's cached liveness bit for node i — the bitmap
+// backing ClosestLive. The online auditor cross-checks it against the
+// network's ground truth (Network().Alive), which the liveness hook must
+// keep it coherent with.
+func (r *Ring) LiveBit(i int) bool {
+	p := r.pos[i]
+	return r.liveWords[p>>6]&(1<<uint(p&63)) != 0
+}
+
 // Network returns the underlying transport.
 func (r *Ring) Network() *simnet.Network { return r.net }
 

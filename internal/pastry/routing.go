@@ -58,6 +58,7 @@ func (n *Node) routeEnvelope(env *envelope) {
 func (n *Node) deliver(env *envelope) {
 	n.deliveries.Inc()
 	n.totalHops.Add(int64(env.Hops))
+	n.hopsHist.Record(int64(env.Hops))
 	n.obs.Instant(n.engine.Now(), obs.KindDeliver, obs.NoRef, int64(env.Hops), 0)
 	if app, ok := n.app(env.App); ok {
 		app.Deliver(env.Key, env.Payload, RouteInfo{Hops: env.Hops, Source: env.Source})

@@ -17,6 +17,11 @@ type reservation struct {
 	vm      cluster.VMID
 	demand  cluster.Resources
 	expires time.Duration
+	// granted is when the current hold was installed (or restored by a
+	// late renew, or re-adopted after a crash): the start of the interval
+	// the lease-hold-time histogram and the auditor's expiry-sanity check
+	// measure from.
+	granted time.Duration
 	// trace is the hold's recorder span, opened at grant and closed at
 	// release or expiry.
 	trace obs.Ref
@@ -37,8 +42,10 @@ func (t *reservationTable) index(vm cluster.VMID) (int, bool) {
 
 // upsert installs or refreshes the hold for vm; it reports whether the hold
 // is new. Refreshing replaces the demand vector along with the deadline, so
-// a renew arriving after a premature expiry restores the exact hold.
-func (t *reservationTable) upsert(vm cluster.VMID, demand cluster.Resources, expires time.Duration) bool {
+// a renew arriving after a premature expiry restores the exact hold; the
+// grant instant is set only on install, so a refreshed hold keeps measuring
+// from its original grant.
+func (t *reservationTable) upsert(vm cluster.VMID, demand cluster.Resources, granted, expires time.Duration) bool {
 	i, ok := t.index(vm)
 	if ok {
 		t.entries[i].demand = demand
@@ -47,7 +54,7 @@ func (t *reservationTable) upsert(vm cluster.VMID, demand cluster.Resources, exp
 	}
 	t.entries = append(t.entries, reservation{})
 	copy(t.entries[i+1:], t.entries[i:])
-	t.entries[i] = reservation{vm: vm, demand: demand, expires: expires}
+	t.entries[i] = reservation{vm: vm, demand: demand, expires: expires, granted: granted}
 	return true
 }
 

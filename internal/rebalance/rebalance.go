@@ -420,6 +420,9 @@ type Agent struct {
 	// (sweeps run on every utilization read, so no per-sweep allocation).
 	obs            *obs.Source
 	expiredScratch []reservation
+	// leaseHold records each hold's grant-to-end duration (nil when
+	// tracing is off; Record on nil is a no-op).
+	leaseHold *obs.Histogram
 }
 
 type releaseKey struct {
@@ -486,6 +489,8 @@ func newAgent(coord *Coordinator, server int, node *pastry.Node, agg *aggregatio
 		reg.Register("rebalance/migrations_triggered", &a.migrationsTriggered)
 		reg.Register("rebalance/queries_sent", &a.queriesSent)
 		reg.Register("rebalance/vetoed_by_cost", &a.vetoedByCost)
+		a.leaseHold = &obs.Histogram{}
+		reg.RegisterHistogram("rebalance/lease_hold_ns", a.leaseHold)
 	}
 	node.Register(AppName, a)
 	// Late or duplicate accepts that the any-cast layer already gave up on
@@ -561,6 +566,26 @@ func (a *Agent) HeldLeases() int {
 	return n
 }
 
+// Stats returns a copy of the agent's reservation-protocol counters.
+// Read-only; the online auditor balances them against the live table.
+func (a *Agent) Stats() ReserveStats { return a.reserveStats }
+
+// EachHold calls fn for every reservation currently in the table, in VM-id
+// order, including lazily-unswept expired entries. Strictly read-only — no
+// sweep, no persistence, no trace events — so the online auditor can walk
+// holds without perturbing the run.
+func (a *Agent) EachHold(fn func(vm cluster.VMID, granted, expires time.Duration)) {
+	for i := range a.reserved.entries {
+		e := &a.reserved.entries[i]
+		fn(e.vm, e.granted, e.expires)
+	}
+}
+
+// HoldCount returns the reservation-table size, lazily-unswept expired
+// entries included (read-only, unlike HeldLeases' semantic cousin
+// LeakedReservations which sweeps).
+func (a *Agent) HoldCount() int { return a.reserved.len() }
+
 // sweepLeases reclaims holds whose lease ran out; every read of the
 // reservation table goes through here, so expiry needs no engine events.
 func (a *Agent) sweepLeases() {
@@ -577,6 +602,10 @@ func (a *Agent) sweepLeases() {
 	a.reserveStats.Expired += n
 	for i := range a.expiredScratch {
 		e := &a.expiredScratch[i]
+		// The hold ended when the lease ran out, not when this lazy sweep
+		// noticed: expires-granted is the true (and sweep-schedule
+		// independent) hold duration.
+		a.leaseHold.RecordDuration(e.expires - e.granted)
 		a.obs.End(now, obs.KindLease, e.trace, int64(e.vm), 1)
 	}
 	if n > 0 {
@@ -630,7 +659,7 @@ func (a *Agent) AdoptLeases(recs []store.LeaseRecord, rejoin obs.Ref) (adopted, 
 			continue
 		}
 		demand := cluster.Resources{CPU: r.DemandCPU, MemMB: r.DemandMemMB, BandwidthMbps: r.DemandBW}
-		a.reserved.upsert(vm, demand, r.Expires)
+		a.reserved.upsert(vm, demand, now, r.Expires)
 		a.reserveStats.Adopted++
 		if a.obs.Enabled() {
 			// The pre-crash span is lost with the node; the adopted hold
@@ -777,7 +806,7 @@ func (a *Agent) considerQuery(_ ids.Id, payload simnet.Message, _ pastry.NodeHan
 	// One record per VM: a duplicate accept of a retried query refreshes
 	// the existing hold instead of double-counting its demand.
 	now := a.node.Engine().Now()
-	if a.reserved.upsert(q.VMID, q.Demand, now+a.coord.cfg.LeaseDuration) {
+	if a.reserved.upsert(q.VMID, q.Demand, now, now+a.coord.cfg.LeaseDuration) {
 		a.reserveStats.Accepted++
 		if a.obs.Enabled() {
 			// Parent the hold to the any-cast walk that is asking right now,
@@ -1042,13 +1071,17 @@ func (a *Agent) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 	case *releaseMsg:
 		a.sweepLeases()
 		var leaseTrace obs.Ref
+		granted := time.Duration(-1)
 		if e := a.reserved.get(m.VMID); e != nil {
 			leaseTrace = e.trace
+			granted = e.granted
 		}
 		switch {
 		case a.reserved.release(m.VMID):
 			a.reserveStats.Released++
-			a.obs.End(a.node.Engine().Now(), obs.KindLease, leaseTrace, int64(m.VMID), 0)
+			now := a.node.Engine().Now()
+			a.leaseHold.RecordDuration(now - granted)
+			a.obs.End(now, obs.KindLease, leaseTrace, int64(m.VMID), 0)
 			a.rememberRelease(m.VMID)
 			a.persistLeases()
 		case a.wasReleased(m.VMID):
@@ -1066,7 +1099,7 @@ func (a *Agent) HandleDirect(from pastry.NodeHandle, payload simnet.Message) {
 		// Upsert rather than refresh-if-present: a renew that raced with
 		// expiry restores the hold, demand vector and all.
 		now := a.node.Engine().Now()
-		if a.reserved.upsert(m.VMID, m.Demand, now+a.coord.cfg.LeaseDuration) {
+		if a.reserved.upsert(m.VMID, m.Demand, now, now+a.coord.cfg.LeaseDuration) {
 			a.reserveStats.Accepted++
 			if a.obs.Enabled() {
 				// A renew that restored a lapsed hold opens a fresh span:

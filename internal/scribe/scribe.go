@@ -118,6 +118,9 @@ type pendingAnycast struct {
 	// attemptsLeft counts resends remaining; nextTimeout doubles per retry.
 	attemptsLeft int
 	nextTimeout  time.Duration
+	// launched is when the any-cast was first sent: the origin of the
+	// end-to-end and per-retry-wait latency histograms.
+	launched time.Duration
 	// trace is the query's recorder span; retries re-attach it to the
 	// resent message so the whole multi-attempt search shares one span.
 	trace obs.Ref
@@ -199,6 +202,12 @@ type Scribe struct {
 	// to the search that found it.
 	obs        *obs.Source
 	curAnycast obs.Ref
+
+	// anycastLat records launch-to-verdict latency (every tracked any-cast,
+	// resolved or given up); anycastRetryWait records launch-to-retry waits.
+	// Both are nil when tracing is off.
+	anycastLat       *obs.Histogram
+	anycastRetryWait *obs.Histogram
 }
 
 // group returns the state for id, or nil when this node is not in that
@@ -242,6 +251,10 @@ func New(node *pastry.Node) *Scribe {
 		reg.Register("scribe/anycasts_seen", &s.anycastsSeen)
 		reg.Register("scribe/anycasts_retried", &s.anycastsRetried)
 		reg.Register("scribe/orphan_accepts", &s.orphanAccepts)
+		s.anycastLat = &obs.Histogram{}
+		reg.RegisterHistogram("scribe/anycast_ns", s.anycastLat)
+		s.anycastRetryWait = &obs.Histogram{}
+		reg.RegisterHistogram("scribe/anycast_retry_wait_ns", s.anycastRetryWait)
 	}
 	node.Register(AppName, s)
 	node.OnNodeDead(s.handleNodeDead)
@@ -477,6 +490,7 @@ func (s *Scribe) Anycast(group ids.Id, payload simnet.Message, onResult func(Any
 			cb:           onResult,
 			attemptsLeft: s.AnycastRetries,
 			nextTimeout:  s.AnycastTimeout,
+			launched:     s.node.Engine().Now(),
 			trace:        trace,
 		}
 		s.wheelPush(s.node.Engine().Now()+s.AnycastTimeout, seq)
@@ -573,12 +587,15 @@ func (s *Scribe) expireAnycast(seq uint64) {
 		p.nextTimeout *= 2
 		s.pendingAnycast[seq] = p
 		s.anycastsRetried.Inc()
-		s.obs.Instant(s.node.Engine().Now(), obs.KindAnycastRetry, p.trace, int64(p.attemptsLeft), 0)
-		s.wheelPush(s.node.Engine().Now()+p.nextTimeout, seq)
+		now := s.node.Engine().Now()
+		s.anycastRetryWait.RecordDuration(now - p.launched)
+		s.obs.Instant(now, obs.KindAnycastRetry, p.trace, int64(p.attemptsLeft), 0)
+		s.wheelPush(now+p.nextTimeout, seq)
 		s.sendAnycast(p.group, p.payload, seq, p.trace)
 		return
 	}
 	delete(s.pendingAnycast, seq)
+	s.anycastLat.RecordDuration(s.node.Engine().Now() - p.launched)
 	s.obs.End(s.node.Engine().Now(), obs.KindAnycast, p.trace, 0, 0)
 	if p.cb != nil {
 		p.cb(AnycastResult{Trace: p.trace})
@@ -678,6 +695,7 @@ func (s *Scribe) resolveAnycast(seq uint64, group ids.Id, payload simnet.Message
 	if accepted {
 		acceptedArg = 1
 	}
+	s.anycastLat.RecordDuration(s.node.Engine().Now() - p.launched)
 	s.obs.End(s.node.Engine().Now(), obs.KindAnycast, p.trace, int64(visited), acceptedArg)
 	if p.cb != nil {
 		p.cb(AnycastResult{Accepted: accepted, By: by, Visited: visited, Trace: p.trace})

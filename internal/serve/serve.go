@@ -26,7 +26,6 @@ import (
 
 	"vbundle/internal/cluster"
 	"vbundle/internal/core"
-	"vbundle/internal/metrics"
 	"vbundle/internal/obs"
 	"vbundle/internal/placement"
 	"vbundle/internal/sim"
@@ -118,7 +117,12 @@ type Frontend struct {
 	submitAt  map[cluster.VMID]time.Duration
 	bootSpans map[cluster.VMID]obs.Ref
 
-	latency metrics.CDF // placement latency, ms of virtual time
+	// latency is the virtual-time placement latency distribution
+	// (submission to admission, nanoseconds, successful placements only).
+	// A value, not a pointer: the report needs percentiles whether or not
+	// tracing is on; when a trace exists it is also registered so the
+	// sampled series and trace dumps carry the same distribution.
+	latency obs.Histogram
 
 	requested, shed, placed, failed obs.Counter
 	terminated, termMisses          obs.Counter
@@ -159,6 +163,7 @@ func New(vb *core.VBundle, cfg Config) (*Frontend, error) {
 		reg.Register("serve/queries", &f.queries)
 		reg.Register("serve/batches", &f.batches)
 		reg.Register("serve/batched_vms", &f.batchedVMs)
+		reg.RegisterHistogram("serve/latency_ns", &f.latency)
 	}
 	if cfg.Cache {
 		f.cache = placement.NewResolutionCache()
@@ -181,9 +186,9 @@ func (f *Frontend) Cache() *placement.ResolutionCache { return f.cache }
 // must be zero or the front end leaked a boot.
 func (f *Frontend) Unresolved() int { return f.inFlight }
 
-// Latency returns the virtual-time placement latency distribution
-// (milliseconds, submission to admission, successful placements only).
-func (f *Frontend) Latency() *metrics.CDF { return &f.latency }
+// Latency returns the virtual-time placement latency histogram
+// (nanoseconds, submission to admission, successful placements only).
+func (f *Frontend) Latency() *obs.Histogram { return &f.latency }
 
 // Stats snapshots the counters.
 func (f *Frontend) Stats() Stats {
@@ -337,7 +342,7 @@ func (f *Frontend) resolve(vm *cluster.VM, r placement.Result, err error) {
 		return
 	}
 	f.placed.Inc()
-	f.latency.AddDuration(now - submitted)
+	f.latency.RecordDuration(now - submitted)
 	cs := f.state(vm.Customer)
 	cs.live = append(cs.live, vm.ID)
 	for i := len(cs.live) - 1; i > 0 && cs.live[i-1] > cs.live[i]; i-- {

@@ -299,6 +299,7 @@ func (s *Engine) drainWindow() {
 		if ev == nil || ev.at >= s.drainLimit {
 			break
 		}
+		s.depth.Record(int64(s.events.len()))
 		s.events.pop()
 		s.runEvent(ev)
 		s.statEvents++
@@ -314,6 +315,7 @@ func (s *Engine) drainInstant(g time.Duration) {
 		if ev == nil || ev.at != g {
 			break
 		}
+		s.depth.Record(int64(s.events.len()))
 		s.events.pop()
 		s.runEvent(ev)
 		s.statEvents++
@@ -428,6 +430,13 @@ func (r *Engine) runWindows(deadline time.Duration, drainAll bool) {
 		if !drainAll && tMin > deadline {
 			break
 		}
+		// Sampling boundaries at or before the next event fire now, with
+		// every worker idle and every clock raised to the boundary — the
+		// same between-events instant the serial engine fires at. After
+		// this, the earliest pending boundary is strictly after tMin.
+		if len(r.samplers) > 0 {
+			r.fireSamplers(tMin)
+		}
 		if rootEv != nil && rootEv.at == tMin {
 			// A root event is next: run the whole instant exclusively, node
 			// work first, then global/keyed events — the serial order.
@@ -452,6 +461,14 @@ func (r *Engine) runWindows(deadline time.Duration, drainAll bool) {
 					}
 				}
 			}
+			// A pending sampling boundary also bounds every window: no
+			// shard may execute an event at or past it before it fires
+			// (drainLimit is exclusive, so capping at the boundary is
+			// exact).
+			sampleNext := infTime
+			if len(r.samplers) > 0 {
+				sampleNext = r.nextSamplerAt()
+			}
 			for i, s := range r.shards {
 				other := min1
 				if i == min1Idx {
@@ -467,6 +484,9 @@ func (r *Engine) runWindows(deadline time.Duration, drainAll bool) {
 				if !drainAll && deadline+1 < h {
 					h = deadline + 1 // the window must include events at the deadline itself
 				}
+				if sampleNext < h {
+					h = sampleNext
+				}
 				s.drainLimit = h
 			}
 			r.dispatch(shardCmd{}, func(s *Engine) bool {
@@ -476,6 +496,11 @@ func (r *Engine) runWindows(deadline time.Duration, drainAll bool) {
 		}
 		r.runBarriers()
 		r.mergeStaged()
+	}
+	if !drainAll {
+		// Boundaries inside (now, deadline] with no event to trigger them
+		// still fire, exactly like the serial RunUntil epilogue.
+		r.fireSamplers(deadline)
 	}
 	if drainAll {
 		// Leave every clock at the globally last executed event, exactly
@@ -531,6 +556,7 @@ func (r *Engine) runInstant(g time.Duration) {
 		if ev == nil || ev.at != g {
 			return
 		}
+		r.depth.Record(int64(r.events.len()))
 		r.events.pop()
 		r.runEvent(ev)
 		r.mergeStaged()
@@ -561,6 +587,10 @@ func (r *Engine) shardedStep() bool {
 	if best == nil {
 		return false
 	}
+	if len(r.samplers) > 0 {
+		r.fireSamplers(best.at)
+	}
+	owner.depth.Record(int64(owner.events.len()))
 	owner.events.pop()
 	owner.runEvent(best)
 	if r.now < owner.now {

@@ -35,6 +35,8 @@ import (
 	"container/heap"
 	"math/rand"
 	"time"
+
+	"vbundle/internal/obs"
 )
 
 // QueueKind selects the engine's pending-event store.
@@ -131,6 +133,19 @@ type Engine struct {
 	statEvents  uint64
 	statWindows uint64
 	statCaps    uint64
+
+	// samplers are the registered virtual-time observation hooks (root
+	// engine only); see AddSampler. depth, when attached via AttachObs,
+	// records this engine's queue depth at every pop (a diagnostic
+	// histogram: execution-shape dependent, excluded from determinism
+	// comparisons).
+	samplers []sampler
+	depth    *obs.Histogram
+	// samplerNext caches the earliest pending sampler boundary (infTime
+	// when none), so the serial per-pop check in Step is one comparison
+	// instead of a call that scans the sampler list on every event.
+	// Maintained by AddSampler and fireSamplers.
+	samplerNext time.Duration
 }
 
 // NewEngine returns a serial engine whose clock starts at zero and whose
@@ -143,7 +158,7 @@ func NewEngine(seed int64) *Engine {
 // two stores execute identical traces in identical order (asserted by the
 // queue equivalence tests), differing only in cost.
 func NewEngineWithQueue(seed int64, kind QueueKind) *Engine {
-	e := &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed}
+	e := &Engine{rng: rand.New(rand.NewSource(seed)), seed: seed, samplerNext: infTime}
 	switch kind {
 	case QueueHeap:
 		e.events = &heapQueue{}
@@ -403,11 +418,15 @@ func (e *Engine) Step() bool {
 	if e.events == nil {
 		return false
 	}
-	ev := e.events.pop()
+	ev := e.events.front()
 	if ev == nil {
 		return false
 	}
-	e.runEvent(ev)
+	if ev.at >= e.samplerNext {
+		e.fireSamplers(ev.at)
+	}
+	e.depth.Record(int64(e.events.len()))
+	e.runEvent(e.events.pop())
 	return true
 }
 
@@ -437,6 +456,9 @@ func (e *Engine) RunUntil(deadline time.Duration) {
 		}
 		e.Step()
 	}
+	// Sampling boundaries inside (now, deadline] fire even when no event
+	// reaches them: an idle stretch still produces samples.
+	e.fireSamplers(deadline)
 	if e.now < deadline {
 		e.now = deadline
 	}

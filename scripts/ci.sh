@@ -165,4 +165,57 @@ rm -f /tmp/vb-alloc.txt
 echo "== bench smoke (-benchtime 1x)"
 go test -short -run '^$' -bench . -benchtime 1x ./... > /dev/null
 
+# Online-audit gate: the invariant auditor sweeps a real 512-server Fig. 14
+# run (liveness coherence under churn) and a full vb-serve stack (lease
+# balance, lease expiry, placement agreement, liveness) and must find zero
+# violations across a healthy run's sweeps. The auditor is read-only and
+# reports to stderr only, so stdout must stay byte-identical with -audit on
+# and off — the same zero-interference contract the tracer holds.
+echo "== online audit gate (Fig 14 512 + vb-serve, zero violations, stdout diff)"
+go build -o /tmp/vb-overhead-ci ./cmd/vb-overhead
+go build -o /tmp/vb-serve-ci ./cmd/vb-serve
+/tmp/vb-overhead-ci -fig 14 -min-servers 512 -max-servers 512 -workers 1 \
+	> /tmp/vb-audit-off.txt
+/tmp/vb-overhead-ci -fig 14 -min-servers 512 -max-servers 512 -workers 1 \
+	-audit -audit-every 10ms > /tmp/vb-audit-on.txt 2> /tmp/vb-audit.err
+diff /tmp/vb-audit-off.txt /tmp/vb-audit-on.txt
+grep -Eq '^audit: sweeps=[1-9][0-9]* violations=0$' /tmp/vb-audit.err \
+	|| { echo "FAIL: fig14 audit gate"; cat /tmp/vb-audit.err; exit 1; }
+/tmp/vb-serve-ci -servers 512 -rate 100 -duration 20s -prewarm 2 \
+	-cache -batch -seed 7 > /tmp/vb-audit-off.txt
+/tmp/vb-serve-ci -servers 512 -rate 100 -duration 20s -prewarm 2 \
+	-cache -batch -seed 7 -audit > /tmp/vb-audit-on.txt 2> /tmp/vb-audit.err
+diff /tmp/vb-audit-off.txt /tmp/vb-audit-on.txt
+grep -Eq '^audit: sweeps=[1-9][0-9]* violations=0$' /tmp/vb-audit.err \
+	|| { echo "FAIL: vb-serve audit gate"; cat /tmp/vb-audit.err; exit 1; }
+
+# Sampler overhead gate: the virtual-time series sampler at a 1 s cadence
+# must stay within 5% wall time of an unsampled vb-serve run (min of five,
+# 2 ms absolute floor, as for the tracing gate above) and must not change
+# one byte of the printed serve report — sampling observes boundaries, it
+# never participates in the run.
+echo "== sampler overhead gate (vb-serve 512 servers, 1s cadence)"
+min_off=
+min_smp=
+for i in 1 2 3 4 5; do
+	start=$(date +%s%N)
+	/tmp/vb-serve-ci -servers 512 -rate 100 -duration 20s -prewarm 2 \
+		-cache -batch -seed 7 > /tmp/vb-smp-off.txt
+	us=$(( ($(date +%s%N) - start) / 1000 ))
+	if [ -z "$min_off" ] || [ "$us" -lt "$min_off" ]; then min_off=$us; fi
+
+	start=$(date +%s%N)
+	/tmp/vb-serve-ci -servers 512 -rate 100 -duration 20s -prewarm 2 \
+		-cache -batch -seed 7 -sample-every 1s > /tmp/vb-smp-on.txt
+	us=$(( ($(date +%s%N) - start) / 1000 ))
+	if [ -z "$min_smp" ] || [ "$us" -lt "$min_smp" ]; then min_smp=$us; fi
+done
+diff /tmp/vb-smp-off.txt /tmp/vb-smp-on.txt
+awk -v off="$min_off" -v smp="$min_smp" 'BEGIN {
+	printf "sampling off %.1f ms, on %.1f ms (%+.1f%%)\n", off / 1000.0, smp / 1000.0, (smp - off) * 100.0 / off
+	if (smp > off * 1.05 && smp > off + 2000) { print "FAIL: series sampler regresses wall time beyond 5%"; exit 1 }
+}'
+rm -f /tmp/vb-overhead-ci /tmp/vb-serve-ci /tmp/vb-audit-off.txt \
+	/tmp/vb-audit-on.txt /tmp/vb-audit.err /tmp/vb-smp-off.txt /tmp/vb-smp-on.txt
+
 echo "CI OK"
